@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper and appends a
+plain-text report to ``benchmarks/results/``, so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the reproduced evaluation
+on disk (EXPERIMENTS.md records a snapshot of these outputs).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_report(results_dir):
+    def _write(name: str, text: str) -> None:
+        (results_dir / name).write_text(text)
+        print(f"\n=== {name} ===\n{text}")
+
+    return _write

@@ -1,0 +1,51 @@
+"""Figure 7: breakdown of the execution time of transformed applications.
+
+Reproduces the paper's alpha/beta/gamma measurement scheme (§9.2) on the
+medium problems: relative time in Application (γ/α), Transfers ((α−β)/α)
+and Patterns ((β−γ)/α) for 2..16 GPUs.
+"""
+
+import pytest
+
+from repro.harness.experiments import figure7
+from repro.harness.report import format_table
+
+COUNTS = (2, 4, 6, 8, 10, 12, 14, 16)
+
+
+def test_figure7(benchmark, write_report):
+    rows = benchmark.pedantic(
+        figure7, kwargs={"gpu_counts": COUNTS}, rounds=1, iterations=1
+    )
+    table = [
+        (
+            r.workload,
+            r.n_gpus,
+            f"{r.t_application:.3f}",
+            f"{r.t_transfers:.3f}",
+            f"{r.t_patterns:.4f}",
+        )
+        for r in rows
+    ]
+    text = format_table(
+        ["Workload", "GPUs", "Application", "Transfers", "Patterns"],
+        table,
+        title="Figure 7: Breakdown of the execution time (medium problems)",
+    )
+    write_report("figure7.txt", text)
+
+    by = {(r.workload, r.n_gpus): r for r in rows}
+
+    for r in rows:
+        # Shares are a partition of the runtime.
+        assert r.t_application + r.t_transfers + r.t_patterns == pytest.approx(1.0)
+        assert r.t_application > 0
+        # "the majority of the overhead is caused by transfers" (§9.2).
+        assert r.t_transfers >= r.t_patterns
+
+    # Relative overhead grows with the number of GPUs (paper: "As expected,
+    # the relative time spent with overhead increases with larger numbers of
+    # GPUs").
+    for wl in ("hotspot", "matmul", "nbody"):
+        assert by[(wl, 16)].t_application < by[(wl, 2)].t_application
+        assert by[(wl, 16)].t_transfers > by[(wl, 2)].t_transfers

@@ -1,0 +1,56 @@
+"""Figure 8: overhead of the runtime system (non-transfer overhead).
+
+The paper reports, over all benchmarks and problem sizes, the fraction of
+runtime spent in dependency resolution ((β−γ)/α): 25th percentile 0.001 %,
+median 0.51 %, 75th percentile 3.5 %, maximum 6.8 %.
+"""
+
+import pytest
+
+from repro.harness.experiments import figure8
+from repro.harness.paper import NON_TRANSFER_OVERHEAD_MAX, OVERHEAD_PERCENTILES
+from repro.harness.report import format_table
+
+COUNTS = (1, 2, 4, 8, 12, 16)
+
+
+def test_figure8(benchmark, write_report):
+    stats = benchmark.pedantic(
+        figure8, kwargs={"gpu_counts": COUNTS}, rounds=1, iterations=1
+    )
+    rows = [
+        (
+            s.n_gpus,
+            f"{s.percentile(0.25):.4%}",
+            f"{s.median:.4%}",
+            f"{s.percentile(0.75):.4%}",
+            f"{max(s.fractions):.4%}",
+        )
+        for s in stats
+    ]
+    all_fractions = sorted(f for s in stats for f in s.fractions)
+
+    def pct(q):
+        idx = q * (len(all_fractions) - 1)
+        lo = int(idx)
+        hi = min(lo + 1, len(all_fractions) - 1)
+        return all_fractions[lo] * (1 - (idx - lo)) + all_fractions[hi] * (idx - lo)
+
+    text = format_table(
+        ["GPUs", "p25", "median", "p75", "max"],
+        rows,
+        title="Figure 8: Non-transfer overhead fraction per GPU count",
+    )
+    text += (
+        "\nOverall percentiles (paper: p25=0.001%, median=0.51%, p75=3.5%, max=6.8%):\n"
+        f"  p25={pct(0.25):.4%}  median={pct(0.5):.4%}  p75={pct(0.75):.4%}"
+        f"  max={max(all_fractions):.4%}\n"
+    )
+    write_report("figure8.txt", text)
+
+    # Shape: overhead fraction grows with GPU count, stays small overall.
+    medians = {s.n_gpus: s.median for s in stats}
+    assert medians[16] >= medians[2] >= medians[1]
+    assert pct(0.5) < 0.05  # median below 5 % (paper: 0.51 %)
+    assert pct(0.25) < 0.01
+    assert max(all_fractions) < 0.30  # bounded even in the worst case

@@ -1,0 +1,37 @@
+"""§9.2 opening: overhead of the partitioned binary on a single GPU.
+
+"across all single-GPU experiments, the slow-down has a median of 2.1 %,
+with a 25th and 75th percentile of 0.13 % and 3.1 %, respectively."
+"""
+
+import statistics
+
+import pytest
+
+from repro.harness.experiments import single_gpu_overhead
+from repro.harness.paper import SINGLE_GPU_SLOWDOWN
+from repro.harness.report import format_table
+
+
+def test_single_gpu_overhead(benchmark, write_report):
+    rows = benchmark.pedantic(single_gpu_overhead, rounds=1, iterations=1)
+    table = [(str(cfg), f"{frac:.4%}") for cfg, frac in rows]
+    fractions = sorted(f for _, f in rows)
+    med = statistics.median(fractions)
+    text = format_table(
+        ["Configuration", "Slowdown"],
+        table,
+        title="Single-GPU slowdown of the partitioned application",
+    )
+    text += (
+        f"\nmedian={med:.4%} (paper {SINGLE_GPU_SLOWDOWN['median']:.2%}), "
+        f"p25={fractions[len(fractions)//4]:.4%} (paper {SINGLE_GPU_SLOWDOWN['p25']:.2%}), "
+        f"p75={fractions[3*len(fractions)//4]:.4%} (paper {SINGLE_GPU_SLOWDOWN['p75']:.2%})\n"
+    )
+    write_report("single_gpu_overhead.txt", text)
+
+    assert len(rows) == 9
+    # All slowdowns are non-negative and small (paper max ~ a few percent).
+    for cfg, frac in rows:
+        assert -0.005 <= frac <= 0.08, (cfg, frac)
+    assert med <= 0.03

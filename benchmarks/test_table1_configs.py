@@ -1,0 +1,17 @@
+"""Table 1: configurations of the benchmark applications."""
+
+from repro.harness.experiments import table1_rows
+from repro.harness.report import format_table
+
+
+def test_table1(benchmark, write_report):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["Benchmark", "Small", "Medium", "Large", "Iterations"],
+        rows,
+        title="Table 1: Configurations of the benchmark applications",
+    )
+    write_report("table1.txt", text)
+    assert ("hotspot", 8192, 16384, 36864, "1500") in rows
+    assert ("nbody", 65536, 131072, 327680, "96") in rows
+    assert ("matmul", 8192, 16384, 30656, "N/A") in rows

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Figure 1 of the paper, live: integer sets, maps, images and unions.
+
+Reproduces Equations (1)-(4) with the bundled integer set library and draws
+the three panels of Figure 1 as ASCII grids.
+
+Run:  python examples/polyhedral_sets_demo.py
+"""
+
+from repro.poly import parse_basic_map, parse_basic_set, parse_set
+
+
+def draw(points, *, y_range=(0, 5), x_range=(0, 8), title=""):
+    print(title)
+    ys = range(y_range[1], y_range[0] - 1, -1)
+    for y in ys:
+        row = "".join(" ●" if (y, x) in points else " ·" for x in range(*x_range))
+        print(f"  y={y} |{row}")
+    print("      +" + "--" * (x_range[1] - x_range[0]))
+    print("        " + " ".join(str(x) for x in range(*x_range)))
+    print()
+
+
+def main():
+    # Equation (1): S1 := { [y, x] | 0 <= y <= x  and  0 <= x <= 4 }
+    s1 = parse_basic_set("{ [y, x] : 0 <= y <= x and 0 <= x <= 4 }")
+    pts1 = set(s1.enumerate_points())
+    draw(pts1, title="(a) The set S1  (Equation 1)")
+
+    # Equation (2): M := { [y, x] -> [y + 1, x + 3] }
+    m = parse_basic_map("{ [y, x] -> [y + 1, x + 3] }")
+    print(f"The map M: {m!r}\n")
+
+    # Equation (3): S2 := M(S1)
+    s2 = m.image(s1)
+    pts2 = set(s2.enumerate_points())
+    draw(pts2, title="(b) Translated S2 := M(S1)  (Equation 3)")
+
+    closed = parse_basic_set("{ [y, x] : 1 <= y <= x - 2 and 3 <= x <= 7 }")
+    assert pts2 == set(closed.enumerate_points())
+    print("S2 matches the paper's closed form { [y,x] : 1 <= y <= x-2, 3 <= x <= 7 }\n")
+
+    # Equation (4): U := S1 u S2
+    union = parse_set(
+        "{ [y, x] : 0 <= y <= x and 0 <= x <= 4 ;"
+        "  [y, x] : 1 <= y <= x - 2 and 3 <= x <= 7 }"
+    )
+    draw(set(union.enumerate_points()), title="(c) Union U := S1 u S2  (Equation 4)")
+
+    print(f"|S1| = {len(pts1)}, |S2| = {len(pts2)}, |U| = {len(set(union.enumerate_points()))}")
+    print("(The union is smaller than the sum: the sets overlap.)")
+
+
+if __name__ == "__main__":
+    main()

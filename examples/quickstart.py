@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a single-GPU kernel into a multi-GPU application.
+
+This walks the paper's whole pipeline on a small example:
+
+1. write a kernel against the mini-CUDA builder DSL,
+2. run the two-pass compiler (polyhedral analysis -> legality -> partitioned
+   clone -> access-set enumerators),
+3. run the *same* host program against the single-device reference API and
+   against the multi-GPU runtime, and check the results are bitwise equal,
+4. re-run in timing mode on the simulated 16-GPU K80 node to estimate the
+   speedup.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.compiler import compile_app
+from repro.compiler.costmodel import KernelCostModel
+from repro.cuda import CudaApi, Dim3, MemcpyKind, f32
+from repro.cuda.ir import KernelBuilder, kernel_to_cuda
+from repro.harness.calibration import K80_NODE_SPEC
+from repro.runtime import MultiGpuApi, RuntimeConfig
+from repro.sim.engine import SimMachine
+
+
+def build_axpy_kernel():
+    """y[i] = a * x[i] + y[i] — the classic SAXPY, written per-thread."""
+    kb = KernelBuilder("axpy")
+    n = kb.scalar("n")
+    a = kb.scalar("a", f32)
+    x = kb.array("x", f32, (n,))
+    y = kb.array("y", f32, (n,))
+    gi = kb.global_id("x")
+    with kb.if_(gi < n):
+        y[gi,] = a * x[gi,] + y[gi,]
+    return kb.finish()
+
+
+def host_program(api, kernel, n, a, h_x, h_y):
+    """Single-GPU host code; runs unmodified on either API (paper §8.4)."""
+    nbytes = n * 4
+    d_x = api.cudaMalloc(nbytes)
+    d_y = api.cudaMalloc(nbytes)
+    api.cudaMemcpy(d_x, h_x, nbytes, MemcpyKind.HostToDevice)
+    api.cudaMemcpy(d_y, h_y, nbytes, MemcpyKind.HostToDevice)
+    api.launch(kernel, Dim3(x=n // 128), Dim3(x=128), [n, a, d_x, d_y])
+    out = np.empty(n, dtype=np.float32)
+    api.cudaMemcpy(out, d_y, nbytes, MemcpyKind.DeviceToHost)
+    api.cudaDeviceSynchronize()
+    return out
+
+
+def main():
+    kernel = build_axpy_kernel()
+    print("=== The kernel (CUDA-like rendering) ===")
+    print(kernel_to_cuda(kernel))
+
+    print("=== Compiling (two-pass pipeline, paper Section 3) ===")
+    app = compile_app([kernel])
+    ck = app.kernel("axpy")
+    print(f"partitionable:     {ck.partitionable}")
+    print(f"strategy:          split grid axis {ck.strategy.axis!r}")
+    print(f"unit axes:         {ck.model.unit_axes}")
+    print(f"enumerators:       {len(app.enumerators)} generated")
+    arg = next(a for a in ck.model.args if a.name == "y")
+    print(f"write map of y:    {arg.write.map_str[:90]}...")
+    print()
+
+    n = 1 << 16
+    rng = np.random.default_rng(0)
+    h_x = rng.random(n, dtype=np.float32)
+    h_y = rng.random(n, dtype=np.float32)
+    a = np.float32(2.5)
+
+    print("=== Functional run: reference vs 4 simulated GPUs ===")
+    reference = host_program(CudaApi(), kernel, n, a, h_x, h_y)
+    api = MultiGpuApi(app, RuntimeConfig(n_gpus=4))
+    result = host_program(api, kernel, n, a, h_x, h_y)
+    assert np.array_equal(reference, result), "multi-GPU result diverged!"
+    print(f"bitwise equal across 4 GPUs   (sync traffic: {api.stats.sync_bytes} bytes)")
+    print()
+
+    print("=== Timing run on the simulated K80 node ===")
+    spec = K80_NODE_SPEC
+    times = {}
+    for g in (1, 2, 4, 8, 16):
+        machine = SimMachine(spec.with_gpus(g))
+        api = MultiGpuApi(
+            app,
+            RuntimeConfig(n_gpus=g),
+            machine=machine,
+            functional=False,
+            kernel_cost=KernelCostModel(spec),
+        )
+        host_program(api, kernel, 1 << 24, a, None, None)
+        times[g] = machine.elapsed()
+    base = times[1]
+    for g, t in times.items():
+        print(f"  {g:2d} GPUs: {t * 1e3:8.2f} ms   speedup {base / t:5.2f}x")
+    print("\n(AXPY is bandwidth-bound and memcpy-dominated — scaling is modest,")
+    print(" exactly as the execution-model suggests for streaming kernels.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The source-to-source host rewriter (paper §5) on real CUDA host code.
+
+Shows the three substitution classes the paper's lua preprocessor applies:
+top-of-file insertions, CUDA API renames, and kernel-launch expansion into
+the runtime's partitioned-launch primitive (Figure 4).
+
+Run:  python examples/rewriter_demo.py
+"""
+
+from repro.compiler.rewriter import rewrite_source
+
+HOST_SOURCE = """\
+#include <cuda_runtime.h>
+
+int main(int argc, char **argv) {
+    int n = atoi(argv[1]);
+    size_t bytes = n * n * sizeof(float);
+    float *h_in = (float *)malloc(bytes);
+    float *h_out = (float *)malloc(bytes);
+
+    float *d_a, *d_b;
+    cudaMalloc(&d_a, bytes);
+    cudaMalloc(&d_b, bytes);
+    cudaMemcpy(d_a, h_in, bytes, cudaMemcpyHostToDevice);
+
+    dim3 block(16, 16);
+    dim3 grid(n / 16, n / 16);
+    for (int it = 0; it < 1500; ++it) {
+        hotspot<<<grid, block>>>(d_a, d_b);
+        float *t = d_a; d_a = d_b; d_b = t;
+    }
+
+    cudaMemcpy(h_out, d_a, bytes, cudaMemcpyDeviceToHost);
+    cudaDeviceSynchronize();
+    cudaFree(d_a);
+    cudaFree(d_b);
+    return 0;
+}
+"""
+
+
+def main():
+    print("=== Original single-GPU host code ===")
+    print(HOST_SOURCE)
+
+    result = rewrite_source(
+        HOST_SOURCE, model_path="hotspot_model.json", kernel_names=["hotspot"]
+    )
+
+    print("=== Rewritten multi-GPU host code ===")
+    print(result.source)
+
+    print("=== Substitution statistics (the paper's three classes) ===")
+    print(f"  1. header insertions:   {result.header_insertions}")
+    print(f"  2. API substitutions:   {dict(result.api_substitutions)}")
+    print(f"  3. launches expanded:   {result.launch_substitutions}")
+
+
+if __name__ == "__main__":
+    main()

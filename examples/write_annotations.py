@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Programmer write-pattern annotations (paper §11), end to end.
+
+The paper's stated limitation is the need for an accurate static model of a
+kernel's writes, and §11 proposes "annotation of the source code with write
+patterns by the programmer" as a remedy. This example shows it working:
+
+* a kernel whose write subscript the analysis cannot model (it goes through
+  an integer division) is rejected and would fall back to one GPU;
+* supplying the true write map in isl notation makes the kernel fully
+  partitionable — with coherence handled by the usual generated enumerators
+  — and the result stays bitwise identical to the reference.
+
+Run:  python examples/write_annotations.py
+"""
+
+import numpy as np
+
+from repro.compiler import compile_app
+from repro.cuda import CudaApi, Dim3, MemcpyKind, f32
+from repro.cuda.ir import KernelBuilder
+from repro.runtime import MultiGpuApi, RuntimeConfig
+
+N = 1 << 12
+
+
+def build_kernel():
+    """dst[(2*gi)//2] = 2*src[gi]: the write target is really just gi, but
+    the floor division defeats affine analysis."""
+    kb = KernelBuilder("obscured")
+    n = kb.scalar("n")
+    src = kb.array("src", f32, (n,))
+    dst = kb.array("dst", f32, (n,))
+    gi = kb.global_id("x")
+    with kb.if_(gi < n):
+        dst[(gi * 2) // 2,] = src[gi,] * 2.0
+    return kb.finish()
+
+
+#: What the programmer knows: each thread writes its own global index.
+WRITE_MAP = (
+    "[bd_x, n] -> { [bo_z, bo_y, bo_x, bi_z, bi_y, bi_x] -> [a0] :"
+    " bo_x <= a0 < bo_x + bd_x and 0 <= a0 < n }"
+)
+
+
+def host(api, kernel, data):
+    nbytes = N * 4
+    d_src = api.cudaMalloc(nbytes)
+    d_dst = api.cudaMalloc(nbytes)
+    api.cudaMemcpy(d_src, data, nbytes, MemcpyKind.HostToDevice)
+    api.launch(kernel, Dim3(N // 128), Dim3(128), [N, d_src, d_dst])
+    out = np.zeros(N, dtype=np.float32)
+    api.cudaMemcpy(out, d_dst, nbytes, MemcpyKind.DeviceToHost)
+    return out
+
+
+def main():
+    kernel = build_kernel()
+    data = np.random.default_rng(3).random(N, dtype=np.float32)
+    reference = host(CudaApi(), kernel, data)
+
+    print("=== Without annotation ===")
+    plain = compile_app([kernel])
+    ck = plain.kernel("obscured")
+    print(f"partitionable: {ck.partitionable}")
+    print(f"reason:        {ck.model.reject_reason}")
+    api = MultiGpuApi(plain, RuntimeConfig(n_gpus=4))
+    out = host(api, kernel, data)
+    assert np.array_equal(out, reference)
+    print(f"execution: correct, but via single-GPU fallback "
+          f"(fallback launches: {api.stats.fallback_launches})\n")
+
+    print("=== With the programmer's write map (paper §11) ===")
+    print(f"annotation: {WRITE_MAP}\n")
+    annotated = compile_app(
+        [kernel], write_annotations={"obscured": {"dst": WRITE_MAP}}
+    )
+    ck = annotated.kernel("obscured")
+    print(f"partitionable: {ck.partitionable}")
+    api = MultiGpuApi(annotated, RuntimeConfig(n_gpus=4))
+    out = host(api, kernel, data)
+    assert np.array_equal(out, reference)
+    print(f"execution: correct AND partitioned across 4 GPUs "
+          f"(partition launches: {api.stats.partition_launches}, "
+          f"fallbacks: {api.stats.fallback_launches})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Automated partitioning of data-parallel kernels using polyhedral compilation.
+
+A from-scratch Python reproduction of Matz, Doerfert & Fröning (ICPP
+Workshops 2020): an automatically partitioning compiler for data-parallel
+kernels, its runtime system, and the simulated multi-GPU machine the
+evaluation runs on.
+
+Top-level convenience re-exports cover the quickstart path; see the
+subpackages for the full API:
+
+* :mod:`repro.poly` — the integer set library,
+* :mod:`repro.cuda` — the mini-CUDA substrate,
+* :mod:`repro.compiler` — the partitioning toolchain,
+* :mod:`repro.runtime` — the multi-GPU runtime library,
+* :mod:`repro.sim` — the machine timing model,
+* :mod:`repro.workloads` — the paper's benchmarks,
+* :mod:`repro.harness` — the evaluation harness.
+"""
+
+from repro._version import __version__
+from repro.compiler import compile_app
+from repro.cuda import CudaApi, Dim3, MemcpyKind, f32, f64, i32, i64
+from repro.cuda.ir import KernelBuilder
+from repro.runtime import MultiGpuApi, RuntimeConfig
+
+__all__ = [
+    "__version__",
+    "compile_app",
+    "CudaApi",
+    "Dim3",
+    "MemcpyKind",
+    "f32",
+    "f64",
+    "i32",
+    "i64",
+    "KernelBuilder",
+    "MultiGpuApi",
+    "RuntimeConfig",
+]

@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``analyze``   compile a workload's kernel and print its application model
+              (CUDA-like source, access maps, strategy, legality verdict).
+``run``       run a workload functionally on N simulated GPUs and check the
+              result bitwise against the single-GPU reference.
+``bench``     regenerate the paper's evaluation tables on the simulated
+              K80 node (figure6 | figure7 | figure8 | table1 | overhead).
+``machine``   show the calibrated machine model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.compiler.pipeline import compile_app
+from repro.cuda.api import CudaApi
+from repro.cuda.ir.printer import kernel_to_cuda
+from repro.harness.calibration import GPU_COUNTS, K80_NODE_SPEC
+from repro.harness.report import format_table
+from repro.runtime.api import MultiGpuApi
+from repro.runtime.config import RuntimeConfig
+from repro.workloads import ALL_WORKLOADS, functional_config
+from repro.workloads.common import TABLE1
+
+__all__ = ["main"]
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    workload = ALL_WORKLOADS[args.workload](functional_config(args.workload, size=args.size))
+    kernels = workload.build_kernels()
+    app = compile_app(kernels, model_path=args.model_out)
+    if args.verbose:
+        from repro.compiler.report import describe_app
+
+        print(describe_app(app, sources=True))
+        if args.model_out:
+            print(f"\napplication model written to {args.model_out}")
+        return 0
+    for kernel in kernels:
+        ck = app.kernel(kernel.name)
+        print(kernel_to_cuda(kernel))
+        print(f"partitionable:    {ck.partitionable}")
+        if not ck.partitionable:
+            print(f"reject reason:    {ck.model.reject_reason}")
+            continue
+        print(f"strategy:         split along grid axis {ck.strategy.axis!r}")
+        print(f"unit axes:        {ck.model.unit_axes or '(none)'}")
+        print(f"runtime coverage: {ck.model.runtime_coverage}")
+        for arg in ck.model.args:
+            if arg.kind != "array":
+                continue
+            if arg.read:
+                print(f"  read  {arg.name}: {arg.read.map_str}")
+            if arg.write:
+                print(f"  write {arg.name}: {arg.write.map_str}")
+    if args.model_out:
+        print(f"\napplication model written to {args.model_out}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = ALL_WORKLOADS[args.workload](
+        functional_config(args.workload, size=args.size, iterations=args.iterations)
+    )
+    inputs = workload.make_inputs(seed=args.seed)
+    print(f"running {workload.cfg} on the single-GPU reference ...")
+    reference = workload.run(CudaApi(), inputs)
+    app = compile_app(workload.build_kernels())
+    print(f"running on {args.gpus} simulated GPUs ...")
+    api = MultiGpuApi(app, RuntimeConfig(n_gpus=args.gpus))
+    result = workload.run(api, inputs)
+    for key in reference:
+        if not np.array_equal(reference[key], result[key]):
+            print(f"MISMATCH in output {key!r}")
+            return 1
+    print("results bitwise equal to the single-GPU reference")
+    print(
+        f"coherence traffic: {api.stats.sync_bytes} bytes in "
+        f"{api.stats.sync_transfers} transfers; "
+        f"{api.stats.enumerator_calls} enumerator calls, "
+        f"{api.stats.tracker_ops} tracker ops"
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness import experiments as ex
+
+    if args.experiment == "table1":
+        print(
+            format_table(
+                ["Benchmark", "Small", "Medium", "Large", "Iterations"],
+                ex.table1_rows(),
+                title="Table 1",
+            )
+        )
+        return 0
+    counts = tuple(args.gpu_counts) if args.gpu_counts else GPU_COUNTS
+    if args.experiment == "figure6":
+        pts = ex.figure6(gpu_counts=counts, sizes=tuple(args.sizes))
+        rows = [(p.workload, p.size_label, p.n_gpus, f"{p.time:.3f}", f"{p.speedup:.2f}") for p in pts]
+        headers = ["Workload", "Size", "GPUs", "Time [s]", "Speedup"]
+        if args.csv:
+            from repro.harness.report import to_csv
+
+            with open(args.csv, "w") as fh:
+                fh.write(to_csv(headers, rows))
+            print(f"wrote {args.csv}")
+        print(format_table(headers, rows, title="Figure 6"))
+    elif args.experiment == "figure7":
+        rows = ex.figure7(gpu_counts=counts)
+        print(
+            format_table(
+                ["Workload", "GPUs", "Application", "Transfers", "Patterns"],
+                [
+                    (r.workload, r.n_gpus, f"{r.t_application:.3f}", f"{r.t_transfers:.3f}", f"{r.t_patterns:.4f}")
+                    for r in rows
+                ],
+                title="Figure 7 (medium problems)",
+            )
+        )
+    elif args.experiment == "figure8":
+        stats = ex.figure8(gpu_counts=counts, sizes=tuple(args.sizes))
+        print(
+            format_table(
+                ["GPUs", "p25", "median", "p75", "max"],
+                [
+                    (s.n_gpus, f"{s.percentile(0.25):.4%}", f"{s.median:.4%}", f"{s.percentile(0.75):.4%}", f"{max(s.fractions):.4%}")
+                    for s in stats
+                ],
+                title="Figure 8",
+            )
+        )
+    elif args.experiment == "overhead":
+        rows = ex.single_gpu_overhead(sizes=tuple(args.sizes))
+        print(
+            format_table(
+                ["Configuration", "Slowdown"],
+                [(str(cfg), f"{frac:.4%}") for cfg, frac in rows],
+                title="Single-GPU slowdown",
+            )
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.experiment)
+    return 0
+
+
+def _cmd_machine(args: argparse.Namespace) -> int:
+    spec = K80_NODE_SPEC
+    rows = [(name, getattr(spec, name)) for name in (
+        "n_gpus",
+        "flops_per_gpu",
+        "mem_bw_per_gpu",
+        "pcie_bw",
+        "host_bus_bw",
+        "pcie_latency",
+        "staging_latency",
+        "p2p_enabled",
+        "staging_factor",
+        "cache_reuse_factor",
+        "issue_overhead",
+        "enumerator_call_cost",
+        "per_range_cost",
+        "tracker_op_cost",
+        "partition_setup_cost",
+        "sync_overhead",
+    )]
+    print(format_table(["Parameter", "Value"], rows, title="Calibrated machine model (K80 node)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Automated partitioning of data-parallel kernels (ICPP 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="print a workload's polyhedral application model")
+    p.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+    p.add_argument("--size", type=int, default=None, help="problem size (default: small functional)")
+    p.add_argument("--model-out", default=None, help="write the JSON model here")
+    p.add_argument(
+        "--verbose", action="store_true", help="full report incl. generated enumerator sources"
+    )
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("run", help="functional multi-GPU run with bitwise check")
+    p.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+    p.add_argument("--gpus", type=int, default=4)
+    p.add_argument("--size", type=int, default=None)
+    p.add_argument("--iterations", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("bench", help="regenerate a paper table/figure (simulated)")
+    p.add_argument(
+        "experiment", choices=["figure6", "figure7", "figure8", "table1", "overhead"]
+    )
+    p.add_argument("--gpu-counts", type=int, nargs="*", default=None)
+    p.add_argument("--sizes", nargs="*", default=["small", "medium", "large"])
+    p.add_argument("--csv", default=None, help="also write the rows as CSV (figure6)")
+    p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser("machine", help="show the calibrated machine model")
+    p.set_defaults(fn=_cmd_machine)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and dispatch to the selected subcommand."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""``repro.compiler`` — the paper's compilation toolchain.
+
+Pipeline stages (paper section in parentheses):
+
+1. :mod:`~repro.compiler.blockoff` — recognize the non-affine
+   ``blockIdx.w * blockDim.w`` product and encapsulate it in the synthetic
+   ``blockOff.w`` dimension (§4.1).
+2. :mod:`~repro.compiler.access_analysis` — build polyhedral read/write maps
+   ``Z^6 -> Z^d`` for every kernel array argument (§4).
+3. :mod:`~repro.compiler.legality` — prove write maps exact and injective,
+   or reject the kernel for partitioning (§4).
+4. :mod:`~repro.compiler.strategy` — pick the grid axis to partition along.
+5. :mod:`~repro.compiler.kernel_partition` — clone kernels with the
+   partition argument and ``blockIdx``/``gridDim`` substitution (§7).
+6. :mod:`~repro.compiler.enumerators` — generate per-(kernel, argument,
+   mode) access-range enumerator functions from the maps (§6).
+7. :mod:`~repro.compiler.model` — the on-disk application model (§4).
+8. :mod:`~repro.compiler.rewriter` — the regex source-to-source host
+   rewriter (§5).
+9. :mod:`~repro.compiler.pipeline` — the two-pass gpucc-style driver (§3).
+"""
+
+from repro.compiler.access_analysis import analyze_kernel, KernelAccessInfo, ArrayAccess
+from repro.compiler.legality import check_partitionable
+from repro.compiler.strategy import choose_strategy, PartitionStrategy
+from repro.compiler.kernel_partition import partition_kernel
+from repro.compiler.enumerators import build_enumerator, Enumerator, EnumeratorTable
+from repro.compiler.model import KernelModel, AppModel
+from repro.compiler.pipeline import compile_app, CompiledApp
+
+__all__ = [
+    "analyze_kernel",
+    "KernelAccessInfo",
+    "ArrayAccess",
+    "check_partitionable",
+    "choose_strategy",
+    "PartitionStrategy",
+    "partition_kernel",
+    "build_enumerator",
+    "Enumerator",
+    "EnumeratorTable",
+    "KernelModel",
+    "AppModel",
+    "compile_app",
+    "CompiledApp",
+]

@@ -1,0 +1,64 @@
+"""Recognition of the ``blockIdx.w * blockDim.w`` idiom (paper §4.1).
+
+The global position of a thread along grid axis ``w`` is computed as
+``threadIdx.w + blockIdx.w * blockDim.w``. The product of the two variables
+is not affine, so the analysis (following Moll et al. [24] and §4.1 of the
+paper) introduces the synthetic dimension ``blockOff.w`` to stand for it.
+This pass rewrites every such product — in either operand order, at any
+depth — into a ``GridIdx("blockOff", w)`` reference. Products of *mismatched*
+axes (``blockIdx.x * blockDim.y``) are left alone and will be reported as
+non-affine by the access analysis.
+"""
+
+from __future__ import annotations
+
+from repro.cuda.ir.exprs import BinOp, Expr, GridIdx
+from repro.cuda.ir.kernel import Kernel
+from repro.cuda.ir.visitors import transform_kernel, walk_body, walk_expr
+
+__all__ = ["encapsulate_block_offsets", "contains_blockoff"]
+
+
+def _match_product(expr: Expr):
+    """Return the axis if ``expr`` is ``blockIdx.w * blockDim.w``, else None."""
+    if not (isinstance(expr, BinOp) and expr.op == "mul"):
+        return None
+    a, b = expr.lhs, expr.rhs
+    if not (isinstance(a, GridIdx) and isinstance(b, GridIdx)):
+        return None
+    regs = {a.register, b.register}
+    if regs != {"blockIdx", "blockDim"}:
+        return None
+    if a.axis != b.axis:
+        return None
+    return a.axis
+
+
+def encapsulate_block_offsets(kernel: Kernel) -> Kernel:
+    """Rewrite all ``blockIdx.w * blockDim.w`` products into ``blockOff.w``."""
+
+    def rewrite(expr: Expr) -> Expr:
+        axis = _match_product(expr)
+        if axis is not None:
+            return GridIdx("blockOff", axis)
+        return expr
+
+    return transform_kernel(kernel, rewrite)
+
+
+def contains_blockoff(kernel: Kernel) -> bool:
+    """True if any expression in the kernel references ``blockOff``."""
+    for stmt in walk_body(kernel.body):
+        for attr in ("value", "cond", "lo", "hi"):
+            expr = getattr(stmt, attr, None)
+            if expr is None:
+                continue
+            for node in walk_expr(expr):
+                if isinstance(node, GridIdx) and node.register == "blockOff":
+                    return True
+        for attr in ("indices",):
+            for expr in getattr(stmt, attr, ()):
+                for node in walk_expr(expr):
+                    if isinstance(node, GridIdx) and node.register == "blockOff":
+                        return True
+    return False

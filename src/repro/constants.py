@@ -1,0 +1,6 @@
+"""Shared constants with no intra-package dependencies."""
+
+#: Sentinel "device id" representing host memory in transfer bookkeeping.
+HOST = -1
+
+__all__ = ["HOST"]

@@ -1,0 +1,86 @@
+"""Simulated GPU devices and device pointers.
+
+A :class:`Device` owns allocations as flat byte buffers (numpy ``uint8``
+arrays); kernels and memcopies obtain typed, shaped *views* of them — never
+copies — mirroring how CUDA kernels reinterpret raw pointers. In timing-only
+mode (used for paper-scale performance runs) allocations are bookkept but
+not materialized, so a 16-device × multi-GiB configuration fits in memory.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import HOST
+from repro.errors import RuntimeApiError
+
+__all__ = ["Device", "DevPtr", "HOST"]
+
+
+@dataclass(frozen=True)
+class DevPtr:
+    """An opaque device-memory handle returned by ``cudaMalloc``."""
+
+    device_id: int
+    alloc_id: int
+    nbytes: int
+
+
+class Device:
+    """One simulated GPU: an id plus a set of byte-buffer allocations."""
+
+    def __init__(self, device_id: int, *, functional: bool = True) -> None:
+        self.device_id = device_id
+        self.functional = functional
+        self._allocs: Dict[int, Optional[np.ndarray]] = {}
+        self._sizes: Dict[int, int] = {}
+        self._ids = itertools.count(1)
+        self.bytes_allocated = 0
+
+    def alloc(self, nbytes: int) -> DevPtr:
+        """Allocate ``nbytes`` of device memory."""
+        if nbytes <= 0:
+            raise RuntimeApiError(f"cudaMalloc of non-positive size {nbytes}")
+        alloc_id = next(self._ids)
+        self._allocs[alloc_id] = np.zeros(nbytes, dtype=np.uint8) if self.functional else None
+        self._sizes[alloc_id] = nbytes
+        self.bytes_allocated += nbytes
+        return DevPtr(self.device_id, alloc_id, nbytes)
+
+    def free(self, ptr: DevPtr) -> None:
+        self._check(ptr)
+        self.bytes_allocated -= self._sizes.pop(ptr.alloc_id)
+        del self._allocs[ptr.alloc_id]
+
+    def _check(self, ptr: DevPtr) -> None:
+        if ptr.device_id != self.device_id:
+            raise RuntimeApiError(
+                f"pointer for device {ptr.device_id} used on device {self.device_id}"
+            )
+        if ptr.alloc_id not in self._allocs:
+            raise RuntimeApiError(f"use of freed or unknown allocation {ptr.alloc_id}")
+
+    def bytes_view(self, ptr: DevPtr) -> np.ndarray:
+        """The allocation's raw bytes (a mutable view, never a copy)."""
+        self._check(ptr)
+        buf = self._allocs[ptr.alloc_id]
+        if buf is None:
+            raise RuntimeApiError(
+                "byte access to a timing-only allocation (device is not functional)"
+            )
+        return buf
+
+    def typed_view(self, ptr: DevPtr, np_dtype: np.dtype, shape: Tuple[int, ...]) -> np.ndarray:
+        """A shaped, typed view of the allocation's leading bytes."""
+        count = int(np.prod(shape)) if shape else 1
+        need = count * np_dtype.itemsize
+        if need > ptr.nbytes:
+            raise RuntimeApiError(
+                f"allocation of {ptr.nbytes} bytes viewed as {shape} x {np_dtype} "
+                f"({need} bytes)"
+            )
+        return self.bytes_view(ptr)[:need].view(np_dtype).reshape(shape)

@@ -1,0 +1,53 @@
+"""CUDA's ``dim3`` launch-configuration triple."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple, Union
+
+__all__ = ["Dim3", "AXES"]
+
+#: Grid axes in CUDA declaration order; ``z`` is the slowest-varying.
+AXES = ("z", "y", "x")
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """A 3-D extent ``(x, y, z)``; unspecified components default to 1."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        for axis in ("x", "y", "z"):
+            v = getattr(self, axis)
+            if not isinstance(v, int) or v < 1:
+                raise ValueError(f"dim3.{axis} must be a positive integer, got {v!r}")
+
+    @staticmethod
+    def of(value: Union[int, Tuple[int, ...], "Dim3"]) -> "Dim3":
+        """Coerce an int, (x[, y[, z]]) tuple, or Dim3 into a Dim3."""
+        if isinstance(value, Dim3):
+            return value
+        if isinstance(value, int):
+            return Dim3(value)
+        return Dim3(*value)
+
+    @property
+    def volume(self) -> int:
+        return self.x * self.y * self.z
+
+    def axis(self, name: str) -> int:
+        """Component by axis name ('x', 'y' or 'z')."""
+        return getattr(self, name)
+
+    def zyx(self) -> Tuple[int, int, int]:
+        """Components ordered slowest-varying first (z, y, x)."""
+        return (self.z, self.y, self.x)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter((self.x, self.y, self.z))
+
+    def __str__(self) -> str:
+        return f"({self.x}, {self.y}, {self.z})"

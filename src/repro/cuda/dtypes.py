@@ -1,0 +1,39 @@
+"""Scalar data types for the mini-CUDA IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DType", "f32", "f64", "i32", "i64", "boolean", "promote"]
+
+
+@dataclass(frozen=True)
+class DType:
+    """A scalar type: name, byte size, and numpy equivalent."""
+
+    name: str
+    size: int
+    np_dtype: str
+    is_float: bool
+
+    def to_numpy(self) -> np.dtype:
+        return np.dtype(self.np_dtype)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+f32 = DType("f32", 4, "float32", True)
+f64 = DType("f64", 8, "float64", True)
+i32 = DType("i32", 4, "int32", False)
+i64 = DType("i64", 8, "int64", False)
+boolean = DType("bool", 1, "bool", False)
+
+_RANK = {boolean: 0, i32: 1, i64: 2, f32: 3, f64: 4}
+
+
+def promote(a: DType, b: DType) -> DType:
+    """C-like arithmetic promotion between two scalar types."""
+    return a if _RANK[a] >= _RANK[b] else b

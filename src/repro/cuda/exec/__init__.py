@@ -1,0 +1,5 @@
+"""Vectorized execution of mini-CUDA kernels."""
+
+from repro.cuda.exec.interpreter import AccessTrace, eval_scalar_expr, run_kernel
+
+__all__ = ["run_kernel", "eval_scalar_expr", "AccessTrace"]

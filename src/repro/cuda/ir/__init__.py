@@ -1,0 +1,43 @@
+"""Typed kernel IR for the mini-CUDA substrate."""
+
+from repro.cuda.ir.exprs import (
+    Expr,
+    Const,
+    GridIdx,
+    Param,
+    LocalRef,
+    BinOp,
+    UnOp,
+    Call,
+    Select,
+    Load,
+)
+from repro.cuda.ir.stmts import Stmt, Let, Assign, Store, If, For
+from repro.cuda.ir.kernel import Kernel, ArrayParam, ScalarParam, PartitionParam
+from repro.cuda.ir.builder import KernelBuilder
+from repro.cuda.ir.printer import kernel_to_cuda
+
+__all__ = [
+    "Expr",
+    "Const",
+    "GridIdx",
+    "Param",
+    "LocalRef",
+    "BinOp",
+    "UnOp",
+    "Call",
+    "Select",
+    "Load",
+    "Stmt",
+    "Let",
+    "Assign",
+    "Store",
+    "If",
+    "For",
+    "Kernel",
+    "ArrayParam",
+    "ScalarParam",
+    "PartitionParam",
+    "KernelBuilder",
+    "kernel_to_cuda",
+]

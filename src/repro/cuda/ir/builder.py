@@ -1,0 +1,355 @@
+"""A small embedded DSL for writing mini-CUDA kernels.
+
+Example (5-point stencil)::
+
+    kb = KernelBuilder("hotspot")
+    n = kb.scalar("n")
+    src = kb.array("src", f32, (n, n))
+    dst = kb.array("dst", f32, (n, n))
+    gy, gx = kb.global_id("y"), kb.global_id("x")
+    with kb.if_((gy > 0) & (gy < n - 1) & (gx > 0) & (gx < n - 1)):
+        center = src[gy, gx]
+        acc = src[gy - 1, gx] + src[gy + 1, gx] + src[gy, gx - 1] + src[gy, gx + 1]
+        dst[gy, gx] = center + 0.1 * (acc - 4.0 * center)
+    kernel = kb.finish()
+
+``global_id`` deliberately emits the literal ``blockIdx.w * blockDim.w +
+threadIdx.w`` product so the compiler's blockOff recognizer (Section 4.1)
+has real work to do.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.cuda.dtypes import DType, boolean, f32, f64, i64
+from repro.cuda.ir.exprs import (
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    GridIdx,
+    Load,
+    LocalRef,
+    Param,
+    Select,
+    UnOp,
+)
+from repro.cuda.ir.kernel import ArrayParam, Kernel, ScalarParam
+from repro.cuda.ir.stmts import Assign, For, If, Let, Stmt, Store
+from repro.errors import ValidationError
+
+__all__ = ["KernelBuilder", "Val", "ArrayHandle"]
+
+Number = Union[int, float, bool]
+ValLike = Union["Val", Number]
+
+
+class Val:
+    """Wrapper adding Python operators to IR expressions."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr) -> None:
+        self.expr = expr
+
+    @property
+    def dtype(self) -> DType:
+        return self.expr.dtype
+
+    # -- coercion ----------------------------------------------------------
+
+    def _wrap(self, other: ValLike) -> "Val":
+        if isinstance(other, Val):
+            return other
+        if isinstance(other, bool):
+            return Val(Const(other, boolean))
+        if isinstance(other, int):
+            dt = self.dtype if not self.dtype.is_float else self.dtype
+            return Val(Const(other, dt if not self.dtype.is_float else self.dtype))
+        if isinstance(other, float):
+            dt = self.dtype if self.dtype.is_float else f64
+            return Val(Const(other, dt))
+        raise TypeError(f"cannot use {type(other).__name__} in a kernel expression")
+
+    def _bin(self, op: str, other: ValLike, *, swap: bool = False) -> "Val":
+        rhs = self._wrap(other)
+        a, b = (rhs, self) if swap else (self, rhs)
+        return Val(BinOp(op, a.expr, b.expr))
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, o: ValLike) -> "Val":
+        return self._bin("add", o)
+
+    def __radd__(self, o: ValLike) -> "Val":
+        return self._bin("add", o, swap=True)
+
+    def __sub__(self, o: ValLike) -> "Val":
+        return self._bin("sub", o)
+
+    def __rsub__(self, o: ValLike) -> "Val":
+        return self._bin("sub", o, swap=True)
+
+    def __mul__(self, o: ValLike) -> "Val":
+        return self._bin("mul", o)
+
+    def __rmul__(self, o: ValLike) -> "Val":
+        return self._bin("mul", o, swap=True)
+
+    def __truediv__(self, o: ValLike) -> "Val":
+        return self._bin("div", o)
+
+    def __rtruediv__(self, o: ValLike) -> "Val":
+        return self._bin("div", o, swap=True)
+
+    def __floordiv__(self, o: ValLike) -> "Val":
+        return self._bin("fdiv", o)
+
+    def __rfloordiv__(self, o: ValLike) -> "Val":
+        return self._bin("fdiv", o, swap=True)
+
+    def __mod__(self, o: ValLike) -> "Val":
+        return self._bin("mod", o)
+
+    def __neg__(self) -> "Val":
+        return Val(UnOp("neg", self.expr))
+
+    # -- comparisons ---------------------------------------------------------
+
+    def __lt__(self, o: ValLike) -> "Val":
+        return self._bin("lt", o)
+
+    def __le__(self, o: ValLike) -> "Val":
+        return self._bin("le", o)
+
+    def __gt__(self, o: ValLike) -> "Val":
+        return self._bin("gt", o)
+
+    def __ge__(self, o: ValLike) -> "Val":
+        return self._bin("ge", o)
+
+    def eq(self, o: ValLike) -> "Val":
+        """Element equality (named method; ``==`` is Python identity here)."""
+        return self._bin("eq", o)
+
+    def ne(self, o: ValLike) -> "Val":
+        return self._bin("ne", o)
+
+    # -- boolean --------------------------------------------------------------
+
+    def __and__(self, o: ValLike) -> "Val":
+        return self._bin("and", o)
+
+    def __or__(self, o: ValLike) -> "Val":
+        return self._bin("or", o)
+
+    def __invert__(self) -> "Val":
+        return Val(UnOp("not", self.expr))
+
+
+class ArrayHandle:
+    """Subscriptable handle for an array parameter inside the builder."""
+
+    __slots__ = ("param", "_builder")
+
+    def __init__(self, param: ArrayParam, builder: "KernelBuilder") -> None:
+        self.param = param
+        self._builder = builder
+
+    @property
+    def name(self) -> str:
+        return self.param.name
+
+    def _index_tuple(self, idx) -> Tuple[Expr, ...]:
+        if not isinstance(idx, tuple):
+            idx = (idx,)
+        if len(idx) != self.param.ndim:
+            raise ValidationError(
+                f"array {self.name!r} has {self.param.ndim} dims, got {len(idx)} indices"
+            )
+        out: List[Expr] = []
+        for i in idx:
+            if isinstance(i, Val):
+                out.append(i.expr)
+            elif isinstance(i, int):
+                out.append(Const(i, i64))
+            else:
+                raise TypeError(f"bad array index {i!r}")
+        return tuple(out)
+
+    def __getitem__(self, idx) -> Val:
+        return Val(Load(self.name, self._index_tuple(idx), self.param.dtype))
+
+    def __setitem__(self, idx, value: ValLike) -> None:
+        indices = self._index_tuple(idx)
+        if not isinstance(value, Val):
+            value = Val(Const(value, self.param.dtype if isinstance(value, float) else i64))
+        self._builder._append(Store(self.name, indices, value.expr))
+
+
+class _AxisAccessor:
+    """``kb.blockIdx.x`` style access to grid registers."""
+
+    __slots__ = ("register",)
+
+    def __init__(self, register: str) -> None:
+        self.register = register
+
+    @property
+    def x(self) -> Val:
+        return Val(GridIdx(self.register, "x"))
+
+    @property
+    def y(self) -> Val:
+        return Val(GridIdx(self.register, "y"))
+
+    @property
+    def z(self) -> Val:
+        return Val(GridIdx(self.register, "z"))
+
+    def axis(self, a: str) -> Val:
+        return Val(GridIdx(self.register, a))
+
+
+class KernelBuilder:
+    """Accumulates parameters and statements, then builds a validated kernel."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._params: List = []
+        self._blocks: List[List[Stmt]] = [[]]
+        self._local_count = 0
+        self._last_if: Optional[If] = None
+
+    # -- grid registers ------------------------------------------------------
+
+    threadIdx = property(lambda self: _AxisAccessor("threadIdx"))
+    blockIdx = property(lambda self: _AxisAccessor("blockIdx"))
+    blockDim = property(lambda self: _AxisAccessor("blockDim"))
+    gridDim = property(lambda self: _AxisAccessor("gridDim"))
+
+    def global_id(self, axis: str) -> Val:
+        """Global thread index along an axis, as the literal CUDA idiom."""
+        b = _AxisAccessor("blockIdx").axis(axis)
+        d = _AxisAccessor("blockDim").axis(axis)
+        t = _AxisAccessor("threadIdx").axis(axis)
+        return b * d + t
+
+    # -- parameters ------------------------------------------------------------
+
+    def scalar(self, name: str, dtype: DType = i64) -> Val:
+        param = ScalarParam(name, dtype)
+        self._params.append(param)
+        return Val(Param(name, dtype))
+
+    def array(self, name: str, dtype: DType, shape: Sequence[ValLike]) -> ArrayHandle:
+        exprs: List[Expr] = []
+        for s in shape:
+            if isinstance(s, Val):
+                exprs.append(s.expr)
+            elif isinstance(s, int):
+                exprs.append(Const(s, i64))
+            else:
+                raise TypeError(f"bad array extent {s!r}")
+        param = ArrayParam(name, dtype, tuple(exprs))
+        self._params.append(param)
+        return ArrayHandle(param, self)
+
+    # -- statements ---------------------------------------------------------------
+
+    def _append(self, stmt: Stmt) -> None:
+        self._blocks[-1].append(stmt)
+
+    def let(self, name: str, value: ValLike) -> Val:
+        """Bind a named local and return a reference to it."""
+        if not isinstance(value, Val):
+            value = Val(Const.of(value))
+        self._append(Let(name, value.expr))
+        return Val(LocalRef(name, value.dtype))
+
+    def assign(self, ref: Val, value: ValLike) -> None:
+        """Rebind a local previously created with :meth:`let`."""
+        if not isinstance(ref.expr, LocalRef):
+            raise ValidationError("assign() target must be a local variable reference")
+        if not isinstance(value, Val):
+            value = Val(Const.of(value))
+        self._append(Assign(ref.expr.name, value.expr))
+
+    @contextlib.contextmanager
+    def if_(self, cond: Val) -> Iterator[None]:
+        """Structured conditional; pair with :meth:`otherwise` for else."""
+        self._blocks.append([])
+        try:
+            yield
+        finally:
+            then = tuple(self._blocks.pop())
+            stmt = If(cond.expr, then, ())
+            self._append(stmt)
+            self._last_if = stmt
+
+    @contextlib.contextmanager
+    def otherwise(self) -> Iterator[None]:
+        """Else-branch of the immediately preceding :meth:`if_`."""
+        if self._last_if is None or not self._blocks[-1] or self._blocks[-1][-1] is not self._last_if:
+            raise ValidationError("otherwise() must immediately follow an if_()")
+        prev = self._blocks[-1].pop()
+        self._blocks.append([])
+        try:
+            yield
+        finally:
+            orelse = tuple(self._blocks.pop())
+            self._append(If(prev.cond, prev.then, orelse))
+            self._last_if = None
+
+    @contextlib.contextmanager
+    def for_range(self, name: str, lo: ValLike, hi: ValLike) -> Iterator[Val]:
+        """Counted loop over ``[lo, hi)``; yields the loop variable."""
+        lo_v = lo if isinstance(lo, Val) else Val(Const(int(lo), i64))
+        hi_v = hi if isinstance(hi, Val) else Val(Const(int(hi), i64))
+        self._blocks.append([])
+        try:
+            yield Val(LocalRef(name, i64))
+        finally:
+            body = tuple(self._blocks.pop())
+            self._append(For(name, lo_v.expr, hi_v.expr, body))
+
+    # -- intrinsics -------------------------------------------------------------
+
+    def sqrt(self, x: Val) -> Val:
+        return Val(Call("sqrt", (x.expr,)))
+
+    def rsqrt(self, x: Val) -> Val:
+        return Val(Call("rsqrt", (x.expr,)))
+
+    def abs(self, x: Val) -> Val:
+        return Val(Call("abs", (x.expr,)))
+
+    def select(self, cond: Val, a: ValLike, b: ValLike) -> Val:
+        if not isinstance(a, Val):
+            a = Val(Const.of(a))
+        if not isinstance(b, Val):
+            b = Val(Const.of(b))
+        return Val(Select(cond.expr, a.expr, b.expr))
+
+    def minimum(self, a: Val, b: ValLike) -> Val:
+        return a._bin("min", b)
+
+    def maximum(self, a: Val, b: ValLike) -> Val:
+        return a._bin("max", b)
+
+    def f32const(self, v: float) -> Val:
+        return Val(Const(float(v), f32))
+
+    # -- finalize ----------------------------------------------------------------
+
+    def finish(self) -> Kernel:
+        """Build and validate the kernel."""
+        if len(self._blocks) != 1:
+            raise ValidationError("unclosed control-flow block in kernel builder")
+        kernel = Kernel(self.name, tuple(self._params), tuple(self._blocks[0]))
+        from repro.cuda.ir.validate import validate_kernel
+
+        validate_kernel(kernel)
+        return kernel

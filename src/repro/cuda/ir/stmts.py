@@ -1,0 +1,70 @@
+"""Statement nodes of the kernel IR.
+
+A kernel body is a tuple of statements describing the program of *one*
+thread. Control flow is structured (``If``/``For``); there is no ``goto``
+and no early return — guards are expressed by wrapping the guarded code in
+an ``If``, which is also what the access analysis needs to attach access
+conditions to the polyhedral model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.cuda.ir.exprs import Expr
+
+__all__ = ["Stmt", "Let", "Assign", "Store", "If", "For", "Body"]
+
+
+class Stmt:
+    """Base class of IR statements."""
+
+    __slots__ = ()
+
+
+Body = Tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class Let(Stmt):
+    """Bind a new local variable to the value of an expression."""
+
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """Rebind an existing local variable (used for loop accumulators)."""
+
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Store(Stmt):
+    """Element store into a (row-major) array parameter."""
+
+    array: str
+    indices: Tuple[Expr, ...]
+    value: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """Structured conditional."""
+
+    cond: Expr
+    then: Body
+    orelse: Body = ()
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """Counted loop ``for var in [lo, hi)`` over 64-bit integers."""
+
+    var: str
+    lo: Expr
+    hi: Expr
+    body: Body

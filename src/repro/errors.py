@@ -1,0 +1,106 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can distinguish "this kernel cannot be partitioned" (an expected, recoverable
+analysis outcome) from genuine programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PolyhedralError",
+    "NonAffineError",
+    "SpaceMismatchError",
+    "ParseError",
+    "KernelIRError",
+    "ValidationError",
+    "ExecutionError",
+    "AnalysisError",
+    "PartitioningError",
+    "InjectivityError",
+    "RewriteError",
+    "RuntimeApiError",
+    "UnsupportedMemcpyError",
+    "TrackerError",
+    "SimulationError",
+    "CalibrationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class PolyhedralError(ReproError):
+    """Base class for errors in the polyhedral library (:mod:`repro.poly`)."""
+
+
+class NonAffineError(PolyhedralError):
+    """An expression required to be affine is not affine.
+
+    Raised both by the polyhedral layer (e.g. multiplying two symbolic
+    affine expressions) and by the compiler's access analysis when a kernel
+    subscript cannot be modelled.
+    """
+
+
+class SpaceMismatchError(PolyhedralError):
+    """Two polyhedral objects live in incompatible spaces."""
+
+
+class ParseError(PolyhedralError):
+    """Malformed isl-notation input to :func:`repro.poly.parser.parse_set`."""
+
+
+class KernelIRError(ReproError):
+    """Base class for errors in the mini-CUDA kernel IR."""
+
+
+class ValidationError(KernelIRError):
+    """A kernel failed IR validation (type errors, malformed structure)."""
+
+
+class ExecutionError(KernelIRError):
+    """A kernel failed during (vectorized) execution."""
+
+
+class AnalysisError(ReproError):
+    """The polyhedral access analysis could not model a kernel."""
+
+
+class PartitioningError(ReproError):
+    """A kernel is not legal to partition across devices.
+
+    This is the expected outcome for kernels whose write accesses cannot be
+    modelled exactly; the paper falls back to single-GPU execution in this
+    case and so do we.
+    """
+
+
+class InjectivityError(PartitioningError):
+    """The write map of a kernel could not be proven injective."""
+
+
+class RewriteError(ReproError):
+    """The source-to-source host rewriter could not transform an input."""
+
+
+class RuntimeApiError(ReproError):
+    """Misuse of the runtime library's CUDA-replacement API."""
+
+
+class UnsupportedMemcpyError(RuntimeApiError):
+    """A memcpy direction that the runtime does not support (device-to-device)."""
+
+
+class TrackerError(RuntimeApiError):
+    """Inconsistent state in a virtual buffer's segment tracker."""
+
+
+class SimulationError(ReproError):
+    """Errors in the discrete-event machine simulator."""
+
+
+class CalibrationError(SimulationError):
+    """Invalid machine-model calibration constants."""

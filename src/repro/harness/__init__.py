@@ -1,0 +1,26 @@
+"""``repro.harness`` — experiment drivers for the paper's evaluation (§9)."""
+
+from repro.harness.calibration import K80_NODE_SPEC, GPU_COUNTS
+from repro.harness.experiments import (
+    run_timed,
+    reference_time,
+    figure6,
+    figure7,
+    figure8,
+    single_gpu_overhead,
+    compile_time_ratio,
+    table1_rows,
+)
+
+__all__ = [
+    "K80_NODE_SPEC",
+    "GPU_COUNTS",
+    "run_timed",
+    "reference_time",
+    "figure6",
+    "figure7",
+    "figure8",
+    "single_gpu_overhead",
+    "compile_time_ratio",
+    "table1_rows",
+]

@@ -1,0 +1,44 @@
+"""Calibration of the simulated machine to the paper's testbed class.
+
+The paper's system: Supermicro X10DRG, 2x Xeon E5-2667, 8 NVIDIA K80 boards
+(16 GPUs), PCIe 3.0, 256 GiB DDR4 (§9). Constants below are documented
+estimates for that hardware generation; the reproduction targets the *shape*
+of Figures 6-8, not absolute runtimes, and EXPERIMENTS.md records the
+paper-vs-measured comparison for every reported number.
+
+Notable choices:
+
+* ``p2p_enabled=False`` with ``staging_factor=2`` — peer copies between K80
+  boards (and across the two sockets) are staged through host memory.
+* Host-side per-call costs are dominated by ``cudaSetDevice`` context
+  switching and driver call overhead when orchestrating 16 devices from one
+  thread; ``partition_setup_cost`` carries that per-GPU-per-loop cost.
+"""
+
+from __future__ import annotations
+
+from repro.sim.topology import MachineSpec
+
+__all__ = ["K80_NODE_SPEC", "GPU_COUNTS"]
+
+#: GPU counts evaluated in Figure 6 of the paper.
+GPU_COUNTS = (1, 2, 4, 6, 8, 10, 12, 14, 16)
+
+K80_NODE_SPEC = MachineSpec(
+    n_gpus=16,
+    flops_per_gpu=2.4e12,
+    mem_bw_per_gpu=1.7e11,
+    pcie_bw=1.0e10,
+    host_bus_bw=1.3e10,
+    pcie_latency=25e-6,
+    staging_latency=60e-6,
+    p2p_enabled=False,
+    staging_factor=2.0,
+    cache_reuse_factor=64.0,
+    issue_overhead=10e-6,
+    enumerator_call_cost=1.0e-6,
+    per_range_cost=5e-9,
+    tracker_op_cost=0.2e-6,
+    partition_setup_cost=5e-6,
+    sync_overhead=100e-6,
+)

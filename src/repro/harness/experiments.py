@@ -1,0 +1,341 @@
+"""Experiment drivers reproducing the paper's evaluation (§9).
+
+All performance runs are *timing-only*: the runtime's orchestration
+(partitioning, enumerators, trackers) executes for real, while device work
+and transfers are costed on the simulated machine. Correctness is covered
+separately by the functional test suite.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.compiler.costmodel import KernelCostModel
+from repro.compiler.pipeline import CompiledApp, baseline_compile, compile_app
+from repro.cuda.api import CudaApi
+from repro.cuda.device import Device
+from repro.harness.calibration import GPU_COUNTS, K80_NODE_SPEC
+from repro.runtime.api import MultiGpuApi
+from repro.runtime.config import RuntimeConfig
+from repro.sim.engine import SimMachine
+from repro.sim.topology import MachineSpec
+from repro.workloads.common import ProblemConfig, Workload, table1_configs
+from repro.workloads import ALL_WORKLOADS
+
+__all__ = [
+    "SpeedupPoint",
+    "BreakdownRow",
+    "run_timed",
+    "reference_time",
+    "figure6",
+    "figure7",
+    "figure8",
+    "single_gpu_overhead",
+    "compile_time_ratio",
+    "table1_rows",
+]
+
+_APP_CACHE: Dict[str, CompiledApp] = {}
+
+#: Iteration caps for the steady-state extrapolation (see
+#: :func:`_extrapolated`): simulate M1 and M2 iterations, derive the exact
+#: per-iteration steady-state time from their difference, extrapolate to the
+#: configured count. Exact because the simulation is deterministic and every
+#: iteration after the first performs identical work.
+_EXTRAPOLATE_M1 = 24
+_EXTRAPOLATE_M2 = 12
+
+
+def _compiled(workload: Workload) -> CompiledApp:
+    # Kernels bake in the problem size (one build per Table 1 size, like the
+    # paper's benchmarks), so the cache key includes it.
+    key = f"{workload.name}/{workload.cfg.size}"
+    app = _APP_CACHE.get(key)
+    if app is None:
+        app = compile_app(workload.build_kernels())
+        _APP_CACHE[key] = app
+    return app
+
+
+def _with_iterations(cfg: ProblemConfig, iterations: int) -> ProblemConfig:
+    return ProblemConfig(cfg.workload, cfg.size_label, cfg.size, iterations)
+
+
+def _extrapolated(cfg: ProblemConfig, run_once) -> Tuple[float, object]:
+    """Total simulated time, extrapolating steady-state iterations.
+
+    ``run_once(cfg) -> (elapsed, payload)`` must be deterministic. For
+    iteration counts above the cap we run M1 and M2 iterations; since every
+    iteration past the first is identical, ``(T(M1) - T(M2)) / (M1 - M2)``
+    is the exact steady-state per-iteration time.
+    """
+    if cfg.iterations <= _EXTRAPOLATE_M1:
+        return run_once(cfg)
+    t1, payload = run_once(_with_iterations(cfg, _EXTRAPOLATE_M1))
+    t2, _ = run_once(_with_iterations(cfg, _EXTRAPOLATE_M2))
+    per_iter = (t1 - t2) / (_EXTRAPOLATE_M1 - _EXTRAPOLATE_M2)
+    total = t1 + (cfg.iterations - _EXTRAPOLATE_M1) * per_iter
+    return total, payload
+
+
+def reference_time(cfg: ProblemConfig, spec: MachineSpec = K80_NODE_SPEC) -> float:
+    """Simulated runtime of the single-GPU reference binary (nvcc baseline)."""
+
+    def run_once(c: ProblemConfig):
+        workload = ALL_WORKLOADS[c.workload](c)
+        machine = SimMachine(spec.with_gpus(1))
+        api = CudaApi(
+            Device(0, functional=False),
+            machine=machine,
+            kernel_cost=KernelCostModel(spec),
+            functional=False,
+        )
+        workload.run(api, None)
+        return machine.elapsed(), api
+
+    total, _ = _extrapolated(cfg, run_once)
+    return total
+
+
+def run_timed(
+    cfg: ProblemConfig,
+    n_gpus: int,
+    spec: MachineSpec = K80_NODE_SPEC,
+    *,
+    config: Optional[RuntimeConfig] = None,
+) -> Tuple[float, MultiGpuApi]:
+    """Simulated runtime of the partitioned application on ``n_gpus``."""
+    if config is None:
+        config = RuntimeConfig(n_gpus=n_gpus)
+    else:
+        config = RuntimeConfig(
+            n_gpus=n_gpus,
+            transfers_enabled=config.transfers_enabled,
+            tracking_enabled=config.tracking_enabled,
+            validate_unit_axes=config.validate_unit_axes,
+        )
+
+    def run_once(c: ProblemConfig):
+        workload = ALL_WORKLOADS[c.workload](c)
+        app = _compiled(workload)
+        machine = SimMachine(spec.with_gpus(max(n_gpus, 1)))
+        api = MultiGpuApi(app, config, machine=machine, functional=False)
+        workload.run(api, None)
+        return machine.elapsed(), api
+
+    return _extrapolated(cfg, run_once)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: speedup over the single-GPU reference
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    workload: str
+    size_label: str
+    n_gpus: int
+    time: float
+    reference: float
+
+    @property
+    def speedup(self) -> float:
+        return self.reference / self.time
+
+
+def figure6(
+    workloads: Sequence[str] = ("hotspot", "nbody", "matmul"),
+    sizes: Sequence[str] = ("small", "medium", "large"),
+    gpu_counts: Sequence[int] = GPU_COUNTS,
+    spec: MachineSpec = K80_NODE_SPEC,
+) -> List[SpeedupPoint]:
+    """Speedup of every workload/size over 1..16 GPUs (paper Figure 6)."""
+    points: List[SpeedupPoint] = []
+    for name in workloads:
+        for size in sizes:
+            cfg = next(c for c in table1_configs(name) if c.size_label == size)
+            ref = reference_time(cfg, spec)
+            for g in gpu_counts:
+                elapsed, _ = run_timed(cfg, g, spec)
+                points.append(SpeedupPoint(name, size, g, elapsed, ref))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: execution-time breakdown via the alpha/beta/gamma scheme (§9.2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    workload: str
+    n_gpus: int
+    alpha: float
+    beta: float
+    gamma: float
+
+    @property
+    def t_application(self) -> float:
+        return self.gamma / self.alpha
+
+    @property
+    def t_transfers(self) -> float:
+        return (self.alpha - self.beta) / self.alpha
+
+    @property
+    def t_patterns(self) -> float:
+        return (self.beta - self.gamma) / self.alpha
+
+
+def measure_breakdown(
+    cfg: ProblemConfig, n_gpus: int, spec: MachineSpec = K80_NODE_SPEC
+) -> BreakdownRow:
+    base = RuntimeConfig(n_gpus=n_gpus)
+    alpha, _ = run_timed(cfg, n_gpus, spec, config=base.alpha())
+    beta, _ = run_timed(cfg, n_gpus, spec, config=base.beta())
+    gamma, _ = run_timed(cfg, n_gpus, spec, config=base.gamma())
+    return BreakdownRow(cfg.workload, n_gpus, alpha, beta, gamma)
+
+
+def figure7(
+    workloads: Sequence[str] = ("hotspot", "matmul", "nbody"),
+    gpu_counts: Sequence[int] = (2, 4, 6, 8, 10, 12, 14, 16),
+    spec: MachineSpec = K80_NODE_SPEC,
+    size: str = "medium",
+) -> List[BreakdownRow]:
+    """Relative Application/Transfers/Patterns times (paper Figure 7)."""
+    rows: List[BreakdownRow] = []
+    for name in workloads:
+        cfg = next(c for c in table1_configs(name) if c.size_label == size)
+        for g in gpu_counts:
+            rows.append(measure_breakdown(cfg, g, spec))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: distribution of the non-transfer overhead
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OverheadStats:
+    n_gpus: int
+    fractions: List[float] = field(default_factory=list)
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.fractions)
+
+    def percentile(self, q: float) -> float:
+        data = sorted(self.fractions)
+        if not data:
+            return float("nan")
+        idx = q * (len(data) - 1)
+        lo = int(idx)
+        hi = min(lo + 1, len(data) - 1)
+        frac = idx - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+
+def figure8(
+    gpu_counts: Sequence[int] = GPU_COUNTS,
+    spec: MachineSpec = K80_NODE_SPEC,
+    sizes: Sequence[str] = ("small", "medium", "large"),
+) -> List[OverheadStats]:
+    """Non-transfer overhead fraction (β−γ)/α per GPU count (Figure 8)."""
+    out: List[OverheadStats] = []
+    for g in gpu_counts:
+        stats = OverheadStats(g)
+        for cfg in table1_configs():
+            if cfg.size_label not in sizes:
+                continue
+            row = measure_breakdown(cfg, g, spec)
+            stats.fractions.append(row.t_patterns)
+        out.append(stats)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Single-GPU overhead of the partitioned binary (§9.2 opening)
+# ---------------------------------------------------------------------------
+
+
+def single_gpu_overhead(
+    spec: MachineSpec = K80_NODE_SPEC,
+    sizes: Sequence[str] = ("small", "medium", "large"),
+) -> List[Tuple[ProblemConfig, float]]:
+    """Slowdown of the partitioned application on one GPU vs the reference.
+
+    The paper reports a median of 2.1 % with p25 = 0.13 % and p75 = 3.1 %.
+    """
+    out = []
+    for cfg in table1_configs():
+        if cfg.size_label not in sizes:
+            continue
+        ref = reference_time(cfg, spec)
+        part, _ = run_timed(cfg, 1, spec)
+        out.append((cfg, part / ref - 1.0))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Compile-time increase (§3)
+# ---------------------------------------------------------------------------
+
+
+def compile_time_ratio(repeats: int = 3) -> Dict[str, float]:
+    """Compile-time increase caused by the two-pass pipeline (§3).
+
+    The paper drives gpucc twice — pass 1 exists only to extract the memory
+    models, then the rewritten application is compiled for real — and
+    reports a 1.9x-2.2x compile-time increase. The measured analogue here is
+    the full pipeline's wall time over a hypothetical *single-pass* compiler
+    that performed the same final compilation (pass 2, including analysis,
+    partitioning and enumerator generation) plus the rewrite, but did not
+    repeat pass 1. (Comparing against a bare validate-and-print "compile"
+    would be meaningless: this reproduction has no LLVM backend whose cost
+    dominates the way it does in gpucc.)
+    """
+    from repro.workloads.common import functional_config
+
+    ratios: Dict[str, float] = {}
+    for name, cls in ALL_WORKLOADS.items():
+        workload = cls(functional_config(name))
+        kernels = workload.build_kernels()
+        host_source = f"{kernels[0].name}<<<grid, block>>>(args);"
+        best = None
+        for _ in range(repeats):
+            app = compile_app(kernels, host_source=host_source)
+            single_pass = app.timings.rewrite + app.timings.pass2
+            ratio = app.timings.total / single_pass
+            if best is None or ratio < best:
+                best = ratio
+        ratios[name] = best
+    return ratios
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+
+def table1_rows() -> List[Tuple[str, int, int, int, str]]:
+    """(benchmark, small, medium, large, iterations) rows of Table 1."""
+    rows = []
+    from repro.workloads.common import TABLE1
+
+    for name, sizes in TABLE1.items():
+        iters = sizes["small"].iterations
+        rows.append(
+            (
+                name,
+                sizes["small"].size,
+                sizes["medium"].size,
+                sizes["large"].size,
+                "N/A" if name == "matmul" else str(iters),
+            )
+        )
+    return rows

@@ -1,0 +1,67 @@
+"""Plain-text reporting: tables, ASCII charts, CSV export.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that output readable in a terminal and diffable in CI.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "ascii_series", "to_csv"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], *, title: str = ""
+) -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    out.write(line + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in str_rows:
+        out.write("  ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def ascii_series(
+    series: Dict[str, Dict[int, float]],
+    *,
+    width: int = 60,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Horizontal-bar rendering of one or more (x -> y) series."""
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    peak = max((v for ys in series.values() for v in ys.values()), default=1.0)
+    for name, ys in series.items():
+        out.write(f"[{name}]\n")
+        for x in sorted(ys):
+            bar = "#" * max(1, int(round(ys[x] / peak * width)))
+            out.write(f"  {x:>4}  {bar} {ys[x]:.2f}{y_label}\n")
+    return out.getvalue()
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as CSV text (no quoting; values must be comma-free)."""
+    out = io.StringIO()
+    out.write(",".join(headers) + "\n")
+    for row in rows:
+        out.write(",".join(_fmt(c) for c in row) + "\n")
+    return out.getvalue()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,45 @@
+"""``repro.poly`` — a small integer set library for polyhedral compilation.
+
+This package replaces isl (the Integer Set Library) that the paper builds on.
+It implements the subset of polyhedral machinery the toolchain needs:
+
+* :mod:`~repro.poly.space` — named dimension spaces (params / in / out),
+* :mod:`~repro.poly.affine` — exact integer affine expressions,
+* :mod:`~repro.poly.constraint` — affine equalities and inequalities,
+* :mod:`~repro.poly.basic_set` — convex Z-polyhedra (conjunctions),
+* :mod:`~repro.poly.set_` / :mod:`~repro.poly.map_` — unions and relations,
+* :mod:`~repro.poly.fourier_motzkin` — projection with exactness tracking,
+* :mod:`~repro.poly.bounds` — per-dimension bound extraction,
+* :mod:`~repro.poly.astbuild` / :mod:`~repro.poly.codegen` — loop-nest AST
+  generation and compilation to Python scanner functions (the analogue of
+  isl's AST build + LLVM IR emission used in Section 6 of the paper),
+* :mod:`~repro.poly.parser` / :mod:`~repro.poly.pretty` — isl-notation I/O.
+
+All arithmetic is exact (Python integers); floating point never enters the
+polyhedral layer.
+"""
+
+from repro.poly.space import Space
+from repro.poly.affine import Aff
+from repro.poly.constraint import Constraint
+from repro.poly.basic_set import BasicSet
+from repro.poly.set_ import Set
+from repro.poly.map_ import BasicMap, Map
+from repro.poly.parser import parse_set, parse_map, parse_basic_set, parse_basic_map
+from repro.poly.pretty import set_to_str, map_to_str
+
+__all__ = [
+    "Space",
+    "Aff",
+    "Constraint",
+    "BasicSet",
+    "Set",
+    "BasicMap",
+    "Map",
+    "parse_set",
+    "parse_map",
+    "parse_basic_set",
+    "parse_basic_map",
+    "set_to_str",
+    "map_to_str",
+]

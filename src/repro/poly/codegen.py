@@ -1,0 +1,201 @@
+"""Compiling scanner ASTs to Python functions.
+
+The paper translates isl ASTs into LLVM IR functions embedded in the
+application (Section 6.1-6.2); the analogue here renders the AST as Python
+source and compiles it with :func:`compile`, so the hot scanning loops run
+without tree-walking overhead. The interpreted path
+(:func:`repro.poly.ast.interpret`) is kept for the ablation benchmark that
+quantifies exactly this difference.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PolyhedralError
+from repro.poly.ast import (
+    AEmitRange,
+    AFor,
+    AGuard,
+    ASeq,
+    EAdd,
+    ECDiv,
+    EConst,
+    EFDiv,
+    EMax,
+    EMin,
+    EMul,
+    EVar,
+    Expr,
+    Node,
+    expr_to_py,
+    interpret,
+)
+from repro.poly.astbuild import build_scan_ast, build_scan_ast_union
+from repro.poly.basic_set import BasicSet
+from repro.poly.set_ import Set
+
+__all__ = ["ScanFn", "compile_scanner", "interpreted_scanner", "render_scanner_source"]
+
+ScanFn = Callable[..., None]
+_counter = itertools.count()
+
+
+def _emit_node(node: Node, lines: List[str], indent: int) -> None:
+    pad = "    " * indent
+    if isinstance(node, ASeq):
+        if not node.children:
+            lines.append(f"{pad}pass")
+        for child in node.children:
+            _emit_node(child, lines, indent)
+        return
+    if isinstance(node, AGuard):
+        conds = [f"{expr_to_py(e)} >= 0" for e in node.ineqs]
+        conds.extend(f"{expr_to_py(e)} == 0" for e in node.eqs)
+        lines.append(f"{pad}if {' and '.join(conds)}:")
+        _emit_node(node.body, lines, indent + 1)
+        return
+    if isinstance(node, AFor):
+        lines.append(
+            f"{pad}for {node.var} in range({expr_to_py(node.lower)}, "
+            f"{expr_to_py(node.upper)} + 1):"
+        )
+        _emit_node(node.body, lines, indent + 1)
+        return
+    if isinstance(node, AEmitRange):
+        lo = expr_to_py(node.lower)
+        hi = expr_to_py(node.upper)
+        row = ", ".join(expr_to_py(r) for r in node.row)
+        row_tuple = f"({row},)" if node.row else "()"
+        lines.append(f"{pad}_lo = {lo}")
+        lines.append(f"{pad}_hi = {hi}")
+        lines.append(f"{pad}if _lo <= _hi:")
+        lines.append(f"{pad}    _emit({row_tuple}, _lo, _hi)")
+        return
+    raise TypeError(f"unknown AST node {node!r}")
+
+
+def render_scanner_source(
+    node: Node, param_names: Sequence[str], *, fn_name: str = "_scan"
+) -> str:
+    """Render a scanner AST as the source of ``fn_name(params, emit)``.
+
+    ``params`` is a flat sequence of integers bound positionally to
+    ``param_names`` — matching the paper's enumerator interface (Section
+    6.2), where partition bounds and scalar arguments arrive as arrays of
+    64-bit integers and results are delivered through a callback.
+    """
+    node, param_names = _sanitize(node, param_names)
+    lines = [f"def {fn_name}(_params, _emit):"]
+    for i, name in enumerate(param_names):
+        lines.append(f"    {name} = _params[{i}]")
+    _emit_node(node, lines, 1)
+    if len(lines) == 1 + len(param_names):
+        lines.append("    pass")
+    return "\n".join(lines) + "\n"
+
+
+def compile_scanner(
+    set_or_bset, param_names: Optional[Sequence[str]] = None
+) -> ScanFn:
+    """Compile a scanner ``f(params, emit)`` for a set or union of sets.
+
+    ``emit`` is invoked as ``emit(row, lo, hi)`` once per non-empty per-row
+    element range; ``row`` excludes the innermost dimension, whose inclusive
+    bounds are ``lo``/``hi``.
+    """
+    node, names = _prepare(set_or_bset, param_names)
+    fn_name = f"_scan_{next(_counter)}"
+    source = render_scanner_source(node, names, fn_name=fn_name)
+    namespace: Dict[str, object] = {}
+    code = compile(source, filename=f"<poly-scanner:{fn_name}>", mode="exec")
+    exec(code, namespace)  # noqa: S102 - compiling our own generated source
+    fn = namespace[fn_name]
+    fn.__poly_source__ = source  # type: ignore[attr-defined]
+    return fn  # type: ignore[return-value]
+
+
+def interpreted_scanner(
+    set_or_bset, param_names: Optional[Sequence[str]] = None
+) -> ScanFn:
+    """Like :func:`compile_scanner` but walking the AST at scan time."""
+    node, names = _prepare(set_or_bset, param_names)
+
+    def scan(params: Sequence[int], emit) -> None:
+        env = {name: params[i] for i, name in enumerate(names)}
+        interpret(node, env, emit)
+
+    return scan
+
+
+def _safe_name(name: str) -> str:
+    """Map an arbitrary dimension name to a valid Python identifier."""
+    safe = re.sub(r"\W", "_", name)
+    if not safe or safe[0].isdigit():
+        safe = "_" + safe
+    if safe in ("_params", "_emit", "_lo", "_hi", "min", "max", "range"):
+        safe = safe + "_v"
+    return safe
+
+
+def _sanitize(node: Node, param_names: Sequence[str]) -> Tuple[Node, Tuple[str, ...]]:
+    """Rename every variable in the AST to an identifier-safe name."""
+    mapping = {n: _safe_name(n) for n in param_names}
+
+    def fix_expr(e: Expr) -> Expr:
+        if isinstance(e, EVar):
+            return EVar(mapping.setdefault(e.name, _safe_name(e.name)))
+        if isinstance(e, EAdd):
+            return EAdd(tuple(fix_expr(t) for t in e.terms))
+        if isinstance(e, EMul):
+            return EMul(e.coeff, fix_expr(e.operand))
+        if isinstance(e, EFDiv):
+            return EFDiv(fix_expr(e.operand), e.divisor)
+        if isinstance(e, ECDiv):
+            return ECDiv(fix_expr(e.operand), e.divisor)
+        if isinstance(e, EMin):
+            return EMin(tuple(fix_expr(o) for o in e.operands))
+        if isinstance(e, EMax):
+            return EMax(tuple(fix_expr(o) for o in e.operands))
+        return e
+
+    def fix(n: Node) -> Node:
+        if isinstance(n, ASeq):
+            return ASeq(tuple(fix(c) for c in n.children))
+        if isinstance(n, AGuard):
+            return AGuard(
+                tuple(fix_expr(e) for e in n.ineqs),
+                tuple(fix_expr(e) for e in n.eqs),
+                fix(n.body),
+            )
+        if isinstance(n, AFor):
+            var = mapping.setdefault(n.var, _safe_name(n.var))
+            return AFor(var, fix_expr(n.lower), fix_expr(n.upper), fix(n.body))
+        if isinstance(n, AEmitRange):
+            return AEmitRange(
+                tuple(fix_expr(r) for r in n.row), fix_expr(n.lower), fix_expr(n.upper)
+            )
+        raise TypeError(f"unknown AST node {n!r}")
+
+    fixed = fix(node)
+    if len(set(mapping.values())) != len(mapping):
+        raise PolyhedralError(f"name sanitization produced a collision: {mapping}")
+    return fixed, tuple(mapping[n] for n in param_names)
+
+
+def _prepare(set_or_bset, param_names: Optional[Sequence[str]]):
+    if isinstance(set_or_bset, BasicSet):
+        node = build_scan_ast(set_or_bset)
+        space = set_or_bset.space
+    elif isinstance(set_or_bset, Set):
+        node = build_scan_ast_union(set_or_bset)
+        space = set_or_bset.space
+    else:
+        raise TypeError(f"expected BasicSet or Set, got {type(set_or_bset).__name__}")
+    names = tuple(param_names) if param_names is not None else space.params
+    missing = set(space.params) - set(names)
+    if missing:
+        raise PolyhedralError(f"scanner parameters missing bindings: {sorted(missing)}")
+    return node, names

@@ -1,0 +1,110 @@
+"""Dimension elimination: Gaussian substitution and Fourier-Motzkin.
+
+These routines operate on lists of :class:`~repro.poly.constraint.Constraint`
+whose vectors share one column layout. Eliminating a column produces
+constraints with a zero coefficient in that column; the caller is responsible
+for compacting the layout afterwards.
+
+Exactness tracking
+------------------
+Projecting a set of *integer* points with rational techniques can only
+over-approximate. Both elimination steps report whether they are exact on Z:
+
+* Gaussian substitution with a unit pivot (|a| == 1) is exact.
+* A Fourier-Motzkin combination of ``a*x + f >= 0`` (lower) and
+  ``b*x + g >= 0`` with ``b < 0`` (upper) is exact when ``min(a, -b) == 1``
+  (the classic Omega-test condition); otherwise the "real shadow" may
+  contain integer points with no integer preimage.
+
+The paper's contract (Section 4) is that read maps may over-approximate but
+write maps must be exact, so the ``exact`` flag is propagated all the way to
+the compiler's legality checks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.poly.constraint import Constraint, Kind
+from repro.poly.linalg import vec_combine
+
+__all__ = ["eliminate_column", "project_columns", "EliminationResult"]
+
+
+EliminationResult = Tuple[List[Constraint], bool]
+
+
+def _substitute(target: Constraint, eq: Constraint, col: int) -> Constraint:
+    """Eliminate ``col`` from ``target`` using the equality ``eq``.
+
+    Uses a positive multiplier on ``target`` so inequality direction is kept.
+    """
+    a = eq.vec[col]
+    b = target.vec[col]
+    if b == 0:
+        return target
+    if a > 0:
+        vec = vec_combine(target.vec, a, eq.vec, -b)
+    else:
+        vec = vec_combine(target.vec, -a, eq.vec, b)
+    return Constraint(target.kind, vec)
+
+
+def eliminate_column(constraints: Sequence[Constraint], col: int) -> EliminationResult:
+    """Eliminate one column from a constraint system.
+
+    Prefers Gaussian substitution through an equality (picking a unit-pivot
+    equality when available), falling back to Fourier-Motzkin on the
+    inequalities. Returns the new constraint list and an exactness flag.
+    """
+    pivot = None
+    for c in constraints:
+        if c.is_eq and c.vec[col] != 0:
+            if abs(c.vec[col]) == 1:
+                pivot = c
+                break
+            if pivot is None:
+                pivot = c
+    if pivot is not None:
+        exact = abs(pivot.vec[col]) == 1
+        out = [_substitute(c, pivot, col) for c in constraints if c is not pivot]
+        return out, exact
+
+    keep: List[Constraint] = []
+    lowers: List[Constraint] = []
+    uppers: List[Constraint] = []
+    for c in constraints:
+        coeff = c.vec[col]
+        if coeff == 0:
+            keep.append(c)
+        elif coeff > 0:
+            lowers.append(c)
+        else:
+            uppers.append(c)
+
+    exact = True
+    for lo in lowers:
+        a = lo.vec[col]
+        for up in uppers:
+            b = up.vec[col]
+            if min(a, -b) != 1:
+                exact = False
+            combined = Constraint(Kind.INEQ, vec_combine(lo.vec, -b, up.vec, a))
+            if not combined.is_tautology():
+                keep.append(combined)
+    # A column with only lower (or only upper) bounds is unbounded in one
+    # direction; dropping the bounds is an exact projection.
+    return keep, exact
+
+
+def project_columns(constraints: Sequence[Constraint], cols: Iterable[int]) -> EliminationResult:
+    """Eliminate several columns, returning constraints and joint exactness."""
+    out = list(constraints)
+    exact = True
+    for col in sorted(set(cols), reverse=True):
+        out, step_exact = eliminate_column(out, col)
+        exact = exact and step_exact
+        if len(out) > 2000:
+            # Guard against FM blow-up; dedupe aggressively mid-flight.
+            out = list(dict.fromkeys(out))
+    return out, exact

@@ -1,0 +1,117 @@
+"""Exact integer vector helpers for the polyhedral layer.
+
+Vectors are plain tuples of Python ``int`` so arithmetic never overflows and
+never loses precision. Vectors follow the *column layout* defined by
+:class:`repro.poly.space.Space`: index 0 is the constant term, followed by
+parameter columns, then dimension columns.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Iterable, Sequence, Tuple
+
+__all__ = [
+    "Vec",
+    "vec_add",
+    "vec_sub",
+    "vec_neg",
+    "vec_scale",
+    "vec_combine",
+    "vec_gcd",
+    "vec_normalize",
+    "vec_is_zero",
+    "vec_dot",
+    "floordiv",
+    "ceildiv",
+]
+
+Vec = Tuple[int, ...]
+
+
+def vec_add(a: Sequence[int], b: Sequence[int]) -> Vec:
+    """Component-wise sum of two equal-length vectors."""
+    if len(a) != len(b):
+        raise ValueError(f"vector length mismatch: {len(a)} vs {len(b)}")
+    return tuple(x + y for x, y in zip(a, b))
+
+
+def vec_sub(a: Sequence[int], b: Sequence[int]) -> Vec:
+    """Component-wise difference ``a - b``."""
+    if len(a) != len(b):
+        raise ValueError(f"vector length mismatch: {len(a)} vs {len(b)}")
+    return tuple(x - y for x, y in zip(a, b))
+
+
+def vec_neg(a: Sequence[int]) -> Vec:
+    """Component-wise negation."""
+    return tuple(-x for x in a)
+
+
+def vec_scale(a: Sequence[int], k: int) -> Vec:
+    """Vector scaled by the integer ``k``."""
+    return tuple(x * k for x in a)
+
+
+def vec_combine(a: Sequence[int], ka: int, b: Sequence[int], kb: int) -> Vec:
+    """Linear combination ``ka * a + kb * b`` (the Fourier-Motzkin kernel op)."""
+    if len(a) != len(b):
+        raise ValueError(f"vector length mismatch: {len(a)} vs {len(b)}")
+    return tuple(ka * x + kb * y for x, y in zip(a, b))
+
+
+def vec_gcd(a: Iterable[int]) -> int:
+    """GCD of all components (0 for the zero vector)."""
+    g = 0
+    for x in a:
+        g = gcd(g, abs(x))
+        if g == 1:
+            return 1
+    return g
+
+
+def vec_normalize(a: Sequence[int], *, skip_const: bool = False) -> Vec:
+    """Divide a vector by the GCD of its components.
+
+    With ``skip_const`` the constant term (index 0) is excluded from the GCD
+    computation and *floor*-divided by it, which is the correct tightening for
+    an inequality ``sum(c_i x_i) + c0 >= 0``: dividing the coefficients by g
+    allows rounding the constant down without losing integer points.
+    """
+    if skip_const:
+        g = vec_gcd(a[1:])
+        if g <= 1:
+            return tuple(a)
+        out = [a[0] // g]
+        out.extend(x // g for x in a[1:])
+        return tuple(out)
+    g = vec_gcd(a)
+    if g <= 1:
+        return tuple(a)
+    return tuple(x // g for x in a)
+
+
+def vec_is_zero(a: Sequence[int]) -> bool:
+    """True when every component is zero."""
+    return all(x == 0 for x in a)
+
+
+def vec_dot(a: Sequence[int], b: Sequence[int]) -> int:
+    """Exact dot product."""
+    if len(a) != len(b):
+        raise ValueError(f"vector length mismatch: {len(a)} vs {len(b)}")
+    return sum(x * y for x, y in zip(a, b))
+
+
+def floordiv(a: int, b: int) -> int:
+    """Floor division that accepts a negative divisor (isl's ``fdiv_q``)."""
+    if b < 0:
+        a, b = -a, -b
+    return a // b
+
+
+def ceildiv(a: int, b: int) -> int:
+    """Ceiling division that accepts a negative divisor (isl's ``cdiv_q``)."""
+    if b < 0:
+        a, b = -a, -b
+    return -((-a) // b)

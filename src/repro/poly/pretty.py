@@ -1,0 +1,86 @@
+"""Printing polyhedral objects in isl notation.
+
+The output round-trips through :mod:`repro.poly.parser`, e.g.::
+
+    [n] -> { [y, x] : y >= 0 and x - y >= 0 and n - x - 1 >= 0 }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.poly.constraint import Constraint
+
+__all__ = [
+    "basic_set_to_str",
+    "set_to_str",
+    "basic_map_to_str",
+    "map_to_str",
+    "constraint_to_str",
+]
+
+
+def _aff_str(names, vec) -> str:
+    parts: List[str] = []
+    for name, c in zip(names, vec[1:]):
+        if c == 0:
+            continue
+        if c == 1:
+            term = name
+        elif c == -1:
+            term = f"-{name}"
+        else:
+            term = f"{c}*{name}"
+        parts.append(term)
+    if vec[0] != 0 or not parts:
+        parts.append(str(vec[0]))
+    out = " + ".join(parts)
+    return out.replace("+ -", "- ")
+
+
+def constraint_to_str(c: Constraint, names) -> str:
+    """One constraint as ``<affine> = 0`` or ``<affine> >= 0``."""
+    op = "=" if c.is_eq else ">="
+    return f"{_aff_str(names, c.vec)} {op} 0"
+
+
+def _prefix(space) -> str:
+    return f"[{', '.join(space.params)}] -> " if space.params else ""
+
+
+def _body(space, constraints, *, arrow: bool) -> str:
+    names = space.all_names
+    conds = " and ".join(constraint_to_str(c, names) for c in constraints)
+    if arrow:
+        tup = f"[{', '.join(space.in_dims)}] -> [{', '.join(space.out_dims)}]"
+    else:
+        tup = f"[{', '.join(space.out_dims)}]"
+    return f"{tup} : {conds}" if conds else tup
+
+
+def basic_set_to_str(bset) -> str:
+    """A convex set in isl notation."""
+    if bset._trivially_empty:
+        return f"{_prefix(bset.space)}{{ }}"
+    return f"{_prefix(bset.space)}{{ {_body(bset.space, bset.constraints, arrow=False)} }}"
+
+
+def set_to_str(s) -> str:
+    """A (union) set in isl notation; disjuncts joined with ';'."""
+    if not s.disjuncts:
+        return f"{_prefix(s.space)}{{ }}"
+    bodies = "; ".join(_body(d.space, d.constraints, arrow=False) for d in s.disjuncts)
+    return f"{_prefix(s.space)}{{ {bodies} }}"
+
+
+def basic_map_to_str(bmap) -> str:
+    """A convex map in isl notation."""
+    return f"{_prefix(bmap.space)}{{ {_body(bmap.space, bmap.constraints, arrow=True)} }}"
+
+
+def map_to_str(m) -> str:
+    """A (union) map in isl notation; disjuncts joined with ';'."""
+    if not m.disjuncts:
+        return f"{_prefix(m.space)}{{ }}"
+    bodies = "; ".join(_body(d.space, d.constraints, arrow=True) for d in m.disjuncts)
+    return f"{_prefix(m.space)}{{ {bodies} }}"

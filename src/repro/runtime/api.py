@@ -1,0 +1,180 @@
+"""CUDA Runtime replacements with identical prototypes (paper §8.4).
+
+"The CUDA replacement functions have identical prototypes to their CUDA API
+counterparts to ease code transformation and provide a stable interface."
+A host program written against :class:`repro.cuda.api.CudaApi` runs
+unmodified against :class:`MultiGpuApi`:
+
+* memory-related calls dispatch to the virtual-buffer implementation,
+* ``cudaGetDeviceCount`` always returns 1,
+* ``cudaDeviceSynchronize`` synchronizes all available devices,
+* kernel launches expand to the Figure 4 orchestration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.compiler.costmodel import KernelCostModel
+from repro.compiler.pipeline import CompiledApp
+from repro.cuda.api import KernelCostFn, MemcpyKind, host_bytes
+from repro.cuda.device import Device
+from repro.cuda.dim3 import Dim3
+from repro.cuda.ir.kernel import Kernel
+from repro.errors import RuntimeApiError, UnsupportedMemcpyError
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.launch import launch_fallback, launch_partitioned
+from repro.runtime.memcpy import d2h_gather, h2d_scatter
+from repro.runtime.vbuffer import VirtualBuffer
+from repro.sim.engine import SimMachine
+from repro.sim.topology import MachineSpec
+from repro.sim.trace import Category
+
+__all__ = ["RunStats", "MultiGpuApi"]
+
+
+@dataclass
+class RunStats:
+    """Counters the tests and the overhead analysis rely on."""
+
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    sync_bytes: int = 0
+    sync_transfers: int = 0
+    enumerator_calls: int = 0
+    ranges_emitted: int = 0
+    tracker_ops: int = 0
+    partition_launches: int = 0
+    fallback_launches: int = 0
+
+
+class MultiGpuApi:
+    """The runtime library's drop-in replacement for the CUDA API."""
+
+    def __init__(
+        self,
+        app: CompiledApp,
+        config: RuntimeConfig,
+        *,
+        machine: Optional[SimMachine] = None,
+        functional: bool = True,
+        kernel_cost: Optional[KernelCostFn] = None,
+    ) -> None:
+        self.app = app
+        self.config = config
+        self.machine = machine
+        self.functional = functional
+        self.devices: List[Device] = [
+            Device(i, functional=functional) for i in range(config.n_gpus)
+        ]
+        if machine is not None and machine.spec.n_gpus < config.n_gpus:
+            raise RuntimeApiError(
+                f"machine has {machine.spec.n_gpus} GPUs, runtime wants {config.n_gpus}"
+            )
+        if kernel_cost is None and machine is not None:
+            kernel_cost = KernelCostModel(machine.spec)
+        self.kernel_cost = kernel_cost
+        self.stats = RunStats()
+        self._vb_ids = itertools.count(1)
+        self._live_buffers: Dict[int, VirtualBuffer] = {}
+
+    # -- internals ----------------------------------------------------------------
+
+    @property
+    def spec(self) -> Optional[MachineSpec]:
+        return self.machine.spec if self.machine else None
+
+    def host_pattern_cost(self, duration: float) -> None:
+        """Account sequential host time for dependency resolution."""
+        if self.machine and duration > 0:
+            self.machine.host_compute(duration, Category.PATTERNS, "patterns")
+
+    # -- memory management (§8.4) -----------------------------------------------------
+
+    def cudaMalloc(self, nbytes: int) -> VirtualBuffer:
+        vb = VirtualBuffer(next(self._vb_ids), nbytes, self.devices)
+        self._live_buffers[vb.vb_id] = vb
+        return vb
+
+    def cudaFree(self, vb: VirtualBuffer) -> None:
+        if not isinstance(vb, VirtualBuffer):
+            raise RuntimeApiError(f"cudaFree expects a VirtualBuffer, got {type(vb)}")
+        vb.free()
+        self._live_buffers.pop(vb.vb_id, None)
+
+    def cudaMemset(self, vb: VirtualBuffer, value: int, nbytes: int) -> None:
+        """Memset replacement: each device fills its linear share.
+
+        Like the translated host-to-device memcpy (§8.2), the result is
+        distributed in the predefined linear pattern and the trackers are
+        updated accordingly; the next kernel's buffer synchronization
+        corrects any mismatch with its read pattern.
+        """
+        if not isinstance(vb, VirtualBuffer):
+            raise RuntimeApiError(f"cudaMemset expects a VirtualBuffer, got {type(vb)}")
+        if nbytes > vb.nbytes:
+            raise RuntimeApiError(f"memset of {nbytes} bytes into {vb.nbytes}-byte buffer")
+        from repro.runtime.memcpy import linear_chunks
+
+        for dev_idx, lo, hi in linear_chunks(nbytes, self.config.n_gpus):
+            dev_id = self.devices[dev_idx].device_id
+            if self.functional:
+                vb.bytes_on(dev_id)[lo:hi] = value & 0xFF
+            if self.machine:
+                duration = (hi - lo) / self.machine.spec.mem_bw_per_gpu
+                self.machine.launch_kernel(dev_id, duration, label="memset")
+            if self.config.tracking_enabled:
+                self.host_pattern_cost(self.spec.tracker_op_cost if self.spec else 0.0)
+                vb.tracker.update(lo, hi, dev_id)
+
+    # -- memcpy (§8.2) -------------------------------------------------------------------
+
+    def cudaMemcpy(self, dst, src, nbytes: int, kind: MemcpyKind) -> None:
+        self._memcpy(dst, src, nbytes, kind, synchronous=True)
+
+    def cudaMemcpyAsync(self, dst, src, nbytes: int, kind: MemcpyKind) -> None:
+        self._memcpy(dst, src, nbytes, kind, synchronous=False)
+
+    def _memcpy(self, dst, src, nbytes, kind, *, synchronous) -> None:
+        if kind is MemcpyKind.HostToDevice:
+            h2d_scatter(self, dst, src, nbytes, synchronous=synchronous)
+        elif kind is MemcpyKind.DeviceToHost:
+            d2h_gather(self, src, dst, nbytes, synchronous=synchronous)
+        elif kind is MemcpyKind.DeviceToDevice:
+            raise UnsupportedMemcpyError(
+                "device-to-device memcopies are not supported (paper §8.2)"
+            )
+        elif kind is MemcpyKind.HostToHost:
+            if self.functional:
+                host_bytes(dst)[:nbytes] = host_bytes(src)[:nbytes]
+        else:
+            raise UnsupportedMemcpyError(f"unknown memcpy kind {kind!r}")
+
+    # -- kernel launch (§5, Figure 4) --------------------------------------------------------
+
+    def launch(self, kernel: Kernel, grid, block, args: Sequence[object]) -> None:
+        grid = Dim3.of(grid)
+        block = Dim3.of(block)
+        ck = self.app.kernel(kernel.name)
+        if ck.partitionable and self.config.n_gpus >= 1:
+            launch_partitioned(self, ck, grid, block, args)
+        else:
+            launch_fallback(self, ck, grid, block, args)
+
+    # -- misc (§8.4) ------------------------------------------------------------------------------
+
+    def cudaGetDeviceCount(self) -> int:
+        """Always 1: the application keeps its single-device world view."""
+        return 1
+
+    def cudaDeviceSynchronize(self) -> None:
+        """Synchronizes *all* available devices (§8.4)."""
+        if self.machine:
+            self.machine.synchronize()
+
+    def elapsed(self) -> float:
+        return self.machine.elapsed() if self.machine else 0.0

@@ -1,0 +1,327 @@
+"""An in-memory B-tree map with ordered-key operations.
+
+The paper's segment tracker is "based on a B-Tree map using the start of
+each segment as the key and the 'owner' of the most recent version as the
+value" (§8.1). This is that substrate: a classic B-tree of minimum degree
+``t`` supporting insert, delete, point lookup, *floor* lookup (greatest key
+<= query — the operation the tracker leans on) and ordered range iteration.
+
+The implementation follows CLRS: nodes hold between ``t-1`` and ``2t-1``
+keys (root exempt from the lower bound); insertion splits full children on
+the way down, deletion merges/borrows on the way down, so both run in one
+descent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+__all__ = ["BTreeMap"]
+
+
+class _Node:
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: List[int] = []
+        self.values: List[Any] = []
+        self.children: List["_Node"] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BTreeMap:
+    """Ordered map from integer keys to arbitrary values."""
+
+    def __init__(self, min_degree: int = 8) -> None:
+        if min_degree < 2:
+            raise ValueError("B-tree minimum degree must be >= 2")
+        self._t = min_degree
+        self._root = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, key: int, default: Any = None) -> Any:
+        node = self._root
+        while True:
+            i = _lower_bound(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                return node.values[i]
+            if node.is_leaf:
+                return default
+            node = node.children[i]
+
+    def floor(self, key: int) -> Optional[Tuple[int, Any]]:
+        """The entry with the greatest key <= ``key`` (None if none)."""
+        best: Optional[Tuple[int, Any]] = None
+        node = self._root
+        while True:
+            i = _lower_bound(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                return (key, node.values[i])
+            if i > 0:
+                best = (node.keys[i - 1], node.values[i - 1])
+            if node.is_leaf:
+                return best
+            node = node.children[i]
+
+    def ceiling(self, key: int) -> Optional[Tuple[int, Any]]:
+        """The entry with the smallest key >= ``key`` (None if none)."""
+        best: Optional[Tuple[int, Any]] = None
+        node = self._root
+        while True:
+            i = _lower_bound(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                return (key, node.values[i])
+            if i < len(node.keys):
+                best = (node.keys[i], node.values[i])
+            if node.is_leaf:
+                return best
+            node = node.children[i]
+
+    def min_key(self) -> Optional[int]:
+        node = self._root
+        if not node.keys:
+            return None
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    def max_key(self) -> Optional[int]:
+        node = self._root
+        if not node.keys:
+            return None
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1]
+
+    # -- iteration ---------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        yield from self._iter(self._root)
+
+    def _iter(self, node: _Node) -> Iterator[Tuple[int, Any]]:
+        if node.is_leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for i, key in enumerate(node.keys):
+            yield from self._iter(node.children[i])
+            yield (key, node.values[i])
+        yield from self._iter(node.children[-1])
+
+    def items_from(self, key: int) -> Iterator[Tuple[int, Any]]:
+        """Entries with keys >= ``key``, in order."""
+        yield from self._iter_from(self._root, key)
+
+    def _iter_from(self, node: _Node, key: int) -> Iterator[Tuple[int, Any]]:
+        i = _lower_bound(node.keys, key)
+        if node.is_leaf:
+            yield from zip(node.keys[i:], node.values[i:])
+            return
+        yield from self._iter_from(node.children[i], key)
+        for j in range(i, len(node.keys)):
+            yield (node.keys[j], node.values[j])
+            yield from self._iter(node.children[j + 1])
+
+    def range_items(self, lo: int, hi: int) -> Iterator[Tuple[int, Any]]:
+        """Entries with lo <= key < hi, in order."""
+        for k, v in self.items_from(lo):
+            if k >= hi:
+                return
+            yield (k, v)
+
+    # -- insertion ----------------------------------------------------------------
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert or overwrite."""
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _Node()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+            root = new_root
+        if self._insert_nonfull(root, key, value):
+            self._size += 1
+
+    def _split_child(self, parent: _Node, i: int) -> None:
+        t = self._t
+        child = parent.children[i]
+        right = _Node()
+        right.keys = child.keys[t:]
+        right.values = child.values[t:]
+        mid_key = child.keys[t - 1]
+        mid_val = child.values[t - 1]
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+        if not child.is_leaf:
+            right.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.keys.insert(i, mid_key)
+        parent.values.insert(i, mid_val)
+        parent.children.insert(i + 1, right)
+
+    def _insert_nonfull(self, node: _Node, key: int, value: Any) -> bool:
+        while True:
+            i = _lower_bound(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                node.values[i] = value
+                return False
+            if node.is_leaf:
+                node.keys.insert(i, key)
+                node.values.insert(i, value)
+                return True
+            if len(node.children[i].keys) == 2 * self._t - 1:
+                self._split_child(node, i)
+                if node.keys[i] == key:
+                    node.values[i] = value
+                    return False
+                if key > node.keys[i]:
+                    i += 1
+            node = node.children[i]
+
+    # -- deletion -------------------------------------------------------------------
+
+    def delete(self, key: int) -> bool:
+        """Remove a key; returns whether it was present."""
+        removed = self._delete(self._root, key)
+        if not self._root.keys and self._root.children:
+            self._root = self._root.children[0]
+        if removed:
+            self._size -= 1
+        return removed
+
+    def _delete(self, node: _Node, key: int) -> bool:
+        t = self._t
+        i = _lower_bound(node.keys, key)
+        if i < len(node.keys) and node.keys[i] == key:
+            if node.is_leaf:
+                node.keys.pop(i)
+                node.values.pop(i)
+                return True
+            return self._delete_internal(node, i)
+        if node.is_leaf:
+            return False
+        # Ensure the child we descend into has >= t keys.
+        if len(node.children[i].keys) < t:
+            self._fill(node, i)
+            return self._delete(node, key)
+        return self._delete(node.children[i], key)
+
+    def _delete_internal(self, node: _Node, i: int) -> bool:
+        t = self._t
+        key = node.keys[i]
+        left, right = node.children[i], node.children[i + 1]
+        if len(left.keys) >= t:
+            pk, pv = self._max_entry(left)
+            node.keys[i], node.values[i] = pk, pv
+            return self._delete(left, pk)
+        if len(right.keys) >= t:
+            sk, sv = self._min_entry(right)
+            node.keys[i], node.values[i] = sk, sv
+            return self._delete(right, sk)
+        self._merge(node, i)
+        return self._delete(left, key)
+
+    def _max_entry(self, node: _Node) -> Tuple[int, Any]:
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1], node.values[-1]
+
+    def _min_entry(self, node: _Node) -> Tuple[int, Any]:
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0], node.values[0]
+
+    def _fill(self, node: _Node, i: int) -> None:
+        t = self._t
+        if i > 0 and len(node.children[i - 1].keys) >= t:
+            self._borrow_prev(node, i)
+        elif i < len(node.children) - 1 and len(node.children[i + 1].keys) >= t:
+            self._borrow_next(node, i)
+        elif i < len(node.children) - 1:
+            self._merge(node, i)
+        else:
+            self._merge(node, i - 1)
+
+    def _borrow_prev(self, node: _Node, i: int) -> None:
+        child, sibling = node.children[i], node.children[i - 1]
+        child.keys.insert(0, node.keys[i - 1])
+        child.values.insert(0, node.values[i - 1])
+        node.keys[i - 1] = sibling.keys.pop()
+        node.values[i - 1] = sibling.values.pop()
+        if not sibling.is_leaf:
+            child.children.insert(0, sibling.children.pop())
+
+    def _borrow_next(self, node: _Node, i: int) -> None:
+        child, sibling = node.children[i], node.children[i + 1]
+        child.keys.append(node.keys[i])
+        child.values.append(node.values[i])
+        node.keys[i] = sibling.keys.pop(0)
+        node.values[i] = sibling.values.pop(0)
+        if not sibling.is_leaf:
+            child.children.append(sibling.children.pop(0))
+
+    def _merge(self, node: _Node, i: int) -> None:
+        child, sibling = node.children[i], node.children[i + 1]
+        child.keys.append(node.keys.pop(i))
+        child.values.append(node.values.pop(i))
+        child.keys.extend(sibling.keys)
+        child.values.extend(sibling.values)
+        child.children.extend(sibling.children)
+        node.children.pop(i + 1)
+
+    # -- diagnostics --------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Validate B-tree structural invariants (tests only)."""
+        t = self._t
+
+        def rec(node: _Node, lo: Optional[int], hi: Optional[int], depth: int, is_root: bool):
+            assert len(node.keys) <= 2 * t - 1, "node overfull"
+            if not is_root:
+                assert len(node.keys) >= t - 1, "node underfull"
+            assert node.keys == sorted(node.keys), "keys out of order"
+            for k in node.keys:
+                assert lo is None or k > lo
+                assert hi is None or k < hi
+            if node.is_leaf:
+                return depth
+            assert len(node.children) == len(node.keys) + 1, "child count mismatch"
+            depths = set()
+            bounds = [lo] + list(node.keys) + [hi]
+            for i, ch in enumerate(node.children):
+                depths.add(rec(ch, bounds[i], bounds[i + 1], depth + 1, False))
+            assert len(depths) == 1, "leaves at different depths"
+            return depths.pop()
+
+        rec(self._root, None, None, 0, True)
+        assert self._size == sum(1 for _ in self.items())
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+
+def _lower_bound(keys: List[int], key: int) -> int:
+    """First index i with keys[i] >= key (binary search)."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

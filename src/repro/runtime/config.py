@@ -1,0 +1,72 @@
+"""Runtime configuration, including the paper's α/β/γ measurement modes.
+
+Section 9.2 measures overhead by running each benchmark in three
+configurations:
+
+* **α** — regular execution of the multi-GPU application;
+* **β** — transfers disabled, but dependency resolution and tracker updates
+  are performed;
+* **γ** — dependency resolution and tracker updates disabled, which
+  automatically also disables transfers.
+
+β and γ intentionally produce incorrect *data* (they exist to isolate time
+components), so they are only meaningful for timing-mode runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import RuntimeApiError
+
+__all__ = ["RuntimeConfig"]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Flags controlling the multi-GPU runtime."""
+
+    n_gpus: int = 1
+    #: β switch: when False, buffer-synchronization copies are not issued
+    #: (enumerators and tracker queries still run).
+    transfers_enabled: bool = True
+    #: γ switch: when False, dependency resolution and tracker updates are
+    #: skipped entirely (which also disables synchronization transfers).
+    tracking_enabled: bool = True
+    #: Verify at launch that axes the injectivity proof ignored have unit
+    #: extent (see repro.compiler.legality.check_write_access).
+    validate_unit_axes: bool = True
+    #: Host-to-device distribution pattern (§8.2; "currently, this pattern
+    #: is a linear distribution among all GPUs").
+    h2d_distribution: str = "linear"
+    #: Debug audit (functional mode only): execute each partition with the
+    #: instrumented interpreter and verify the scanned write set equals the
+    #: cells the kernel actually wrote. Catches compiler bugs at the launch
+    #: that would otherwise corrupt trackers silently.
+    debug_validate_writes: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 1:
+            raise RuntimeApiError("runtime needs at least one GPU")
+        if self.h2d_distribution != "linear":
+            raise RuntimeApiError(
+                f"unsupported H2D distribution {self.h2d_distribution!r}"
+            )
+
+    @property
+    def sync_transfers_active(self) -> bool:
+        return self.transfers_enabled and self.tracking_enabled
+
+    # -- the three measurement configurations (§9.2) -------------------------
+
+    def alpha(self) -> "RuntimeConfig":
+        """Regular execution."""
+        return replace(self, transfers_enabled=True, tracking_enabled=True)
+
+    def beta(self) -> "RuntimeConfig":
+        """Transfers disabled; dependency resolution still performed."""
+        return replace(self, transfers_enabled=False, tracking_enabled=True)
+
+    def gamma(self) -> "RuntimeConfig":
+        """Dependency resolution and tracker updates disabled."""
+        return replace(self, transfers_enabled=False, tracking_enabled=False)

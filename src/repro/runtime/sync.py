@@ -1,0 +1,119 @@
+"""Buffer synchronization and tracker updates (paper §8.3).
+
+``buffer_synchronize`` brings one GPU's instance of a virtual buffer up to
+date for one partition: the partition's *read set* is enumerated with the
+generated code (§6), the tracker is queried for each interval, and every
+segment whose newest copy lives on another device is copied over with an
+asynchronous transfer. The tracker is *not* updated by these copies — it has
+no notion of shared copies, which is why applications with widely shared
+data re-transfer it (§8.3 calls this limitation out explicitly).
+
+``buffer_update`` marks one GPU's partition *write set* in the tracker.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Mapping, Sequence, Tuple
+
+from repro.compiler.enumerators import Enumerator
+from repro.compiler.strategy import Partition
+from repro.cuda.dim3 import Dim3
+from repro.runtime.vbuffer import VirtualBuffer
+from repro.sim.trace import Category
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.api import MultiGpuApi
+
+__all__ = ["byte_ranges", "buffer_synchronize", "buffer_update"]
+
+
+def byte_ranges(
+    enum: Enumerator,
+    partition: Partition,
+    block: Dim3,
+    grid: Dim3,
+    scalars: Mapping[str, int],
+    shape: Sequence[int],
+    elem_size: int,
+) -> Tuple[List[Tuple[int, int]], int]:
+    """Flat element ranges of one enumerator, converted to byte ranges."""
+    ranges, emitted = enum.element_ranges(partition, block, grid, scalars, shape)
+    return [(lo * elem_size, hi * elem_size) for lo, hi in ranges], emitted
+
+
+def buffer_synchronize(
+    api: "MultiGpuApi",
+    vb: VirtualBuffer,
+    enum: Enumerator,
+    partition: Partition,
+    block: Dim3,
+    grid: Dim3,
+    scalars: Mapping[str, int],
+    shape: Sequence[int],
+    elem_size: int,
+    gpu: int,
+) -> None:
+    """Make ``gpu``'s instance current for the partition's read set."""
+    ranges, emitted = byte_ranges(enum, partition, block, grid, scalars, shape, elem_size)
+    api.stats.enumerator_calls += 1
+    api.stats.ranges_emitted += emitted
+    api.stats.tracker_ops += len(ranges)
+    segments = vb.tracker.query_many(ranges)
+    if api.spec:
+        # One aggregated host interval covering: the enumerator call, the
+        # per-emitted-range callback work, and one tracker query per range.
+        api.host_pattern_cost(
+            api.spec.enumerator_call_cost
+            + api.spec.per_range_cost * emitted
+            + api.spec.tracker_op_cost * max(len(ranges), len(segments))
+        )
+    stale = [seg for seg in segments if seg.owner != gpu]
+    # Adjacent stale segments from the same owner coalesce into one copy.
+    merged = []
+    for seg in stale:
+        if merged and merged[-1].owner == seg.owner and merged[-1].end == seg.start:
+            merged[-1] = type(seg)(merged[-1].start, seg.end, seg.owner)
+        else:
+            merged.append(seg)
+    for seg in merged:
+        api.stats.sync_transfers += 1
+        api.stats.sync_bytes += seg.nbytes
+        if api.config.transfers_enabled:
+            if api.functional:
+                vb.bytes_on(gpu)[seg.start : seg.end] = vb.bytes_on(seg.owner)[
+                    seg.start : seg.end
+                ]
+            if api.machine:
+                api.machine.transfer(
+                    seg.owner,
+                    gpu,
+                    seg.nbytes,
+                    category=Category.TRANSFERS,
+                    label=f"sync:{enum.array}",
+                )
+
+
+def buffer_update(
+    api: "MultiGpuApi",
+    vb: VirtualBuffer,
+    enum: Enumerator,
+    partition: Partition,
+    block: Dim3,
+    grid: Dim3,
+    scalars: Mapping[str, int],
+    shape: Sequence[int],
+    elem_size: int,
+    gpu: int,
+) -> None:
+    """Mark the partition's write set as owned by ``gpu`` in the tracker."""
+    ranges, emitted = byte_ranges(enum, partition, block, grid, scalars, shape, elem_size)
+    api.stats.enumerator_calls += 1
+    api.stats.ranges_emitted += emitted
+    api.stats.tracker_ops += len(ranges)
+    if api.spec:
+        api.host_pattern_cost(
+            api.spec.enumerator_call_cost
+            + api.spec.per_range_cost * emitted
+            + api.spec.tracker_op_cost * len(ranges)
+        )
+    vb.tracker.update_many(ranges, gpu)

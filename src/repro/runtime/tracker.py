@@ -1,0 +1,258 @@
+"""Segment trackers for virtual buffers (paper §8.1).
+
+"The tracker contains a sorted list of non-overlapping segments, each
+containing a reference to the buffer instance that holds the most recently
+updated copy of that segment." Segments partition the byte range
+``[0, size)``; the value of each segment is the owning device id. Adjacent
+segments with equal owners are merged eagerly, so a kernel with a 1:1
+write pattern keeps exactly one segment per partition (§8.1's observation
+about locality limiting fragmentation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Set, Tuple
+
+from repro.errors import TrackerError
+from repro.runtime.btree import BTreeMap
+
+__all__ = ["Segment", "SegmentTracker"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A half-open byte range owned by one device."""
+
+    start: int
+    end: int
+    owner: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.end - self.start
+
+
+class SegmentTracker:
+    """Maps every byte of ``[0, size)`` to the device owning its newest copy."""
+
+    def __init__(self, size: int, initial_owner: int = 0, *, min_degree: int = 8) -> None:
+        if size <= 0:
+            raise TrackerError(f"tracker over empty range (size={size})")
+        self.size = size
+        # key = segment start; value = (segment end, owner)
+        self._map = BTreeMap(min_degree)
+        self._map.insert(0, (size, initial_owner))
+        #: Number of tracker operations performed (host-cost accounting).
+        self.op_count = 0
+
+    # -- queries ------------------------------------------------------------------
+
+    def query(self, lo: int, hi: int) -> List[Segment]:
+        """Segments overlapping ``[lo, hi)``, clipped to it, in order."""
+        self._check_range(lo, hi)
+        self.op_count += 1
+        out: List[Segment] = []
+        entry = self._map.floor(lo)
+        if entry is None:
+            raise TrackerError("tracker lost coverage of offset 0")
+        start = entry[0]
+        for key, (end, owner) in self._map.items_from(start):
+            if key >= hi:
+                break
+            if end <= lo:
+                continue
+            out.append(Segment(max(key, lo), min(end, hi), owner))
+        return out
+
+    def owner_at(self, offset: int) -> int:
+        """The device owning the byte at ``offset``."""
+        seg = self.query(offset, offset + 1)
+        return seg[0].owner
+
+    def segments(self) -> List[Segment]:
+        """All segments in order."""
+        return [Segment(k, end, owner) for k, (end, owner) in self._map.items()]
+
+    def owners(self) -> Set[int]:
+        return {owner for _, (_, owner) in self._map.items()}
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._map)
+
+    # -- updates --------------------------------------------------------------------
+
+    def update(self, lo: int, hi: int, owner: int) -> None:
+        """Mark ``[lo, hi)`` as most recently written by ``owner``."""
+        self._check_range(lo, hi)
+        if lo == hi:
+            return
+        self.op_count += 1
+
+        # Split the segment containing `lo` (and the one containing `hi`).
+        entry = self._map.floor(lo)
+        if entry is None:
+            raise TrackerError("tracker lost coverage of offset 0")
+        k0, (end0, owner0) = entry
+        if k0 < lo and end0 > lo:
+            self._map.insert(k0, (lo, owner0))
+            self._map.insert(lo, (end0, owner0))
+        entry = self._map.floor(hi - 1)
+        assert entry is not None
+        k1, (end1, owner1) = entry
+        if k1 < hi and end1 > hi:
+            self._map.insert(k1, (hi, owner1))
+            self._map.insert(hi, (end1, owner1))
+
+        # Remove all segments fully inside [lo, hi).
+        doomed = [k for k, _ in self._map.range_items(lo, hi)]
+        for k in doomed:
+            self._map.delete(k)
+        self._map.insert(lo, (hi, owner))
+        self._coalesce(lo, hi)
+
+    def _coalesce(self, lo: int, hi: int) -> None:
+        """Merge the segment starting at ``lo`` with equal-owner neighbors."""
+        start, (end, owner) = lo, self._map.get(lo)
+        prev = self._map.floor(lo - 1) if lo > 0 else None
+        if prev is not None:
+            pk, (pend, powner) = prev
+            if pend == start and powner == owner:
+                self._map.delete(start)
+                self._map.insert(pk, (end, owner))
+                start = pk
+        nxt = self._map.ceiling(end)
+        if nxt is not None:
+            nk, (nend, nowner) = nxt
+            if nk == end and nowner == owner:
+                self._map.delete(nk)
+                self._map.insert(start, (nend, owner))
+
+    # -- batched operations ------------------------------------------------------------
+
+    def query_many(self, ranges: List[Tuple[int, int]]) -> List[Segment]:
+        """Clipped segments for many sorted, non-overlapping ranges.
+
+        One merge-join pass over the segment list instead of one descent per
+        range; the per-row ranges a stencil enumerator emits make this the
+        runtime's hot path. ``op_count`` still counts one logical tracker
+        operation per range (the cost model charges what the paper's
+        per-interval queries would).
+        """
+        if not ranges:
+            return []
+        self.op_count += len(ranges)
+        segs = self.segments()
+        out: List[Segment] = []
+        i = 0
+        n = len(segs)
+        for lo, hi in ranges:
+            self._check_range(lo, hi)
+            while i < n and segs[i].end <= lo:
+                i += 1
+            j = i
+            while j < n and segs[j].start < hi:
+                s = segs[j]
+                out.append(Segment(max(s.start, lo), min(s.end, hi), s.owner))
+                j += 1
+            # The last overlapping segment may also overlap the next range.
+            i = max(i, j - 1)
+        return out
+
+    def update_many(self, ranges: List[Tuple[int, int]], owner: int) -> None:
+        """Bulk form of :meth:`update` for sorted, non-overlapping ranges.
+
+        Rebuilds the affected window in one pass: listed ranges get the new
+        owner, gaps keep their current owners, and the result is coalesced
+        before touching the B-tree — so a stencil's thousands of per-row
+        write ranges collapse into a handful of tree operations.
+        """
+        ranges = [(lo, hi) for lo, hi in ranges if lo < hi]
+        if not ranges:
+            return
+        self.op_count += len(ranges)
+        window_lo, window_hi = ranges[0][0], ranges[-1][1]
+        self._check_range(window_lo, window_hi)
+        existing = self.query(window_lo, window_hi)
+        self.op_count -= 1  # internal query, not a logical operation
+
+        # Build the window's new (start, end, owner) list.
+        pieces: List[Tuple[int, int, int]] = []
+
+        def add(lo: int, hi: int, who: int) -> None:
+            if lo >= hi:
+                return
+            if pieces and pieces[-1][2] == who and pieces[-1][1] == lo:
+                pieces[-1] = (pieces[-1][0], hi, who)
+            else:
+                pieces.append((lo, hi, who))
+
+        ei = 0
+        cursor = window_lo
+        for lo, hi in ranges:
+            # Gap before this range keeps existing ownership.
+            gap_lo = cursor
+            while gap_lo < lo:
+                while ei < len(existing) and existing[ei].end <= gap_lo:
+                    ei += 1
+                seg = existing[ei]
+                add(gap_lo, min(seg.end, lo), seg.owner)
+                gap_lo = min(seg.end, lo)
+            add(lo, hi, owner)
+            cursor = hi
+
+        # Replace the window in the tree.
+        entry = self._map.floor(window_lo)
+        assert entry is not None
+        k0, (end0, owner0) = entry
+        head = (k0, window_lo, owner0) if k0 < window_lo else None
+        entry = self._map.floor(window_hi - 1)
+        assert entry is not None
+        k1, (end1, owner1) = entry
+        tail = (window_hi, end1, owner1) if end1 > window_hi else None
+        for k in [k for k, _ in self._map.range_items(k0, window_hi)]:
+            self._map.delete(k)
+        if head is not None:
+            if pieces and pieces[0][2] == head[2] and head[1] == pieces[0][0]:
+                pieces[0] = (head[0], pieces[0][1], head[2])
+            else:
+                self._map.insert(head[0], (head[1], head[2]))
+        if tail is not None:
+            if pieces and pieces[-1][2] == tail[2] and pieces[-1][1] == tail[0]:
+                pieces[-1] = (pieces[-1][0], tail[1], tail[2])
+            else:
+                self._map.insert(tail[0], (tail[1], tail[2]))
+        for lo, hi, who in pieces:
+            self._map.insert(lo, (hi, who))
+        # Merge across the window edges.
+        first_key = pieces[0][0] if pieces else window_lo
+        if self._map.get(first_key) is not None:
+            self._coalesce(first_key, self._map.get(first_key)[0])
+        last = self._map.floor(window_hi - 1)
+        if last is not None:
+            self._coalesce(last[0], last[1][0])
+
+    # -- invariants ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Full coverage, no overlap, no mergeable neighbors (tests only)."""
+        segs = self.segments()
+        if not segs:
+            raise TrackerError("tracker has no segments")
+        if segs[0].start != 0 or segs[-1].end != self.size:
+            raise TrackerError(f"tracker does not cover [0, {self.size})")
+        for a, b in zip(segs, segs[1:]):
+            if a.end != b.start:
+                raise TrackerError(f"gap or overlap between {a} and {b}")
+            if a.owner == b.owner:
+                raise TrackerError(f"unmerged neighbors {a} and {b}")
+        self._map.check_invariants()
+
+    def _check_range(self, lo: int, hi: int) -> None:
+        if not (0 <= lo <= hi <= self.size):
+            raise TrackerError(f"range [{lo}, {hi}) outside tracker [0, {self.size})")
+
+    def __repr__(self) -> str:
+        segs = ", ".join(f"[{s.start},{s.end})->{s.owner}" for s in self.segments())
+        return f"SegmentTracker({segs})"

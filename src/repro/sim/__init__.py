@@ -1,0 +1,15 @@
+"""``repro.sim`` — the multi-GPU machine timing model.
+
+Stands in for the paper's physical testbed (8 NVIDIA K80 boards = 16 GPUs on
+PCIe in a dual-socket host). The runtime's orchestration logic runs for
+real; only device execution and data movement are *costed* instead of
+performed, via a resource-availability scheduler: every device compute
+queue, every per-device PCIe lane and the host thread is a resource with an
+availability time, and operations advance them.
+"""
+
+from repro.sim.topology import MachineSpec
+from repro.sim.engine import SimMachine, Category
+from repro.sim.trace import Trace, Interval
+
+__all__ = ["MachineSpec", "SimMachine", "Category", "Trace", "Interval"]

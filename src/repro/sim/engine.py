@@ -1,0 +1,201 @@
+"""The resource scheduler behind the timing simulation.
+
+Model: one sequential *host* thread orchestrates asynchronous work on
+per-device *compute queues* (FIFO, availability time) and per-device *PCIe
+lanes* plus one *host staging bus* (busy-interval lists with first-fit
+backfill — DMA engines are independent, so a transfer may start in any gap
+after its issue time on all of its resources).
+
+Device-to-device copies without peer-to-peer DMA are staged through host
+memory: they occupy both device lanes for the inflated duration and the
+staging bus for ``bytes * staging_factor / host_bus_bw`` — the aggregate
+host-memory bandwidth shared by *all* concurrent staged traffic, which is
+what throttles e.g. the matmul redistribution when 16 GPUs exchange a whole
+matrix at once. Host-to/from-device copies occupy the bus for their plain
+byte time.
+
+This is the standard list-scheduling abstraction for BSP-style
+orchestration; the paper's generated host code (Figure 4) is itself
+barrier-structured (synchronize reads -> barrier -> launch -> update
+trackers), so queue-accurate modelling of device streams is not needed.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import List, Optional, Sequence, Tuple
+
+from repro.constants import HOST
+from repro.errors import SimulationError
+from repro.sim.topology import MachineSpec
+from repro.sim.trace import Category, Trace
+
+__all__ = ["SimMachine", "Category"]
+
+
+class _Lane:
+    """A transfer resource with busy intervals and first-fit gap search."""
+
+    __slots__ = ("busy",)
+
+    def __init__(self) -> None:
+        self.busy: List[Tuple[float, float]] = []
+
+    def next_fit(self, earliest: float, duration: float) -> float:
+        """Earliest start >= ``earliest`` with a free gap of ``duration``."""
+        t = earliest
+        for start, end in self.busy:
+            if t + duration <= start:
+                return t
+            if end > t:
+                t = end
+        return t
+
+    def reserve(self, start: float, end: float) -> None:
+        insort(self.busy, (start, end))
+        if len(self.busy) > 512:
+            # Compact: merge fully past intervals to bound the list.
+            horizon = self.busy[len(self.busy) // 2][0]
+            merged = [iv for iv in self.busy if iv[1] > horizon]
+            prefix_end = max((iv[1] for iv in self.busy if iv[1] <= horizon), default=0.0)
+            self.busy = [(0.0, prefix_end)] + merged if prefix_end > 0 else merged
+
+    @property
+    def avail(self) -> float:
+        return self.busy[-1][1] if self.busy else 0.0
+
+
+class SimMachine:
+    """Simulated clock and resources for one application run."""
+
+    def __init__(self, spec: MachineSpec, *, trace: Optional[Trace] = None) -> None:
+        self.spec = spec
+        self.trace = trace if trace is not None else Trace()
+        self.host_time = 0.0
+        self._dev_avail: List[float] = [0.0] * spec.n_gpus
+        self._lanes: List[_Lane] = [_Lane() for _ in range(spec.n_gpus)]
+        self._bus = _Lane()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _check_dev(self, dev: int) -> None:
+        if not (0 <= dev < self.spec.n_gpus):
+            raise SimulationError(f"device id {dev} out of range (n_gpus={self.spec.n_gpus})")
+
+    @property
+    def now(self) -> float:
+        """Current host time (seconds of simulated wall clock)."""
+        return self.host_time
+
+    # -- host work -------------------------------------------------------------
+
+    def host_compute(self, duration: float, category: Category, label: str = "") -> None:
+        """Sequential host work (pattern resolution, orchestration)."""
+        if duration < 0:
+            raise SimulationError("negative host_compute duration")
+        start = self.host_time
+        self.host_time += duration
+        if duration > 0:
+            self.trace.record("host", start, self.host_time, category, label)
+
+    # -- device work -------------------------------------------------------------
+
+    def launch_kernel(self, dev: int, duration: float, label: str = "") -> None:
+        """Asynchronously enqueue a kernel of the given modelled duration."""
+        self._check_dev(dev)
+        if duration < 0:
+            raise SimulationError("negative kernel duration")
+        self.host_compute(self.spec.issue_overhead, Category.HOST, f"issue:{label}")
+        start = max(self.host_time, self._dev_avail[dev])
+        end = start + duration
+        self._dev_avail[dev] = end
+        self.trace.record(f"gpu{dev}", start, end, Category.APPLICATION, label)
+
+    def transfer(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        *,
+        category: Category = Category.TRANSFERS,
+        label: str = "",
+        synchronous: bool = False,
+    ) -> None:
+        """Copy ``nbytes`` between endpoints (device id or ``HOST``)."""
+        if nbytes < 0:
+            raise SimulationError("negative transfer size")
+        if src != HOST:
+            self._check_dev(src)
+        if dst != HOST:
+            self._check_dev(dst)
+        self.host_compute(self.spec.issue_overhead, Category.HOST, f"issue:{label}")
+        if nbytes == 0:
+            return
+        duration = self.spec.transfer_time(src, dst, nbytes)
+
+        # Bus occupancy: aggregate host-memory bandwidth consumed, plus the
+        # per-copy staging setup for device-to-device traffic.
+        staged = src != HOST and dst != HOST and not self.spec.p2p_enabled
+        bus_bytes = nbytes * (self.spec.staging_factor if staged else 1.0)
+        bus_time = bus_bytes / self.spec.host_bus_bw
+        if staged:
+            bus_time += self.spec.staging_latency
+
+        lanes: List[Tuple[_Lane, float]] = []
+        earliest = self.host_time
+        if src != HOST:
+            lanes.append((self._lanes[src], duration))
+            earliest = max(earliest, self._dev_avail[src])
+        if dst != HOST:
+            lanes.append((self._lanes[dst], duration))
+            earliest = max(earliest, self._dev_avail[dst])
+        lanes.append((self._bus, bus_time))
+
+        # First-fit over all involved resources (per-resource durations):
+        # iterate to a common start where each has a large-enough gap.
+        start = earliest
+        for _ in range(1000):
+            proposal = start
+            for lane, dur in lanes:
+                proposal = lane.next_fit(proposal, dur)
+            if proposal == start:
+                break
+            start = proposal
+        end = start + duration
+        for lane, dur in lanes:
+            lane.reserve(start, start + dur)
+        end = max(end, start + bus_time)
+        resource = (
+            f"lane{src}" if src != HOST else (f"lane{dst}" if dst != HOST else "bus")
+        )
+        self.trace.record(resource, start, end, category, label)
+        if synchronous:
+            self.host_time = max(self.host_time, end)
+
+    # -- synchronization ------------------------------------------------------------
+
+    def synchronize(self, devices: Optional[Sequence[int]] = None) -> None:
+        """Barrier: host waits for device queues and outstanding transfers."""
+        self.host_compute(self.spec.sync_overhead, Category.HOST, "sync")
+        targets = range(self.spec.n_gpus) if devices is None else devices
+        t = self.host_time
+        for d in targets:
+            self._check_dev(d)
+            t = max(t, self._dev_avail[d], self._lanes[d].avail)
+        if devices is None:
+            t = max(t, self._bus.avail)
+        self.host_time = t
+
+    def wait_device(self, dev: int) -> None:
+        """Host waits for one device's compute queue and lane."""
+        self._check_dev(dev)
+        self.host_time = max(self.host_time, self._dev_avail[dev], self._lanes[dev].avail)
+
+    def elapsed(self) -> float:
+        """Total makespan so far (host and all resources drained)."""
+        t = max(self.host_time, self._bus.avail)
+        for v in self._dev_avail:
+            t = max(t, v)
+        for lane in self._lanes:
+            t = max(t, lane.avail)
+        return t

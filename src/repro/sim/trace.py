@@ -1,0 +1,79 @@
+"""Execution traces for the timing simulator.
+
+Every scheduled operation is recorded as an :class:`Interval` tagged with a
+category matching the paper's Figure 7 terminology:
+
+* ``APPLICATION`` — kernel execution on a device,
+* ``TRANSFERS`` — data movement for buffer synchronization and memcopies,
+* ``PATTERNS`` — host-side dependency resolution (enumerators, tracker),
+* ``HOST`` — other host work (issue overheads, synchronization calls).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["Category", "Interval", "Trace"]
+
+
+class Category(enum.Enum):
+    """Figure 7 time categories: kernel work, coherence traffic, host patterns."""
+
+    APPLICATION = "application"
+    TRANSFERS = "transfers"
+    PATTERNS = "patterns"
+    HOST = "host"
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One scheduled operation on one resource."""
+
+    resource: str
+    start: float
+    end: float
+    category: Category
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """An append-only list of intervals with per-category aggregation."""
+
+    def __init__(self) -> None:
+        self.intervals: List[Interval] = []
+
+    def record(
+        self, resource: str, start: float, end: float, category: Category, label: str = ""
+    ) -> None:
+        if end < start:
+            raise ValueError(f"interval ends before it starts: {start} .. {end}")
+        self.intervals.append(Interval(resource, start, end, category, label))
+
+    def busy_time(self, category: Optional[Category] = None) -> float:
+        """Total busy time, optionally restricted to one category."""
+        return sum(
+            iv.duration
+            for iv in self.intervals
+            if category is None or iv.category is category
+        )
+
+    def by_category(self) -> Dict[Category, float]:
+        out: Dict[Category, float] = {c: 0.0 for c in Category}
+        for iv in self.intervals:
+            out[iv.category] += iv.duration
+        return out
+
+    def by_resource(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for iv in self.intervals:
+            out[iv.resource] = out.get(iv.resource, 0.0) + iv.duration
+        return out
+
+    def __len__(self) -> int:
+        return len(self.intervals)

@@ -1,0 +1,31 @@
+"""``repro.workloads`` — the paper's three proxy applications (§9.1).
+
+Hotspot (5-point stencil), N-Body (direct gravitational simulation) and
+Matmul (dense matrix product) — chosen by the paper from the Berkeley
+computational dwarfs. Each module provides the kernel (in the mini-CUDA
+IR), a host program written against the CUDA-prototype API (so it runs
+unmodified on the single-device reference *and* the multi-GPU runtime), a
+pure-numpy reference implementation, and input generators.
+"""
+
+from repro.workloads.common import ProblemConfig, TABLE1, table1_configs, functional_config
+from repro.workloads.hotspot import HotspotWorkload
+from repro.workloads.nbody import NBodyWorkload
+from repro.workloads.matmul import MatmulWorkload
+
+ALL_WORKLOADS = {
+    "hotspot": HotspotWorkload,
+    "nbody": NBodyWorkload,
+    "matmul": MatmulWorkload,
+}
+
+__all__ = [
+    "ProblemConfig",
+    "TABLE1",
+    "table1_configs",
+    "functional_config",
+    "HotspotWorkload",
+    "NBodyWorkload",
+    "MatmulWorkload",
+    "ALL_WORKLOADS",
+]

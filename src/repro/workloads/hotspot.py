@@ -1,0 +1,114 @@
+"""Hotspot: a 5-point stencil on a quadratic grid (paper §9.1).
+
+"Hotspot is a 5-point stencil operating on a quadratic grid. [...] The
+amount of computation per thread is constant and comparatively low, as are
+the data requirements per thread. As a result, this benchmark is
+susceptible to overheads in the distribution process and expected to
+exhibit only limited scalability."
+
+The kernel reads the current temperature grid and writes the next one
+(ping-pong buffering in the host program; 1500 iterations in Table 1).
+Interior cells apply the stencil; border cells copy through, so every
+launch writes the full array and the trackers stay at one segment per
+device — both buffers' ownership re-aligns to the partition bands after
+one iteration, exactly the locality effect §8.1 describes.
+
+The problem size is a compile-time constant (one build per Table 1 size,
+like the paper's benchmarks). The grids are modelled as 2-D arrays — the
+stencil's interior guard makes boundary-branch writes *strided* under flat
+indexing, which no interval scan can represent exactly; with 2-D subscripts
+every per-row range is exact, and since each partition writes full-width
+row bands, the runtime's flat byte ranges still coalesce to a handful of
+intervals per partition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cuda.api import MemcpyKind
+from repro.cuda.dim3 import Dim3
+from repro.cuda.dtypes import f32
+from repro.cuda.ir.builder import KernelBuilder
+from repro.cuda.ir.kernel import Kernel
+from repro.workloads.common import ProblemConfig, Workload
+
+__all__ = ["HotspotWorkload", "build_hotspot_kernel", "BLOCK"]
+
+BLOCK = Dim3(x=16, y=16)
+
+#: Diffusion coefficient of the explicit heat step (stable for 2-D).
+_DIFFUSION = 0.1
+
+
+def build_hotspot_kernel(n: int) -> Kernel:
+    """The 5-point stencil kernel for an ``n x n`` grid (``n`` baked in)."""
+    kb = KernelBuilder("hotspot")
+    temp_in = kb.array("temp_in", f32, (n, n))
+    temp_out = kb.array("temp_out", f32, (n, n))
+    gy, gx = kb.global_id("y"), kb.global_id("x")
+    with kb.if_((gy < n) & (gx < n)):
+        with kb.if_((gy > 0) & (gy < n - 1) & (gx > 0) & (gx < n - 1)):
+            c = temp_in[gy, gx]
+            acc = (
+                temp_in[gy - 1, gx]
+                + temp_in[gy + 1, gx]
+                + temp_in[gy, gx - 1]
+                + temp_in[gy, gx + 1]
+            )
+            temp_out[gy, gx] = c + _DIFFUSION * (acc - 4.0 * c)
+        with kb.otherwise():
+            temp_out[gy, gx] = temp_in[gy, gx]
+    return kb.finish()
+
+
+class HotspotWorkload(Workload):
+    """The Hotspot proxy application (Table 1 row 1)."""
+
+    name = "hotspot"
+
+    def __init__(self, cfg: ProblemConfig) -> None:
+        super().__init__(cfg)
+        self.kernel = build_hotspot_kernel(cfg.size)
+
+    def build_kernels(self) -> List[Kernel]:
+        return [self.kernel]
+
+    def launch_config(self) -> Tuple[Dim3, Dim3]:
+        n = self.cfg.size
+        blocks = -(-n // BLOCK.x)
+        return Dim3(x=blocks, y=blocks), BLOCK
+
+    def make_inputs(self, seed: int = 0) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        n = self.cfg.size
+        return {"temp": rng.random((n, n), dtype=np.float32)}
+
+    def run(self, api, inputs: Optional[Dict[str, np.ndarray]]):
+        n = self.cfg.size
+        nbytes = n * n * 4
+        grid, block = self.launch_config()
+        d_a = api.cudaMalloc(nbytes)
+        d_b = api.cudaMalloc(nbytes)
+        api.cudaMemcpy(d_a, inputs["temp"] if inputs else None, nbytes, MemcpyKind.HostToDevice)
+        for _ in range(self.cfg.iterations):
+            api.launch(self.kernel, grid, block, [d_a, d_b])
+            d_a, d_b = d_b, d_a
+        out = np.empty((n, n), dtype=np.float32) if inputs else None
+        api.cudaMemcpy(out, d_a, nbytes, MemcpyKind.DeviceToHost)
+        api.cudaDeviceSynchronize()
+        return {"temp": out} if inputs else None
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        temp = inputs["temp"].copy()
+        diffusion = np.float32(_DIFFUSION)
+        four = np.float32(4.0)
+        for _ in range(self.cfg.iterations):
+            nxt = temp.copy()
+            acc = temp[:-2, 1:-1] + temp[2:, 1:-1] + temp[1:-1, :-2] + temp[1:-1, 2:]
+            c = temp[1:-1, 1:-1]
+            nxt[1:-1, 1:-1] = c + diffusion * (acc - four * c)
+            temp = nxt
+        return {"temp": temp}

@@ -1,0 +1,93 @@
+"""Matmul: dense square matrix product (paper §9.1).
+
+"The second matrix of the product is read column-wise by each thread but
+distributed linearly over all devices (the default distribution pattern).
+This mismatched data distribution is corrected by the runtime before the
+kernel starts. The resulting initial overhead together with the lack of
+iterative execution limits scalability."
+
+Each thread computes one element of C with a k-loop over A's row and B's
+column (flat row-major indexing, size baked in). The read map of B
+restricted to any row-band partition covers the whole matrix, so after the
+linear host-to-device scatter every GPU fetches the rest of B from its
+peers — the one-shot redistribution that caps the matmul speedup in the
+paper's Figure 6 around 6x.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cuda.api import MemcpyKind
+from repro.cuda.dim3 import Dim3
+from repro.cuda.dtypes import f32
+from repro.cuda.ir.builder import KernelBuilder
+from repro.cuda.ir.kernel import Kernel
+from repro.workloads.common import ProblemConfig, Workload
+
+__all__ = ["MatmulWorkload", "build_matmul_kernel", "BLOCK"]
+
+BLOCK = Dim3(x=16, y=16)
+
+
+def build_matmul_kernel(n: int) -> Kernel:
+    """C[row*n + col] = sum_k A[row*n + k] * B[k*n + col] (``n`` baked in)."""
+    kb = KernelBuilder("matmul")
+    a = kb.array("A", f32, (n * n,))
+    b = kb.array("B", f32, (n * n,))
+    c = kb.array("C", f32, (n * n,))
+    row, col = kb.global_id("y"), kb.global_id("x")
+    with kb.if_((row < n) & (col < n)):
+        acc = kb.let("acc", kb.f32const(0.0))
+        with kb.for_range("k", 0, n) as k:
+            kb.assign(acc, acc + a[row * n + k] * b[k * n + col])
+        c[row * n + col] = acc
+    return kb.finish()
+
+
+class MatmulWorkload(Workload):
+    """The Matmul proxy application (Table 1 row 3)."""
+
+    name = "matmul"
+
+    def __init__(self, cfg: ProblemConfig) -> None:
+        super().__init__(cfg)
+        self.kernel = build_matmul_kernel(cfg.size)
+
+    def build_kernels(self) -> List[Kernel]:
+        return [self.kernel]
+
+    def launch_config(self) -> Tuple[Dim3, Dim3]:
+        n = self.cfg.size
+        blocks = -(-n // BLOCK.x)
+        return Dim3(x=blocks, y=blocks), BLOCK
+
+    def make_inputs(self, seed: int = 0) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        n = self.cfg.size
+        return {
+            "A": rng.standard_normal((n, n)).astype(np.float32),
+            "B": rng.standard_normal((n, n)).astype(np.float32),
+        }
+
+    def run(self, api, inputs: Optional[Dict[str, np.ndarray]]):
+        n = self.cfg.size
+        nbytes = n * n * 4
+        grid, block = self.launch_config()
+        d_a = api.cudaMalloc(nbytes)
+        d_b = api.cudaMalloc(nbytes)
+        d_c = api.cudaMalloc(nbytes)
+        api.cudaMemcpy(d_a, inputs["A"] if inputs else None, nbytes, MemcpyKind.HostToDevice)
+        api.cudaMemcpy(d_b, inputs["B"] if inputs else None, nbytes, MemcpyKind.HostToDevice)
+        api.launch(self.kernel, grid, block, [d_a, d_b, d_c])
+        out = np.empty((n, n), dtype=np.float32) if inputs else None
+        api.cudaMemcpy(out, d_c, nbytes, MemcpyKind.DeviceToHost)
+        api.cudaDeviceSynchronize()
+        return {"C": out} if inputs else None
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        # float64 accumulation gives a tight oracle for the f32 kernel.
+        c = inputs["A"].astype(np.float64) @ inputs["B"].astype(np.float64)
+        return {"C": c.astype(np.float32)}

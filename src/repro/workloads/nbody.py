@@ -1,0 +1,142 @@
+"""N-Body: direct gravitational simulation (paper §9.1).
+
+"Computation per thread grows cubic with the problem size, while the data
+requirements per thread grow only linearly, resulting in excellent scaling
+behavior." Clustering optimizations are deliberately not applied — the
+paper excludes them because dynamic clusters would produce irregular
+accesses.
+
+Layout follows CUDA practice: one flat float32 array of 4-element body
+records — positions hold (x, y, z, mass), velocities (vx, vy, vz, pad) —
+with the body count baked in at build time. Each thread integrates one
+body and its force loop reads *every* position record; the polyhedral read
+map of the position buffer is therefore the whole array, which drives the
+per-step all-gather visible as transfer overhead in the paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cuda.api import MemcpyKind
+from repro.cuda.dim3 import Dim3
+from repro.cuda.dtypes import f32
+from repro.cuda.ir.builder import KernelBuilder
+from repro.cuda.ir.kernel import Kernel
+from repro.workloads.common import ProblemConfig, Workload
+
+__all__ = ["NBodyWorkload", "build_nbody_kernel", "BLOCK", "DT", "SOFTENING"]
+
+BLOCK = Dim3(x=128)
+DT = 0.001
+SOFTENING = 1e-3
+
+
+def build_nbody_kernel(n: int) -> Kernel:
+    """One integration step: all-pairs forces + Euler update for one body."""
+    kb = KernelBuilder("nbody")
+    pos_in = kb.array("pos_in", f32, (n * 4,))
+    vel_in = kb.array("vel_in", f32, (n * 4,))
+    pos_out = kb.array("pos_out", f32, (n * 4,))
+    vel_out = kb.array("vel_out", f32, (n * 4,))
+    gi = kb.global_id("x")
+    with kb.if_(gi < n):
+        base = gi * 4
+        px = kb.let("px", pos_in[base])
+        py = kb.let("py", pos_in[base + 1])
+        pz = kb.let("pz", pos_in[base + 2])
+        ax = kb.let("ax", kb.f32const(0.0))
+        ay = kb.let("ay", kb.f32const(0.0))
+        az = kb.let("az", kb.f32const(0.0))
+        with kb.for_range("j", 0, n) as j:
+            jb = j * 4
+            dx = kb.let("dx", pos_in[jb] - px)
+            dy = kb.let("dy", pos_in[jb + 1] - py)
+            dz = kb.let("dz", pos_in[jb + 2] - pz)
+            dist2 = kb.let("dist2", dx * dx + dy * dy + dz * dz + SOFTENING)
+            inv = kb.let("inv", kb.rsqrt(dist2))
+            inv3 = kb.let("inv3", inv * inv * inv)
+            s = kb.let("s", pos_in[jb + 3] * inv3)
+            kb.assign(ax, ax + dx * s)
+            kb.assign(ay, ay + dy * s)
+            kb.assign(az, az + dz * s)
+        vx = kb.let("vx", vel_in[base] + DT * ax)
+        vy = kb.let("vy", vel_in[base + 1] + DT * ay)
+        vz = kb.let("vz", vel_in[base + 2] + DT * az)
+        pos_out[base] = px + DT * vx
+        pos_out[base + 1] = py + DT * vy
+        pos_out[base + 2] = pz + DT * vz
+        pos_out[base + 3] = pos_in[base + 3]
+        vel_out[base] = vx
+        vel_out[base + 1] = vy
+        vel_out[base + 2] = vz
+        vel_out[base + 3] = vel_in[base + 3]
+    return kb.finish()
+
+
+class NBodyWorkload(Workload):
+    """The N-Body proxy application (Table 1 row 2)."""
+
+    name = "nbody"
+
+    def __init__(self, cfg: ProblemConfig) -> None:
+        super().__init__(cfg)
+        self.kernel = build_nbody_kernel(cfg.size)
+
+    def build_kernels(self) -> List[Kernel]:
+        return [self.kernel]
+
+    def launch_config(self) -> Tuple[Dim3, Dim3]:
+        n = self.cfg.size
+        return Dim3(x=-(-n // BLOCK.x)), BLOCK
+
+    def make_inputs(self, seed: int = 0) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        n = self.cfg.size
+        pos = rng.standard_normal((n, 4)).astype(np.float32)
+        pos[:, 3] = rng.random(n, dtype=np.float32) + 0.5  # masses
+        vel = (rng.standard_normal((n, 4)) * 0.1).astype(np.float32)
+        vel[:, 3] = 0.0
+        return {"pos": pos, "vel": vel}
+
+    def run(self, api, inputs: Optional[Dict[str, np.ndarray]]):
+        n = self.cfg.size
+        nbytes = n * 4 * 4
+        grid, block = self.launch_config()
+        d_pa = api.cudaMalloc(nbytes)
+        d_pb = api.cudaMalloc(nbytes)
+        d_va = api.cudaMalloc(nbytes)
+        d_vb = api.cudaMalloc(nbytes)
+        api.cudaMemcpy(d_pa, inputs["pos"] if inputs else None, nbytes, MemcpyKind.HostToDevice)
+        api.cudaMemcpy(d_va, inputs["vel"] if inputs else None, nbytes, MemcpyKind.HostToDevice)
+        for _ in range(self.cfg.iterations):
+            api.launch(self.kernel, grid, block, [d_pa, d_va, d_pb, d_vb])
+            d_pa, d_pb = d_pb, d_pa
+            d_va, d_vb = d_vb, d_va
+        pos = np.empty((n, 4), dtype=np.float32) if inputs else None
+        vel = np.empty((n, 4), dtype=np.float32) if inputs else None
+        api.cudaMemcpy(pos, d_pa, nbytes, MemcpyKind.DeviceToHost)
+        api.cudaMemcpy(vel, d_va, nbytes, MemcpyKind.DeviceToHost)
+        api.cudaDeviceSynchronize()
+        return {"pos": pos, "vel": vel} if inputs else None
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        pos = inputs["pos"].copy()
+        vel = inputs["vel"].copy()
+        dt = np.float32(DT)
+        soft = np.float32(SOFTENING)
+        for _ in range(self.cfg.iterations):
+            d = pos[None, :, :3] - pos[:, None, :3]  # d[i, j] = pos[j] - pos[i]
+            dist2 = (d * d).sum(axis=2) + soft
+            inv = np.float32(1.0) / np.sqrt(dist2)
+            inv3 = inv * inv * inv
+            s = pos[:, 3][None, :] * inv3  # mass[j] * inv3[i, j]
+            acc = (d * s[:, :, None]).sum(axis=1, dtype=np.float32)
+            new_vel = vel.copy()
+            new_vel[:, :3] = vel[:, :3] + dt * acc
+            new_pos = pos.copy()
+            new_pos[:, :3] = pos[:, :3] + dt * new_vel[:, :3]
+            pos, vel = new_pos.astype(np.float32), new_vel.astype(np.float32)
+        return {"pos": pos, "vel": vel}

@@ -1,0 +1,201 @@
+"""Unit tests for the polyhedral access analysis (paper §4)."""
+
+import pytest
+
+from repro.compiler.access_analysis import GRID_PARAMS, IN_DIMS6, analyze_kernel
+from repro.cuda.dtypes import f32, f64, i64
+from repro.cuda.ir.builder import KernelBuilder
+
+
+def _block_image(access, bo, bi, params):
+    """Concrete image of one block under all disjuncts of an access map."""
+    pts = set()
+    for d in access.access_map.disjuncts:
+        bs = d.bset
+        values = dict(params)
+        values.update(
+            bo_z=bo[0], bo_y=bo[1], bo_x=bo[2], bi_z=bi[0], bi_y=bi[1], bi_x=bi[2]
+        )
+        for name, v in values.items():
+            if bs.space.has(name):
+                bs = bs.fix(name, v)
+        pts |= set(bs.enumerate_points())
+    return pts
+
+
+class TestIdentityCopy:
+    def test_one_to_one_write(self, copy_kernel):
+        info = analyze_kernel(copy_kernel)
+        assert info.partitionable
+        assert set(info.reads) == {"src"} and set(info.writes) == {"dst"}
+        w = info.writes["dst"]
+        assert w.exact and not w.may is None
+        params = dict(bd_z=1, bd_y=1, bd_x=8, gd_z=1, gd_y=1, gd_x=4, n=32)
+        img = _block_image(w, (0, 0, 16), (0, 0, 2), params)
+        assert img == {(i,) for i in range(16, 24)}
+
+    def test_guard_clips_last_block(self, copy_kernel):
+        info = analyze_kernel(copy_kernel)
+        w = info.writes["dst"]
+        params = dict(bd_z=1, bd_y=1, bd_x=8, gd_z=1, gd_y=1, gd_x=4, n=28)
+        img = _block_image(w, (0, 0, 24), (0, 0, 3), params)
+        assert img == {(i,) for i in range(24, 28)}
+
+    def test_gid_map_available(self, copy_kernel):
+        info = analyze_kernel(copy_kernel)
+        assert info.writes["dst"].gid_map is not None
+
+
+class TestStencil:
+    def test_read_includes_halo(self, stencil_kernel):
+        info = analyze_kernel(stencil_kernel)
+        r = info.reads["src"]
+        params = dict(bd_z=1, bd_y=4, bd_x=4, gd_z=1, gd_y=8, gd_x=8, n=32)
+        img = _block_image(r, (0, 4, 4), (0, 1, 1), params)
+        expect = set()
+        for ty in range(4, 8):
+            for tx in range(4, 8):
+                for dy, dx in ((0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)):
+                    expect.add((ty + dy, tx + dx))
+        assert img == expect
+
+    def test_write_is_interior_only(self, stencil_kernel):
+        info = analyze_kernel(stencil_kernel)
+        w = info.writes["dst"]
+        params = dict(bd_z=1, bd_y=4, bd_x=4, gd_z=1, gd_y=8, gd_x=8, n=32)
+        img = _block_image(w, (0, 0, 0), (0, 0, 0), params)
+        assert img == {(y, x) for y in range(1, 4) for x in range(1, 4)}
+
+    def test_write_under_guard_is_may(self, stencil_kernel):
+        info = analyze_kernel(stencil_kernel)
+        assert info.writes["dst"].may  # guarded by the interior condition
+
+
+class TestLoops:
+    def _rowsum(self):
+        from repro.workloads.parametric import build_parametric_rowsum
+
+        return build_parametric_rowsum()
+
+    def test_loop_iterator_projected(self):
+        info = analyze_kernel(self._rowsum())
+        r = info.reads["A"]
+        # Row gi, all columns 0..n-1.
+        params = dict(bd_z=1, bd_y=1, bd_x=4, gd_z=1, gd_y=1, gd_x=2, n=8)
+        img = _block_image(r, (0, 0, 4), (0, 0, 1), params)
+        assert img == {(row, col) for row in range(4, 8) for col in range(8)}
+
+    def test_write_unaffected_by_loop(self):
+        info = analyze_kernel(self._rowsum())
+        w = info.writes["S"]
+        assert w.exact
+
+
+class TestNonAffine:
+    def test_nonaffine_read_overapproximates_to_whole_array(self):
+        kb = KernelBuilder("gather")
+        n = kb.scalar("n")
+        idx = kb.array("idx", f32, (n,))  # float values as indices: non-affine
+        src = kb.array("src", f32, (n,))
+        dst = kb.array("dst", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            # value-dependent subscript (gather): not affine
+            j = kb.let("j", (gi * gi) % 1 if False else gi % 2)
+            dst[gi,] = src[j,]
+        k = kb.finish()
+        info = analyze_kernel(k)
+        r = info.reads["src"]
+        assert not r.exact
+        params = dict(bd_z=1, bd_y=1, bd_x=4, gd_z=1, gd_y=1, gd_x=1, n=6)
+        img = _block_image(r, (0, 0, 0), (0, 0, 0), params)
+        assert img == {(i,) for i in range(6)}  # whole array
+
+    def test_nonaffine_write_rejects_kernel(self):
+        kb = KernelBuilder("scatter")
+        n = kb.scalar("n")
+        dst = kb.array("dst", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            dst[gi % 3,] = 1.0
+        info = analyze_kernel(kb.finish())
+        assert not info.partitionable
+        assert "non-affine" in info.reject_reason
+
+    def test_nonaffine_guard_on_write_rejects(self):
+        kb = KernelBuilder("guarded")
+        n = kb.scalar("n")
+        a = kb.array("a", f32, (n,))
+        dst = kb.array("dst", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            with kb.if_(a[gi,] > 0.0):  # data-dependent condition
+                dst[gi,] = 1.0
+        info = analyze_kernel(kb.finish())
+        assert not info.partitionable
+
+    def test_nonaffine_guard_on_read_tolerated(self):
+        kb = KernelBuilder("readguard")
+        n = kb.scalar("n")
+        a = kb.array("a", f32, (n,))
+        dst = kb.array("dst", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            v = kb.let("v", kb.f32const(0.0))
+            with kb.if_(a[gi,] > 0.0):
+                kb.assign(v, a[gi,])
+            dst[gi,] = v
+        info = analyze_kernel(kb.finish())
+        assert info.partitionable  # writes unconditional, reads approximate
+
+
+class TestDisjunctions:
+    def test_or_condition_produces_union(self):
+        kb = KernelBuilder("bands")
+        n = kb.scalar("n")
+        dst = kb.array("dst", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_((gi < 4) | ((gi >= 8) & (gi < n))):
+            dst[gi,] = 1.0
+        info = analyze_kernel(kb.finish())
+        w = info.writes["dst"]
+        assert len(w.access_map.disjuncts) >= 2
+        params = dict(bd_z=1, bd_y=1, bd_x=16, gd_z=1, gd_y=1, gd_x=1, n=12)
+        img = _block_image(w, (0, 0, 0), (0, 0, 0), params)
+        assert img == {(i,) for i in list(range(4)) + list(range(8, 12))}
+
+    def test_else_branch_negation(self):
+        kb = KernelBuilder("halves")
+        n = kb.scalar("n")
+        a = kb.array("a", f32, (n,))
+        b = kb.array("b", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            with kb.if_(gi < 4):
+                a[gi,] = 1.0
+            with kb.otherwise():
+                b[gi,] = 2.0
+        info = analyze_kernel(kb.finish())
+        params = dict(bd_z=1, bd_y=1, bd_x=16, gd_z=1, gd_y=1, gd_x=1, n=10)
+        img_a = _block_image(info.writes["a"], (0, 0, 0), (0, 0, 0), params)
+        img_b = _block_image(info.writes["b"], (0, 0, 0), (0, 0, 0), params)
+        assert img_a == {(i,) for i in range(4)}
+        assert img_b == {(i,) for i in range(4, 10)}
+
+
+class TestParams:
+    def test_float_scalars_ignored_as_params(self):
+        kb = KernelBuilder("floaty"); n = kb.scalar("n"); dt = kb.scalar("dt", f32)
+        a = kb.array("a", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            a[gi,] = dt * 2.0
+        info = analyze_kernel(kb.finish())
+        w = info.writes["a"]
+        assert "dt" not in w.access_map.space.params
+        assert "n" in w.access_map.space.params
+
+    def test_grid_params_present(self, copy_kernel):
+        info = analyze_kernel(copy_kernel)
+        for p in GRID_PARAMS:
+            assert p in info.writes["dst"].access_map.space.params

@@ -1,0 +1,131 @@
+"""Tests for programmer write-pattern annotations (paper §11)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.access_analysis import analyze_kernel
+from repro.compiler.annotations import apply_annotations, parse_write_annotation
+from repro.compiler.pipeline import compile_app
+from repro.cuda.api import CudaApi, MemcpyKind
+from repro.cuda.dim3 import Dim3
+from repro.cuda.dtypes import f32
+from repro.cuda.ir.builder import KernelBuilder
+from repro.errors import AnalysisError
+from repro.runtime.api import MultiGpuApi
+from repro.runtime.config import RuntimeConfig
+
+
+def _obfuscated_copy():
+    """dst[(2*gi)//2] = src[gi]: semantically the identity, but the fdiv
+    makes the write subscript non-affine to the analysis."""
+    kb = KernelBuilder("obfcopy")
+    n = kb.scalar("n")
+    src = kb.array("src", f32, (n,))
+    dst = kb.array("dst", f32, (n,))
+    gi = kb.global_id("x")
+    with kb.if_(gi < n):
+        dst[(gi * 2) // 2,] = src[gi,]
+    return kb.finish()
+
+
+#: The true write map: each thread writes its own global index.
+IDENTITY_ANNOTATION = (
+    "[bd_x, n] -> { [bo_z, bo_y, bo_x, bi_z, bi_y, bi_x] -> [a0] :"
+    " bo_x <= a0 < bo_x + bd_x and 0 <= a0 < n }"
+)
+
+
+class TestParsing:
+    def test_valid_annotation(self):
+        info = analyze_kernel(_obfuscated_copy())
+        m = parse_write_annotation(info, "dst", IDENTITY_ANNOTATION)
+        assert m.space.in_dims == ("bo_z", "bo_y", "bo_x", "bi_z", "bi_y", "bi_x")
+        assert m.space.out_dims == ("a0",)
+
+    def test_wrong_arity_rejected(self):
+        info = analyze_kernel(_obfuscated_copy())
+        with pytest.raises(AnalysisError, match="6 input dimensions"):
+            parse_write_annotation(info, "dst", "{ [i] -> [a] : a = i }")
+
+    def test_wrong_rank_rejected(self):
+        info = analyze_kernel(_obfuscated_copy())
+        with pytest.raises(AnalysisError, match="dimensions"):
+            parse_write_annotation(
+                info, "dst", "{ [a, b, c, d, e, f] -> [x, y] : x = a and y = b }"
+            )
+
+    def test_unknown_param_rejected(self):
+        info = analyze_kernel(_obfuscated_copy())
+        with pytest.raises(AnalysisError, match="unknown parameters"):
+            parse_write_annotation(
+                info, "dst", "[zzz] -> { [a, b, c, d, e, f] -> [x] : x = zzz }"
+            )
+
+    def test_unknown_array_rejected(self):
+        info = analyze_kernel(_obfuscated_copy())
+        with pytest.raises(Exception):
+            apply_annotations(info, {"ghost": IDENTITY_ANNOTATION})
+
+
+class TestApplication:
+    def test_rejection_lifted(self):
+        info = analyze_kernel(_obfuscated_copy())
+        assert not info.partitionable
+        assert info.nonaffine_write_arrays == frozenset({"dst"})
+        apply_annotations(info, {"dst": IDENTITY_ANNOTATION})
+        assert info.partitionable
+        assert info.writes["dst"].annotated and info.writes["dst"].exact
+
+    def test_partial_annotation_not_enough(self):
+        kb = KernelBuilder("two_bad")
+        n = kb.scalar("n")
+        a = kb.array("a", f32, (n,))
+        b = kb.array("b", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            a[(gi * 2) // 2,] = 1.0
+            b[(gi * 3) // 3,] = 2.0
+        info = analyze_kernel(kb.finish())
+        apply_annotations(info, {"a": IDENTITY_ANNOTATION.replace("n }", "n }")})
+        assert not info.partitionable  # b still unmodelled
+
+
+class TestEndToEnd:
+    def test_annotated_kernel_partitions_and_is_correct(self, rng):
+        k = _obfuscated_copy()
+        app = compile_app(
+            [k], write_annotations={"obfcopy": {"dst": IDENTITY_ANNOTATION}}
+        )
+        ck = app.kernel("obfcopy")
+        assert ck.partitionable
+
+        n = 64
+        data = rng.random(n, dtype=np.float32)
+
+        def host(api):
+            d_src = api.cudaMalloc(n * 4)
+            d_dst = api.cudaMalloc(n * 4)
+            api.cudaMemcpy(d_src, data, n * 4, MemcpyKind.HostToDevice)
+            api.launch(k, Dim3(8), Dim3(8), [n, d_src, d_dst])
+            out = np.zeros(n, dtype=np.float32)
+            api.cudaMemcpy(out, d_dst, n * 4, MemcpyKind.DeviceToHost)
+            return out
+
+        ref = host(CudaApi())
+        for g in (2, 4):
+            api = MultiGpuApi(app, RuntimeConfig(n_gpus=g))
+            got = host(api)
+            assert np.array_equal(ref, got)
+            assert api.stats.fallback_launches == 0  # genuinely partitioned
+
+    def test_without_annotation_falls_back(self, rng):
+        k = _obfuscated_copy()
+        app = compile_app([k])
+        assert not app.kernel("obfcopy").partitionable
+        api = MultiGpuApi(app, RuntimeConfig(n_gpus=4))
+        n = 64
+        d_src = api.cudaMalloc(n * 4)
+        d_dst = api.cudaMalloc(n * 4)
+        api.cudaMemcpy(d_src, rng.random(n, dtype=np.float32), n * 4, MemcpyKind.HostToDevice)
+        api.launch(k, Dim3(8), Dim3(8), [n, d_src, d_dst])
+        assert api.stats.fallback_launches == 1

@@ -1,0 +1,94 @@
+"""Unit tests for the blockOff recognizer (paper §4.1)."""
+
+from repro.compiler.blockoff import contains_blockoff, encapsulate_block_offsets
+from repro.cuda.dtypes import f32
+from repro.cuda.ir.builder import KernelBuilder
+from repro.cuda.ir.exprs import BinOp, GridIdx
+from repro.cuda.ir.stmts import If, Store
+from repro.cuda.ir.visitors import walk_body, walk_expr
+
+
+def _all_exprs(kernel):
+    for stmt in walk_body(kernel.body):
+        for attr in ("value", "cond", "lo", "hi"):
+            e = getattr(stmt, attr, None)
+            if e is not None:
+                yield from walk_expr(e)
+        for e in getattr(stmt, "indices", ()):
+            yield from walk_expr(e)
+
+
+def _build(kernel_fn):
+    kb = KernelBuilder("k")
+    n = kb.scalar("n")
+    a = kb.array("a", f32, (n,))
+    kernel_fn(kb, n, a)
+    return kb.finish()
+
+
+class TestRecognition:
+    def test_canonical_idiom_rewritten(self):
+        def body(kb, n, a):
+            gi = kb.global_id("x")  # blockIdx.x*blockDim.x + threadIdx.x
+            with kb.if_(gi < n):
+                a[gi,] = 1.0
+
+        k = encapsulate_block_offsets(_build(body))
+        assert contains_blockoff(k)
+        # No blockIdx*blockDim product survives.
+        for e in _all_exprs(k):
+            if isinstance(e, BinOp) and e.op == "mul":
+                regs = {
+                    getattr(e.lhs, "register", None),
+                    getattr(e.rhs, "register", None),
+                }
+                assert regs != {"blockIdx", "blockDim"}
+
+    def test_swapped_operands_recognized(self):
+        def body(kb, n, a):
+            gi = kb.blockDim.x * kb.blockIdx.x + kb.threadIdx.x
+            with kb.if_(gi < n):
+                a[gi,] = 1.0
+
+        k = encapsulate_block_offsets(_build(body))
+        assert contains_blockoff(k)
+
+    def test_mismatched_axes_left_alone(self):
+        def body(kb, n, a):
+            weird = kb.blockIdx.x * kb.blockDim.y + kb.threadIdx.x
+            with kb.if_(weird < n):
+                a[weird,] = 1.0
+
+        k = encapsulate_block_offsets(_build(body))
+        assert not contains_blockoff(k)
+
+    def test_rewrite_in_loop_bounds_and_stores(self):
+        def body(kb, n, a):
+            gi = kb.global_id("x")
+            with kb.if_(gi < n):
+                with kb.for_range("j", 0, gi) as j:
+                    a[j,] = 0.0
+
+        k = encapsulate_block_offsets(_build(body))
+        assert contains_blockoff(k)
+
+    def test_idempotent(self):
+        def body(kb, n, a):
+            gi = kb.global_id("x")
+            with kb.if_(gi < n):
+                a[gi,] = 1.0
+
+        once = encapsulate_block_offsets(_build(body))
+        twice = encapsulate_block_offsets(once)
+        assert once.body == twice.body
+
+    def test_plain_kernel_unchanged(self):
+        def body(kb, n, a):
+            bi = kb.blockIdx.x
+            with kb.if_(bi < n):
+                a[bi,] = 1.0
+
+        k = _build(body)
+        rewritten = encapsulate_block_offsets(k)
+        assert rewritten.body == k.body
+        assert not contains_blockoff(rewritten)

@@ -1,0 +1,111 @@
+"""Unit tests for the launch-time coverage validation."""
+
+import pytest
+
+from repro.compiler.access_analysis import analyze_kernel
+from repro.compiler.coverage import (
+    CoverageDisjunct,
+    CoverageSpec,
+    CoverageTerm,
+    GuardSpec,
+    coverage_validates,
+)
+from repro.compiler.strategy import Partition
+from repro.cuda.dim3 import Dim3
+
+GRID = Dim3(x=4, y=4)
+BLOCK = Dim3(x=16, y=16)
+FULL = Partition.whole(GRID)
+
+
+def _disjunct(terms, const=0, guards=()):
+    return CoverageDisjunct(const, tuple(CoverageTerm(d, k) for d, k in terms), tuple(guards))
+
+
+class TestProgressions:
+    def test_unit_stride_row_major(self):
+        # 64*(bo_y + ti_y) + bo_x + ti_x: full-width rows are contiguous.
+        d = _disjunct([("bo_y", 64), ("ti_y", 64), ("bo_x", 1), ("ti_x", 1)])
+        assert coverage_validates(CoverageSpec("C", (d,)), FULL, BLOCK, GRID)
+
+    def test_gap_detected(self):
+        # 64*row but columns only span 16 values: rows don't tile.
+        d = _disjunct([("bo_y", 64), ("ti_y", 64), ("ti_x", 1)])
+        assert not coverage_validates(CoverageSpec("C", (d,)), FULL, BLOCK, GRID)
+
+    def test_strided_union_complete_residues(self):
+        # N-Body float4 pattern: 4*gid + c for c in 0..3.
+        ds = tuple(
+            _disjunct([("bo_x", 4), ("ti_x", 4)], const=c) for c in range(4)
+        )
+        assert coverage_validates(CoverageSpec("pos", ds), FULL, BLOCK, GRID)
+
+    def test_strided_union_missing_residue(self):
+        ds = tuple(_disjunct([("bo_x", 4), ("ti_x", 4)], const=c) for c in (0, 1, 3))
+        assert not coverage_validates(CoverageSpec("pos", ds), FULL, BLOCK, GRID)
+
+    def test_pure_stride_without_union_fails(self):
+        d = _disjunct([("bo_x", 2), ("ti_x", 2)])
+        assert not coverage_validates(CoverageSpec("a", (d,)), FULL, BLOCK, GRID)
+
+    def test_constant_only_write(self):
+        d = _disjunct([])
+        assert coverage_validates(CoverageSpec("a", (d,)), FULL, BLOCK, GRID)
+
+
+class TestGuards:
+    def test_proportional_guard_accepted(self):
+        # guard: n - 1 - 4*gid >= 0 is proportional to index 4*gid.
+        g = GuardSpec(1023, (CoverageTerm("bo_x", -4), CoverageTerm("ti_x", -4)))
+        d = _disjunct([("bo_x", 4), ("ti_x", 4)], guards=[g])
+        ds = tuple(
+            CoverageDisjunct(c, d.terms, d.guards) for c in range(4)
+        )
+        assert coverage_validates(CoverageSpec("pos", ds), FULL, BLOCK, GRID)
+
+    def test_redundant_guard_accepted(self):
+        # col < 64 is redundant when the box tops out at 63.
+        g = GuardSpec(63, (CoverageTerm("bo_x", -1), CoverageTerm("ti_x", -1)))
+        d = _disjunct(
+            [("bo_y", 64), ("ti_y", 64), ("bo_x", 1), ("ti_x", 1)], guards=[g]
+        )
+        assert coverage_validates(CoverageSpec("C", (d,)), FULL, BLOCK, GRID)
+
+    def test_biting_partial_guard_rejected(self):
+        # col < 32 cuts rows in half: gaps between rows -> reject.
+        g = GuardSpec(31, (CoverageTerm("bo_x", -1), CoverageTerm("ti_x", -1)))
+        d = _disjunct(
+            [("bo_y", 64), ("ti_y", 64), ("bo_x", 1), ("ti_x", 1)], guards=[g]
+        )
+        assert not coverage_validates(CoverageSpec("C", (d,)), FULL, BLOCK, GRID)
+
+
+class TestWorkloadSpecs:
+    def test_matmul_spec_validates_aligned_launch(self):
+        from repro.workloads.matmul import build_matmul_kernel
+
+        info = analyze_kernel(build_matmul_kernel(64))
+        spec = info.writes["C"].coverage
+        assert spec is not None
+        assert coverage_validates(spec, FULL, BLOCK, GRID)
+
+    def test_nbody_spec_validates(self):
+        from repro.workloads.nbody import build_nbody_kernel
+
+        info = analyze_kernel(build_nbody_kernel(256))
+        for arr in ("pos_out", "vel_out"):
+            spec = info.writes[arr].coverage
+            assert spec is not None
+            assert coverage_validates(
+                spec, Partition.whole(Dim3(x=2)), Dim3(x=128), Dim3(x=2)
+            )
+
+    def test_matmul_partition_bands_validate(self):
+        from repro.compiler.strategy import PartitionStrategy
+        from repro.workloads.matmul import build_matmul_kernel
+
+        info = analyze_kernel(build_matmul_kernel(64))
+        spec = info.writes["C"].coverage
+        for part in PartitionStrategy(axis="y").partitions(GRID, 3):
+            if not part.is_empty:
+                assert coverage_validates(spec, part, BLOCK, GRID)

@@ -1,0 +1,92 @@
+"""Unit tests for the kernel partitioning transform (§7)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.kernel_partition import partition_kernel
+from repro.cuda.dim3 import Dim3
+from repro.cuda.dtypes import f32
+from repro.cuda.exec.interpreter import run_kernel
+from repro.cuda.ir.builder import KernelBuilder
+from repro.cuda.ir.kernel import partition_field_name
+from repro.errors import PartitioningError
+
+
+def _fields(part):
+    names = ("min_z", "max_z", "min_y", "max_y", "min_x", "max_x")
+    return {partition_field_name("partition", f): v for f, v in zip(names, part)}
+
+
+class TestTransform:
+    def test_appends_partition_param(self, copy_kernel):
+        pk = partition_kernel(copy_kernel)
+        assert pk.is_partitioned
+        assert pk.name.endswith("__partitioned")
+        assert not copy_kernel.is_partitioned  # original untouched
+
+    def test_double_partition_rejected(self, copy_kernel):
+        pk = partition_kernel(copy_kernel)
+        with pytest.raises(PartitioningError):
+            partition_kernel(pk)
+
+    def test_partitioned_execution_matches_slice(self, rng):
+        """The clone over partition [lo, hi) writes exactly what the
+        original wrote for those blocks (Equations 8-10)."""
+        kb = KernelBuilder("fill")
+        n = kb.scalar("n")
+        out = kb.array("out", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            out[gi,] = kb.blockIdx.x * 100 + kb.threadIdx.x
+        k = kb.finish()
+        pk = partition_kernel(k)
+
+        n = 32
+        full = np.full(n, -1, dtype=np.float32)
+        run_kernel(k, Dim3(4), Dim3(8), {"n": n, "out": full})
+
+        part = np.full(n, -1, dtype=np.float32)
+        args = {"n": n, "out": part}
+        args.update(_fields((0, 1, 0, 1, 1, 3)))  # blocks x in [1, 3)
+        run_kernel(pk, Dim3(2), Dim3(8), args)
+
+        assert np.array_equal(part[8:24], full[8:24])
+        assert np.all(part[:8] == -1) and np.all(part[24:] == -1)
+
+    def test_grid_dim_substituted(self):
+        """gridDim references become partition.max (Equation 9)."""
+        kb = KernelBuilder("gridref")
+        n = kb.scalar("n")
+        out = kb.array("out", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            out[gi,] = kb.gridDim.x
+        pk = partition_kernel(kb.finish())
+        out = np.zeros(16, dtype=np.float32)
+        args = {"n": 16, "out": out}
+        args.update(_fields((0, 1, 0, 1, 0, 4)))
+        run_kernel(pk, Dim3(2), Dim3(8), args)
+        assert np.all(out[:16] == 4.0)  # original grid extent, not local 2
+
+    def test_union_of_partitions_equals_whole(self, rng):
+        kb = KernelBuilder("sq")
+        n = kb.scalar("n")
+        src = kb.array("src", f32, (n,))
+        out = kb.array("out", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            out[gi,] = src[gi,] * src[gi,]
+        k = kb.finish()
+        pk = partition_kernel(k)
+
+        n = 48
+        src = rng.random(n, dtype=np.float32)
+        full = np.zeros(n, dtype=np.float32)
+        run_kernel(k, Dim3(6), Dim3(8), {"n": n, "src": src, "out": full})
+
+        stitched = np.zeros(n, dtype=np.float32)
+        for lo, hi in ((0, 2), (2, 5), (5, 6)):
+            args = {"n": n, "src": src, "out": stitched}
+            args.update(_fields((0, 1, 0, 1, lo, hi)))
+            run_kernel(pk, Dim3(hi - lo), Dim3(8), args)
+        assert np.array_equal(stitched, full)

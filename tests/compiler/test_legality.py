@@ -1,0 +1,161 @@
+"""Unit tests for partitioning legality (exactness + injectivity, §4)."""
+
+import pytest
+
+from repro.compiler.access_analysis import analyze_kernel
+from repro.compiler.legality import (
+    check_partitionable,
+    check_write_access,
+    involved_dims,
+    is_map_injective,
+    substitute_block_dims,
+)
+from repro.cuda.dtypes import f32
+from repro.cuda.ir.builder import KernelBuilder
+from repro.errors import InjectivityError, PartitioningError
+from repro.poly import parse_map
+
+
+def _kernel(body_fn, name="k"):
+    kb = KernelBuilder(name)
+    n = kb.scalar("n")
+    a = kb.array("a", f32, (n,))
+    b = kb.array("b", f32, (n,))
+    body_fn(kb, n, a, b)
+    return kb.finish()
+
+
+class TestInjectivity:
+    def test_identity_write_is_injective(self, copy_kernel):
+        info = analyze_kernel(copy_kernel)
+        axes, cov = check_write_access(info.writes["dst"])
+        assert not cov
+        assert axes == frozenset({"y", "z"})  # 1-D kernel ignores y and z
+
+    def test_all_to_one_requires_unit_grid(self):
+        # Every thread writes cell 0: the write does not depend on any grid
+        # axis, so legality demands unit extent on all three axes (i.e. a
+        # single thread) — a multi-thread launch is then rejected.
+        def body(kb, n, a, b):
+            gi = kb.global_id("x")
+            with kb.if_(gi < n):
+                b[0,] = a[gi,]
+
+        info = analyze_kernel(_kernel(body))
+        axes, cov = check_write_access(info.writes["b"])
+        assert axes == frozenset({"x", "y", "z"})
+
+    def test_two_to_one_rejected(self):
+        def body(kb, n, a, b):
+            gi = kb.global_id("x")
+            with kb.if_(gi < n):
+                b[gi,] = 1.0
+            with kb.if_((gi >= n) & (gi < 2 * n)):
+                b[gi - n,] = 2.0  # second thread group hits the same cells
+
+        info = analyze_kernel(_kernel(body))
+        with pytest.raises(InjectivityError):
+            check_write_access(info.writes["b"])
+
+    def test_disjoint_branch_writes_accepted(self):
+        def body(kb, n, a, b):
+            gi = kb.global_id("x")
+            with kb.if_(gi < n):
+                with kb.if_(gi < 4):
+                    b[gi,] = 1.0
+                with kb.otherwise():
+                    b[gi,] = 2.0
+
+        info = analyze_kernel(_kernel(body))
+        check_write_access(info.writes["b"])  # must not raise
+
+    def test_shifted_write_injective(self):
+        def body(kb, n, a, b):
+            gi = kb.global_id("x")
+            with kb.if_(gi < n - 5):
+                b[gi + 5,] = a[gi,]
+
+        info = analyze_kernel(_kernel(body))
+        check_write_access(info.writes["b"])  # must not raise
+
+    def test_strided_write_injective_with_runtime_coverage(self):
+        # Stride-2 writes: injective, but the scan is over-approximated, so
+        # legality defers exactness to the launch-time coverage check. The
+        # bound must be a compile-time constant for the coverage spec (a
+        # symbolic parameter in a guard disqualifies it).
+        def body(kb, n, a, b):
+            gi = kb.global_id("x")
+            with kb.if_(2 * gi < 64):
+                b[2 * gi,] = a[gi,]
+
+        kb = KernelBuilder("strided")
+        n = kb.scalar("n")
+        a = kb.array("a", f32, (128,))
+        b = kb.array("b", f32, (128,))
+        body(kb, n, a, b)
+        info = analyze_kernel(kb.finish())
+        axes, cov = check_write_access(info.writes["b"])
+        assert cov  # runtime coverage validation required
+
+
+class TestInvolvedDims:
+    def test_unused_axis_not_involved(self, copy_kernel):
+        info = analyze_kernel(copy_kernel)
+        gm = info.writes["dst"].gid_map
+        assert involved_dims(gm, ("g_z", "g_y", "g_x")) == ("g_x",)
+
+    def test_is_map_injective_direct(self):
+        m = parse_map("{ [i] -> [o] : o = 2*i and 0 <= i }")
+        assert is_map_injective(m, ("i",))
+        m2 = parse_map("{ [i] -> [o] : o = 0 and 0 <= i < 10 }")
+        assert not is_map_injective(m2, ("i",))
+
+
+class TestBlockDimSpecialization:
+    def test_block_granular_write(self):
+        # One write per block by thread 0: injective over blocks only.
+        def body(kb, n, a, b):
+            with kb.if_((kb.threadIdx.x.eq(0)) & (kb.blockIdx.x < n)):
+                b[kb.blockIdx.x,] = 1.0
+
+        info = analyze_kernel(_kernel(body))
+        access = info.writes["b"]
+        assert access.gid_map is None  # blockIdx used directly
+        specialized = substitute_block_dims(access, (1, 1, 64))
+        assert is_map_injective(specialized, ("bi_x",))
+        axes, _ = check_write_access(access, block_dim=(1, 1, 64))
+        assert "z" in axes and "y" in axes
+
+    def test_block_granular_requires_block_dim(self):
+        def body(kb, n, a, b):
+            with kb.if_((kb.threadIdx.x.eq(0)) & (kb.blockIdx.x < n)):
+                b[kb.blockIdx.x,] = 1.0
+
+        info = analyze_kernel(_kernel(body))
+        with pytest.raises(InjectivityError, match="concrete block size"):
+            check_write_access(info.writes["b"])
+
+
+class TestCheckPartitionable:
+    def test_whole_kernel(self, stencil_kernel):
+        info = analyze_kernel(stencil_kernel)
+        axes, cov = check_partitionable(info)
+        assert axes == frozenset({"z"})
+        assert not cov
+
+    def test_rejected_kernel_raises(self):
+        def body(kb, n, a, b):
+            gi = kb.global_id("x")
+            with kb.if_(gi < n):
+                b[gi % 3,] = 1.0
+
+        info = analyze_kernel(_kernel(body))
+        with pytest.raises(PartitioningError):
+            check_partitionable(info)
+
+    def test_flat_kernel_needs_runtime_coverage(self):
+        from repro.workloads.matmul import build_matmul_kernel
+
+        info = analyze_kernel(build_matmul_kernel(64))
+        axes, cov = check_partitionable(info)
+        assert cov  # flat subscripts -> launch-time validation

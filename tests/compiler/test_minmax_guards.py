@@ -1,0 +1,131 @@
+"""Tests for min/max expansion in affine guard conditions."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.access_analysis import analyze_kernel
+from repro.compiler.pipeline import compile_app
+from repro.cuda.api import CudaApi, MemcpyKind
+from repro.cuda.dim3 import Dim3
+from repro.cuda.dtypes import f32
+from repro.cuda.ir.builder import KernelBuilder
+from repro.runtime.api import MultiGpuApi
+from repro.runtime.config import RuntimeConfig
+
+
+def _block_write_pts(info, array, params):
+    pts = set()
+    for d in info.writes[array].access_map.disjuncts:
+        bs = d.bset
+        for name, v in params.items():
+            if bs.space.has(name):
+                bs = bs.fix(name, v)
+        pts |= set(bs.enumerate_points())
+    return pts
+
+
+PARAMS = dict(
+    bd_z=1, bd_y=1, bd_x=32, gd_z=1, gd_y=1, gd_x=1,
+    bo_z=0, bo_y=0, bo_x=0, bi_z=0, bi_y=0, bi_x=0,
+)
+
+
+class TestMinGuard:
+    def test_lt_min_is_conjunction(self):
+        kb = KernelBuilder("ltmin")
+        n = kb.scalar("n")
+        m = kb.scalar("m")
+        dst = kb.array("dst", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < kb.minimum(n + 0, m + 0)):
+            dst[gi,] = 1.0
+        info = analyze_kernel(kb.finish())
+        assert info.partitionable
+        pts = _block_write_pts(info, "dst", {**PARAMS, "n": 10, "m": 6})
+        assert pts == {(i,) for i in range(6)}
+
+    def test_lt_max_is_disjunction(self):
+        kb = KernelBuilder("ltmax")
+        n = kb.scalar("n")
+        m = kb.scalar("m")
+        dst = kb.array("dst", f32, (30,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < kb.maximum(n + 0, m + 0)):
+            dst[gi,] = 1.0
+        info = analyze_kernel(kb.finish())
+        pts = _block_write_pts(info, "dst", {**PARAMS, "n": 10, "m": 6})
+        assert pts == {(i,) for i in range(10)}
+
+    def test_ge_min_is_disjunction(self):
+        kb = KernelBuilder("gemin")
+        n = kb.scalar("n")
+        m = kb.scalar("m")
+        dst = kb.array("dst", f32, (32,))
+        gi = kb.global_id("x")
+        with kb.if_((gi >= kb.minimum(n + 0, m + 0)) & (gi < 20)):
+            dst[gi,] = 1.0
+        info = analyze_kernel(kb.finish())
+        pts = _block_write_pts(info, "dst", {**PARAMS, "n": 10, "m": 6})
+        assert pts == {(i,) for i in range(6, 20)}
+
+    def test_min_on_lhs(self):
+        kb = KernelBuilder("lhsmin")
+        n = kb.scalar("n")
+        dst = kb.array("dst", f32, (32,))
+        gi = kb.global_id("x")
+        with kb.if_(kb.minimum(gi + 0, n + 0) > 4):
+            with kb.if_(gi < 20):
+                dst[gi,] = 1.0
+        info = analyze_kernel(kb.finish())
+        # min(gi, n) > 4 <=> gi > 4 and n > 4
+        pts = _block_write_pts(info, "dst", {**PARAMS, "n": 10})
+        assert pts == {(i,) for i in range(5, 20)}
+        assert _block_write_pts(info, "dst", {**PARAMS, "n": 3}) == set()
+
+    def test_negated_min_guard(self):
+        # else-branch of (gi < min(n, m)): gi >= n or gi >= m.
+        kb = KernelBuilder("negmin")
+        n = kb.scalar("n")
+        m = kb.scalar("m")
+        a = kb.array("a", f32, (32,))
+        b = kb.array("b", f32, (32,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < 20):
+            with kb.if_(gi < kb.minimum(n + 0, m + 0)):
+                a[gi,] = 1.0
+            with kb.otherwise():
+                b[gi,] = 2.0
+        info = analyze_kernel(kb.finish())
+        pts_b = _block_write_pts(info, "b", {**PARAMS, "n": 10, "m": 6})
+        assert pts_b == {(i,) for i in range(6, 20)}
+
+
+class TestEndToEnd:
+    def test_clamped_tail_kernel(self, rng):
+        """The common `for the last partial tile` clamp pattern."""
+        kb = KernelBuilder("clamp")
+        n = kb.scalar("n")
+        limit = kb.scalar("limit")
+        src = kb.array("src", f32, (64,))
+        dst = kb.array("dst", f32, (64,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < kb.minimum(n + 0, limit + 0)):
+            dst[gi,] = src[gi,]
+        k = kb.finish()
+        app = compile_app([k])
+        assert app.kernel("clamp").partitionable
+        data = rng.random(64, dtype=np.float32)
+
+        def host(api):
+            d_s = api.cudaMalloc(64 * 4)
+            d_d = api.cudaMalloc(64 * 4)
+            api.cudaMemcpy(d_s, data, 64 * 4, MemcpyKind.HostToDevice)
+            api.cudaMemcpy(d_d, np.zeros(64, dtype=np.float32), 64 * 4, MemcpyKind.HostToDevice)
+            api.launch(k, Dim3(8), Dim3(8), [50, 60, d_s, d_d])
+            out = np.zeros(64, dtype=np.float32)
+            api.cudaMemcpy(out, d_d, 64 * 4, MemcpyKind.DeviceToHost)
+            return out
+
+        ref = host(CudaApi())
+        got = host(MultiGpuApi(app, RuntimeConfig(n_gpus=4)))
+        assert np.array_equal(ref, got)

@@ -1,0 +1,131 @@
+"""Unit tests for the app model (§4), rewriter (§5) and pipeline (§3)."""
+
+import json
+
+import pytest
+
+from repro.compiler.model import AppModel
+from repro.compiler.pipeline import baseline_compile, compile_app
+from repro.compiler.rewriter import API_REPLACEMENTS, rewrite_source
+from repro.errors import AnalysisError, RewriteError
+from repro.poly.parser import parse_map
+
+CUDA_HOST_SOURCE = """
+int main() {
+    float *d_in, *d_out;
+    cudaMalloc(&d_in, N * sizeof(float));
+    cudaMalloc(&d_out, N * sizeof(float));
+    cudaMemcpy(d_in, h_in, N * sizeof(float), cudaMemcpyHostToDevice);
+    for (int i = 0; i < ITERS; ++i) {
+        stencil<<<dim3(N/16, N/16), dim3(16, 16)>>>(d_in, d_out, N);
+        swap(d_in, d_out);
+    }
+    cudaMemcpy(h_out, d_in, N * sizeof(float), cudaMemcpyDeviceToHost);
+    cudaDeviceSynchronize();
+    cudaFree(d_in);
+    cudaFree(d_out);
+    return 0;
+}
+"""
+
+
+class TestRewriter:
+    def test_three_substitution_classes(self):
+        result = rewrite_source(CUDA_HOST_SOURCE, kernel_names=["stencil"])
+        assert result.header_insertions == 1
+        assert result.source.startswith('#include "mgpu_runtime.h"')
+        assert result.launch_substitutions == ["stencil"]
+        assert result.api_substitutions["cudaMalloc"] == 2
+        assert result.api_substitutions["cudaMemcpy"] == 2
+        assert result.api_substitutions["cudaFree"] == 2
+        assert result.api_substitutions["cudaDeviceSynchronize"] == 1
+
+    def test_launch_expansion_form(self):
+        result = rewrite_source(CUDA_HOST_SOURCE, kernel_names=["stencil"])
+        assert 'mgpuLaunchKernel("stencil", dim3(N/16, N/16), dim3(16, 16), ' in result.source
+        assert "MGPU_ARGS(d_in, d_out, N)" in result.source
+        assert "<<<" not in result.source
+
+    def test_all_api_names_replaced(self):
+        src = "\n".join(f"{name}(x);" for name in API_REPLACEMENTS)
+        out = rewrite_source(src).source
+        for cuda_name, mgpu_name in API_REPLACEMENTS.items():
+            assert cuda_name not in out.replace(mgpu_name, "")
+            assert mgpu_name in out
+
+    def test_memcpy_async_not_shadowed_by_memcpy(self):
+        out = rewrite_source("cudaMemcpyAsync(a, b, n, k);").source
+        assert "mgpuMemcpyAsync" in out
+        assert "mgpuMemcpyAsyncAsync" not in out
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(RewriteError):
+            rewrite_source("foo<<<g, b>>>(x);", kernel_names=["bar"])
+
+    def test_identifiers_containing_api_names_untouched(self):
+        out = rewrite_source("int my_cudaMalloc_count = 0;").source
+        assert "my_cudaMalloc_count" in out
+
+
+class TestAppModel:
+    def test_json_roundtrip(self, stencil_kernel, tmp_path):
+        app = compile_app([stencil_kernel], model_path=tmp_path / "model.json")
+        text = (tmp_path / "model.json").read_text()
+        payload = json.loads(text)
+        assert payload["version"] == 1
+        loaded = AppModel.load(tmp_path / "model.json")
+        km = loaded.get("stencil")
+        assert km.partitionable
+        assert km.strategy_axis == "y"
+        assert km.unit_axes == ("z",)
+
+    def test_maps_reparse_from_model(self, stencil_kernel, tmp_path):
+        compile_app([stencil_kernel], model_path=tmp_path / "m.json")
+        loaded = AppModel.load(tmp_path / "m.json")
+        arg = next(a for a in loaded.get("stencil").args if a.name == "dst")
+        m = arg.write.to_map()  # isl-notation round trip
+        assert m.space.n_in == 6 and m.space.n_out == 2
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(AnalysisError):
+            AppModel().get("ghost")
+
+
+class TestPipeline:
+    def test_two_pass_structure(self, stencil_kernel):
+        app = compile_app([stencil_kernel])
+        assert app.timings.pass1 > 0 and app.timings.pass2 > 0
+        ck = app.kernel("stencil")
+        assert ck.partitionable and ck.partitioned is not None
+        assert len(app.enumerators) == 2
+
+    def test_rejected_kernel_recorded_not_fatal(self):
+        from repro.cuda.dtypes import f32
+        from repro.cuda.ir.builder import KernelBuilder
+
+        kb = KernelBuilder("bad")
+        n = kb.scalar("n")
+        dst = kb.array("dst", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            dst[gi % 2,] = 1.0
+        app = compile_app([kb.finish()])
+        ck = app.kernel("bad")
+        assert not ck.partitionable
+        assert ck.partitioned is None
+        assert ck.model.reject_reason
+
+    def test_host_source_rewritten(self, stencil_kernel):
+        app = compile_app([stencil_kernel], host_source="stencil<<<g, b>>>(a, b, n);")
+        assert app.rewrite_result is not None
+        assert app.rewrite_result.launch_substitutions == ["stencil"]
+
+    def test_compile_time_exceeds_baseline(self, stencil_kernel):
+        base = baseline_compile([stencil_kernel])
+        app = compile_app([stencil_kernel])
+        assert app.timings.total > base  # the paper reports 1.9x-2.2x
+
+    def test_mixed_app(self, stencil_kernel, copy_kernel):
+        app = compile_app([stencil_kernel, copy_kernel])
+        assert app.kernel("stencil").partitionable
+        assert app.kernel("copy1d").partitionable

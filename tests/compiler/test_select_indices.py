@@ -1,0 +1,103 @@
+"""Tests for piecewise-affine (select-bearing) subscripts."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.access_analysis import analyze_kernel
+from repro.compiler.legality import check_partitionable
+from repro.compiler.pipeline import compile_app
+from repro.cuda.api import CudaApi, MemcpyKind
+from repro.cuda.dim3 import Dim3
+from repro.cuda.dtypes import f32
+from repro.cuda.ir.builder import KernelBuilder
+from repro.errors import PartitioningError
+from repro.runtime.api import MultiGpuApi
+from repro.runtime.config import RuntimeConfig
+
+
+def _select_shift_kernel():
+    """dst[gi < 16 ? gi : gi + 16] — a piecewise-affine, injective write."""
+    kb = KernelBuilder("selshift")
+    n = kb.scalar("n")
+    src = kb.array("src", f32, (2 * n,))
+    dst = kb.array("dst", f32, (2 * n,))
+    gi = kb.global_id("x")
+    with kb.if_(gi < n):
+        target = kb.select(gi < 16, gi + 0, gi + 16)
+        dst[target,] = src[gi,]
+    return kb.finish()
+
+
+class TestAnalysis:
+    def test_select_write_is_exact_union(self):
+        info = analyze_kernel(_select_shift_kernel())
+        assert info.partitionable
+        w = info.writes["dst"]
+        assert w.exact
+        assert len(w.access_map.disjuncts) == 2  # one per select branch
+
+    def test_select_injectivity_provable(self):
+        info = analyze_kernel(_select_shift_kernel())
+        check_partitionable(info)  # branch images are provably disjoint
+
+    def test_overlapping_select_branches_rejected(self):
+        # dst[gi < 16 ? gi : gi - 16]: threads 0 and 16 collide.
+        kb = KernelBuilder("collide")
+        n = kb.scalar("n")
+        dst = kb.array("dst", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            dst[kb.select(gi < 16, gi + 0, gi - 16),] = 1.0
+        info = analyze_kernel(kb.finish())
+        with pytest.raises(PartitioningError):
+            check_partitionable(info)
+
+    def test_nonaffine_select_condition_still_rejected(self):
+        kb = KernelBuilder("datadep")
+        n = kb.scalar("n")
+        a = kb.array("a", f32, (n,))
+        dst = kb.array("dst", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            dst[kb.select(a[gi,] > 0.0, gi + 0, gi + 0),] = 1.0
+        info = analyze_kernel(kb.finish())
+        assert not info.partitionable
+
+    def test_nested_select(self):
+        kb = KernelBuilder("nested")
+        n = kb.scalar("n")
+        dst = kb.array("dst", f32, (4 * n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            inner = kb.select(gi < 8, gi + 0, gi + n)
+            dst[kb.select(gi < 4, inner + 2 * n, inner),] = 1.0
+        info = analyze_kernel(kb.finish())
+        w = info.writes["dst"]
+        assert w.exact
+        assert len(w.access_map.disjuncts) >= 3
+
+
+class TestEndToEnd:
+    def test_select_kernel_partitions_correctly(self, rng):
+        k = _select_shift_kernel()
+        app = compile_app([k])
+        assert app.kernel("selshift").partitionable
+        n = 64
+        data = rng.random(n, dtype=np.float32)
+
+        def host(api):
+            d_src = api.cudaMalloc(2 * n * 4)
+            d_dst = api.cudaMalloc(2 * n * 4)
+            api.cudaMemcpy(d_src, np.concatenate([data, data]), 2 * n * 4, MemcpyKind.HostToDevice)
+            api.cudaMemcpy(d_dst, np.zeros(2 * n, dtype=np.float32), 2 * n * 4, MemcpyKind.HostToDevice)
+            api.launch(k, Dim3(8), Dim3(8), [n, d_src, d_dst])
+            out = np.zeros(2 * n, dtype=np.float32)
+            api.cudaMemcpy(out, d_dst, 2 * n * 4, MemcpyKind.DeviceToHost)
+            return out
+
+        ref = host(CudaApi())
+        for g in (2, 4):
+            api = MultiGpuApi(app, RuntimeConfig(n_gpus=g))
+            got = host(api)
+            assert np.array_equal(ref, got), g
+            assert api.stats.fallback_launches == 0

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cuda.dtypes import f32
+from repro.cuda.ir.builder import KernelBuilder
+
+
+@pytest.fixture(scope="session")
+def stencil_kernel():
+    """A guarded 5-point stencil (the canonical analyzable kernel)."""
+    kb = KernelBuilder("stencil")
+    n = kb.scalar("n")
+    src = kb.array("src", f32, (n, n))
+    dst = kb.array("dst", f32, (n, n))
+    gy, gx = kb.global_id("y"), kb.global_id("x")
+    with kb.if_((gy > 0) & (gy < n - 1) & (gx > 0) & (gx < n - 1)):
+        c = src[gy, gx]
+        acc = src[gy - 1, gx] + src[gy + 1, gx] + src[gy, gx - 1] + src[gy, gx + 1]
+        dst[gy, gx] = c + 0.1 * (acc - 4.0 * c)
+    return kb.finish()
+
+
+@pytest.fixture(scope="session")
+def copy_kernel():
+    """1-D identity copy: the simplest 1:1 write pattern."""
+    kb = KernelBuilder("copy1d")
+    n = kb.scalar("n")
+    src = kb.array("src", f32, (n,))
+    dst = kb.array("dst", f32, (n,))
+    gi = kb.global_id("x")
+    with kb.if_(gi < n):
+        dst[gi,] = src[gi,]
+    return kb.finish()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,133 @@
+"""Unit tests for the kernel builder DSL."""
+
+import pytest
+
+from repro.cuda.dtypes import boolean, f32, i64
+from repro.cuda.ir.builder import KernelBuilder, Val
+from repro.cuda.ir.exprs import BinOp, Const, GridIdx, Load, Param
+from repro.cuda.ir.stmts import Assign, For, If, Let, Store
+from repro.errors import ValidationError
+
+
+class TestParameters:
+    def test_scalar_param(self):
+        kb = KernelBuilder("k")
+        n = kb.scalar("n")
+        assert isinstance(n.expr, Param)
+        k = kb.finish()
+        assert [p.name for p in k.scalar_params] == ["n"]
+
+    def test_array_param_with_symbolic_shape(self):
+        kb = KernelBuilder("k")
+        n = kb.scalar("n")
+        a = kb.array("a", f32, (n, n * 2))
+        k = kb.finish()
+        assert k.array_params[0].ndim == 2
+
+    def test_duplicate_params_rejected(self):
+        kb = KernelBuilder("k")
+        kb.scalar("n")
+        kb.scalar("n")
+        with pytest.raises(ValidationError):
+            kb.finish()
+
+
+class TestExpressions:
+    def test_global_id_emits_literal_idiom(self):
+        kb = KernelBuilder("k")
+        g = kb.global_id("x")
+        e = g.expr
+        assert isinstance(e, BinOp) and e.op == "add"
+        assert isinstance(e.lhs, BinOp) and e.lhs.op == "mul"
+        regs = {e.lhs.lhs.register, e.lhs.rhs.register}
+        assert regs == {"blockIdx", "blockDim"}
+        assert e.rhs.register == "threadIdx"
+
+    def test_operator_overloads_produce_ir(self):
+        kb = KernelBuilder("k")
+        n = kb.scalar("n")
+        e = (n + 1) * 2 - n
+        assert isinstance(e.expr, BinOp)
+
+    def test_float_literal_inherits_dtype(self):
+        kb = KernelBuilder("k")
+        n = kb.scalar("n")
+        a = kb.array("a", f32, (n,))
+        v = a[n - 1] * 0.5
+        # literal coerced to f32 so arithmetic stays f32
+        assert v.dtype is f32
+
+    def test_comparisons_are_boolean(self):
+        kb = KernelBuilder("k")
+        n = kb.scalar("n")
+        assert (n < 5).dtype is boolean
+        assert ((n < 5) & (n > 0)).dtype is boolean
+
+    def test_invert(self):
+        kb = KernelBuilder("k")
+        n = kb.scalar("n")
+        assert (~(n < 5)).dtype is boolean
+
+
+class TestStatements:
+    def test_store_via_setitem(self):
+        kb = KernelBuilder("k")
+        n = kb.scalar("n")
+        a = kb.array("a", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            a[gi,] = 1.0
+        k = kb.finish()
+        assert isinstance(k.body[0], If)
+        assert isinstance(k.body[0].then[0], Store)
+
+    def test_wrong_rank_rejected(self):
+        kb = KernelBuilder("k")
+        n = kb.scalar("n")
+        a = kb.array("a", f32, (n, n))
+        with pytest.raises(ValidationError):
+            a[n]  # 1 index for 2-d array
+
+    def test_let_and_assign(self):
+        kb = KernelBuilder("k")
+        n = kb.scalar("n")
+        s = kb.array("s", f32, (n,))
+        acc = kb.let("acc", kb.f32const(0.0))
+        with kb.for_range("i", 0, n) as i:
+            kb.assign(acc, acc + 1.0)
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            s[gi,] = acc
+        k = kb.finish()
+        kinds = [type(st) for st in k.body]
+        assert kinds == [Let, For, If]
+
+    def test_assign_requires_local(self):
+        kb = KernelBuilder("k")
+        n = kb.scalar("n")
+        with pytest.raises(ValidationError):
+            kb.assign(n, 5)
+
+    def test_otherwise_pairs_with_if(self):
+        kb = KernelBuilder("k")
+        n = kb.scalar("n")
+        a = kb.array("a", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            a[gi,] = 1.0
+        with kb.otherwise():
+            pass
+        k = kb.finish()
+        assert isinstance(k.body[-1], If)
+
+    def test_otherwise_without_if_rejected(self):
+        kb = KernelBuilder("k")
+        with pytest.raises(ValidationError):
+            with kb.otherwise():
+                pass
+
+    def test_unclosed_block_detected(self):
+        kb = KernelBuilder("k")
+        kb._blocks.append([])  # simulate an unclosed context
+        with pytest.raises(ValidationError):
+            kb.finish()

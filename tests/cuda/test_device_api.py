@@ -1,0 +1,129 @@
+"""Unit tests for simulated devices and the single-device CUDA API."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.api import CudaApi, MemcpyKind, host_bytes
+from repro.cuda.device import DevPtr, Device
+from repro.cuda.dim3 import Dim3
+from repro.cuda.dtypes import f32
+from repro.cuda.ir.builder import KernelBuilder
+from repro.errors import RuntimeApiError
+from repro.sim.engine import SimMachine
+from repro.sim.topology import MachineSpec
+
+
+class TestDevice:
+    def test_alloc_free_accounting(self):
+        d = Device(0)
+        p = d.alloc(1024)
+        assert d.bytes_allocated == 1024
+        d.free(p)
+        assert d.bytes_allocated == 0
+
+    def test_use_after_free(self):
+        d = Device(0)
+        p = d.alloc(64)
+        d.free(p)
+        with pytest.raises(RuntimeApiError):
+            d.bytes_view(p)
+
+    def test_wrong_device_pointer(self):
+        d0, d1 = Device(0), Device(1)
+        p = d0.alloc(64)
+        with pytest.raises(RuntimeApiError):
+            d1.bytes_view(p)
+
+    def test_typed_view_shares_memory(self):
+        d = Device(0)
+        p = d.alloc(64)
+        view = d.typed_view(p, np.dtype("float32"), (4, 4))
+        view[1, 2] = 7.0
+        raw = d.bytes_view(p).view(np.float32)
+        assert raw[6] == 7.0
+
+    def test_typed_view_too_large(self):
+        d = Device(0)
+        p = d.alloc(64)
+        with pytest.raises(RuntimeApiError):
+            d.typed_view(p, np.dtype("float32"), (5, 5))
+
+    def test_timing_only_device_has_no_bytes(self):
+        d = Device(0, functional=False)
+        p = d.alloc(1 << 32)  # 4 GiB bookkept, not materialized
+        assert d.bytes_allocated == 1 << 32
+        with pytest.raises(RuntimeApiError):
+            d.bytes_view(p)
+
+    def test_nonpositive_alloc(self):
+        with pytest.raises(RuntimeApiError):
+            Device(0).alloc(0)
+
+
+class TestHostBytes:
+    def test_noncontiguous_rejected(self):
+        a = np.zeros((8, 8), dtype=np.float32)[:, ::2]
+        with pytest.raises(RuntimeApiError):
+            host_bytes(a)
+
+    def test_view_is_shared(self):
+        a = np.zeros(4, dtype=np.float32)
+        host_bytes(a)[:4] = np.frombuffer(np.float32(1.0).tobytes(), dtype=np.uint8)
+        assert a[0] == 1.0
+
+
+class TestCudaApi:
+    def test_memcpy_roundtrip(self, rng):
+        api = CudaApi()
+        src = rng.random(16, dtype=np.float32)
+        dst = np.zeros(16, dtype=np.float32)
+        p = api.cudaMalloc(64)
+        api.cudaMemcpy(p, src, 64, MemcpyKind.HostToDevice)
+        api.cudaMemcpy(dst, p, 64, MemcpyKind.DeviceToHost)
+        assert np.array_equal(src, dst)
+
+    def test_d2d_on_single_device(self, rng):
+        api = CudaApi()
+        src = rng.random(16, dtype=np.float32)
+        a = api.cudaMalloc(64)
+        b = api.cudaMalloc(64)
+        api.cudaMemcpy(a, src, 64, MemcpyKind.HostToDevice)
+        api.cudaMemcpy(b, a, 64, MemcpyKind.DeviceToDevice)
+        out = np.zeros(16, dtype=np.float32)
+        api.cudaMemcpy(out, b, 64, MemcpyKind.DeviceToHost)
+        assert np.array_equal(out, src)
+
+    def test_device_count_is_one(self):
+        assert CudaApi().cudaGetDeviceCount() == 1
+
+    def test_launch_with_timing_machine(self, rng):
+        machine = SimMachine(MachineSpec(n_gpus=1))
+        api = CudaApi(machine=machine, kernel_cost=lambda k, nb, b, s: 1e-3)
+        kb = KernelBuilder("noop")
+        n = kb.scalar("n")
+        a = kb.array("a", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            a[gi,] = 0.0
+        k = kb.finish()
+        p = api.cudaMalloc(64)
+        api.launch(k, Dim3(2), Dim3(8), [16, p])
+        api.cudaDeviceSynchronize()
+        assert machine.elapsed() >= 1e-3
+
+    def test_launch_arity_checked(self):
+        api = CudaApi()
+        kb = KernelBuilder("k")
+        n = kb.scalar("n")
+        k = kb.finish()
+        with pytest.raises(RuntimeApiError):
+            api.launch(k, Dim3(1), Dim3(1), [])
+
+    def test_array_arg_must_be_devptr(self):
+        api = CudaApi()
+        kb = KernelBuilder("k")
+        n = kb.scalar("n")
+        kb.array("a", f32, (n,))
+        k = kb.finish()
+        with pytest.raises(RuntimeApiError):
+            api.launch(k, Dim3(1), Dim3(1), [4, np.zeros(4, dtype=np.float32)])

@@ -1,0 +1,59 @@
+"""Unit tests for scalar types and dim3."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.dim3 import Dim3
+from repro.cuda.dtypes import boolean, f32, f64, i32, i64, promote
+
+
+class TestDTypes:
+    def test_numpy_mapping(self):
+        assert f32.to_numpy() == np.dtype("float32")
+        assert i64.to_numpy() == np.dtype("int64")
+        assert boolean.to_numpy() == np.dtype("bool")
+
+    def test_sizes(self):
+        assert f32.size == 4 and f64.size == 8 and i32.size == 4 and i64.size == 8
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (i32, i64, i64),
+            (i64, f32, f32),
+            (f32, f64, f64),
+            (boolean, i32, i32),
+            (f32, f32, f32),
+        ],
+    )
+    def test_promotion(self, a, b, expected):
+        assert promote(a, b) is expected
+        assert promote(b, a) is expected
+
+
+class TestDim3:
+    def test_defaults(self):
+        d = Dim3(4)
+        assert (d.x, d.y, d.z) == (4, 1, 1)
+
+    def test_of_coercions(self):
+        assert Dim3.of(5) == Dim3(5)
+        assert Dim3.of((2, 3)) == Dim3(x=2, y=3)
+        assert Dim3.of((2, 3, 4)) == Dim3(x=2, y=3, z=4)
+        d = Dim3(7)
+        assert Dim3.of(d) is d
+
+    def test_volume(self):
+        assert Dim3(2, 3, 4).volume == 24
+
+    def test_zyx_order(self):
+        assert Dim3(x=1, y=2, z=3).zyx() == (3, 2, 1)
+
+    def test_axis_accessor(self):
+        d = Dim3(x=5, y=6, z=7)
+        assert d.axis("x") == 5 and d.axis("y") == 6 and d.axis("z") == 7
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            Dim3(bad)

@@ -1,0 +1,154 @@
+"""Edge-case tests for the vectorized interpreter and the access tracer."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.dim3 import Dim3
+from repro.cuda.dtypes import f32, f64, i64
+from repro.cuda.exec.interpreter import AccessTrace, run_kernel
+from repro.cuda.ir.builder import KernelBuilder
+from repro.cuda.ir.exprs import GridIdx
+from repro.cuda.ir.stmts import Store
+from repro.cuda.ir.kernel import Kernel
+from repro.errors import ExecutionError
+
+
+class TestBlockOffRegister:
+    def test_blockoff_equals_product(self):
+        """The synthetic blockOff register evaluates to blockIdx*blockDim."""
+        body = (
+            Store(
+                "out",
+                (GridIdx("blockIdx", "x"),),
+                GridIdx("blockOff", "x"),
+            ),
+        )
+        from repro.cuda.ir.exprs import Const
+        from repro.cuda.ir.kernel import ArrayParam
+
+        k = Kernel("bo", (ArrayParam("out", f32, (Const(8, i64),)),), body)
+        out = np.zeros(8, dtype=np.float32)
+        run_kernel(k, Dim3(8), Dim3(4), {"out": out})
+        assert np.array_equal(out, np.arange(8, dtype=np.float32) * 4)
+
+
+class TestSelectAndMath:
+    def test_select(self):
+        kb = KernelBuilder("sel")
+        n = kb.scalar("n")
+        out = kb.array("out", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            out[gi,] = kb.select(gi < 4, 1.0, -1.0)
+        k = kb.finish()
+        out = np.zeros(8, dtype=np.float32)
+        run_kernel(k, Dim3(1), Dim3(8), {"n": 8, "out": out})
+        assert np.array_equal(out, np.where(np.arange(8) < 4, 1.0, -1.0).astype(np.float32))
+
+    def test_min_max(self):
+        kb = KernelBuilder("mm")
+        n = kb.scalar("n")
+        out = kb.array("out", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            v = kb.minimum(gi + 0.0 if False else kb.f32const(0.0) + gi, 5.0)
+            out[gi,] = kb.maximum(v, 2.0)
+        k = kb.finish()
+        out = np.zeros(10, dtype=np.float32)
+        run_kernel(k, Dim3(2), Dim3(5), {"n": 10, "out": out})
+        assert np.array_equal(out, np.clip(np.arange(10), 2, 5).astype(np.float32))
+
+    def test_pow_exp_log(self):
+        kb = KernelBuilder("mth")
+        n = kb.scalar("n")
+        a = kb.array("a", f64, (n,))
+        out = kb.array("out", f64, (n,))
+        gi = kb.global_id("x")
+        from repro.cuda.ir.exprs import Call
+
+        with kb.if_(gi < n):
+            from repro.cuda.ir.builder import Val
+
+            x = a[gi,]
+            out[gi,] = Val(Call("pow", (x.expr, x.expr))) + Val(Call("exp", (x.expr,))) + Val(
+                Call("log", (x.expr,))
+            )
+        k = kb.finish()
+        vals = np.array([1.0, 2.0, 3.0], dtype=np.float64)
+        out = np.zeros(3, dtype=np.float64)
+        run_kernel(k, Dim3(1), Dim3(3), {"n": 3, "a": vals, "out": out})
+        assert np.allclose(out, vals**vals + np.exp(vals) + np.log(vals))
+
+
+class TestTracer:
+    def test_trace_reads_and_writes(self):
+        kb = KernelBuilder("tr")
+        n = kb.scalar("n")
+        src = kb.array("src", f32, (n,))
+        dst = kb.array("dst", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_((gi > 0) & (gi < n)):
+            dst[gi,] = src[gi - 1,]
+        k = kb.finish()
+        trace = AccessTrace()
+        src_a = np.ones(16, dtype=np.float32)
+        dst_a = np.zeros(16, dtype=np.float32)
+        run_kernel(k, Dim3(2), Dim3(8), {"n": 16, "src": src_a, "dst": dst_a}, trace=trace)
+        assert trace.reads["src"] == set(range(0, 15))
+        assert trace.writes["dst"] == set(range(1, 16))
+
+    def test_trace_2d_flattened(self):
+        kb = KernelBuilder("tr2")
+        n = kb.scalar("n")
+        a = kb.array("a", f32, (n, n))
+        gy, gx = kb.global_id("y"), kb.global_id("x")
+        with kb.if_((gy < n) & (gx < n)):
+            a[gy, gx] = 1.0
+        k = kb.finish()
+        trace = AccessTrace()
+        arr = np.zeros((4, 4), dtype=np.float32)
+        run_kernel(k, Dim3(2, 2), Dim3(2, 2), {"n": 4, "a": arr}, trace=trace)
+        assert trace.writes["a"] == set(range(16))
+
+    def test_trace_unmasked_kernel(self):
+        kb = KernelBuilder("tr3")
+        out = kb.array("out", f32, (16,))
+        gi = kb.global_id("x")
+        out[gi,] = 2.0
+        k = kb.finish()
+        trace = AccessTrace()
+        arr = np.zeros(16, dtype=np.float32)
+        run_kernel(k, Dim3(2), Dim3(8), {"out": arr}, trace=trace)
+        assert trace.writes["out"] == set(range(16))
+        assert "out" not in trace.reads
+
+
+class TestZAxisAndVolume:
+    def test_3d_grid_execution(self):
+        kb = KernelBuilder("three")
+        out = kb.array("out", f32, (2, 3, 4))
+        gz = kb.global_id("z")
+        gy = kb.global_id("y")
+        gx = kb.global_id("x")
+        out[gz, gy, gx] = gz * 100 + gy * 10 + gx
+        k = kb.finish()
+        arr = np.zeros((2, 3, 4), dtype=np.float32)
+        run_kernel(k, Dim3(x=2, y=3, z=2), Dim3(x=2), {"out": arr})
+        for z in range(2):
+            for y in range(3):
+                for x in range(4):
+                    assert arr[z, y, x] == z * 100 + y * 10 + x
+
+    def test_empty_loop_body_ok(self):
+        kb = KernelBuilder("loop0")
+        n = kb.scalar("n")
+        out = kb.array("out", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            with kb.for_range("i", 5, 5):
+                pass
+            out[gi,] = 1.0
+        k = kb.finish()
+        arr = np.zeros(4, dtype=np.float32)
+        run_kernel(k, Dim3(1), Dim3(4), {"n": 4, "out": arr})
+        assert np.all(arr == 1.0)

@@ -1,0 +1,110 @@
+"""Tests for IR visitors, kernel introspection and partition params."""
+
+import pytest
+
+from repro.compiler.kernel_partition import partition_kernel
+from repro.cuda.dtypes import f32, i64
+from repro.cuda.ir.builder import KernelBuilder
+from repro.cuda.ir.exprs import BinOp, Const, GridIdx, Load, Param
+from repro.cuda.ir.kernel import (
+    ArrayParam,
+    Kernel,
+    PartitionParam,
+    ScalarParam,
+    partition_field_name,
+)
+from repro.cuda.ir.printer import kernel_to_cuda
+from repro.cuda.ir.stmts import Store
+from repro.cuda.ir.visitors import map_exprs_in_body, transform_kernel, walk_body, walk_expr
+from repro.errors import ValidationError
+
+
+def _kernel():
+    kb = KernelBuilder("k")
+    n = kb.scalar("n")
+    a = kb.array("a", f32, (n,))
+    gi = kb.global_id("x")
+    with kb.if_(gi < n):
+        acc = kb.let("acc", a[gi,] + 1.0)
+        with kb.for_range("i", 0, 3):
+            kb.assign(acc, acc * 2.0)
+        a[gi,] = acc
+    return kb.finish()
+
+
+class TestKernelIntrospection:
+    def test_param_lookup(self):
+        k = _kernel()
+        assert k.param("n").name == "n"
+        assert k.param_index("a") == 1
+        with pytest.raises(ValidationError):
+            k.param("ghost")
+        with pytest.raises(ValidationError):
+            k.param_index("ghost")
+
+    def test_param_kind_properties(self):
+        k = _kernel()
+        assert [p.name for p in k.scalar_params] == ["n"]
+        assert [p.name for p in k.array_params] == ["a"]
+        assert k.partition_param is None and not k.is_partitioned
+
+    def test_partition_param_fields(self):
+        p = PartitionParam("partition")
+        names = p.field_names()
+        assert len(names) == 6
+        assert partition_field_name("partition", "min_x") in names
+        assert not p.is_array
+
+    def test_duplicate_param_names_rejected(self):
+        with pytest.raises(ValidationError):
+            Kernel("k", (ScalarParam("n"), ScalarParam("n")), ())
+
+    def test_str_renders_cuda(self):
+        assert "__global__" in str(_kernel())
+
+
+class TestVisitors:
+    def test_walk_expr_counts_nodes(self):
+        k = _kernel()
+        cond = k.body[0].cond
+        nodes = list(walk_expr(cond))
+        assert sum(isinstance(n, GridIdx) for n in nodes) == 3  # bi, bd, ti
+
+    def test_walk_body_recurses(self):
+        k = _kernel()
+        stmts = list(walk_body(k.body))
+        kinds = {type(s).__name__ for s in stmts}
+        assert kinds == {"If", "Let", "For", "Assign", "Store"}
+
+    def test_identity_transform_preserves_body(self):
+        k = _kernel()
+        same = transform_kernel(k, lambda e: e)
+        assert same.body == k.body
+        assert same.params == k.params
+
+    def test_transform_rewrites_everywhere(self):
+        k = _kernel()
+
+        def bump_consts(e):
+            if isinstance(e, Const) and e._dtype is i64 and e.value == 3:
+                return Const(5, i64)
+            return e
+
+        rewritten = transform_kernel(k, bump_consts)
+        texts = kernel_to_cuda(rewritten)
+        assert "i < 5" in texts
+
+    def test_transform_can_add_params(self):
+        k = _kernel()
+        extra = ScalarParam("extra")
+        out = transform_kernel(k, lambda e: e, name="k2", extra_params=(extra,))
+        assert out.name == "k2"
+        assert out.param("extra") is extra
+
+
+class TestPartitionedPrinter:
+    def test_partitioned_kernel_renders(self):
+        pk = partition_kernel(_kernel())
+        src = kernel_to_cuda(pk)
+        assert "partition_t partition" in src
+        assert "__partition_min_x" in src

@@ -1,0 +1,213 @@
+"""Property tests: the polyhedral analysis vs. instrumented execution.
+
+The strongest soundness check available: generate random (affine) kernels,
+execute them with the tracing interpreter to get the *ground-truth* accessed
+elements, and compare against what the compiler's access maps + generated
+enumerators claim:
+
+* read scans must be a superset of the traced reads (over-approximation is
+  allowed, §4), and equal when flagged exact;
+* write scans must equal the traced writes exactly (per partition!) —
+  anything else would corrupt the trackers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.access_analysis import analyze_kernel
+from repro.compiler.enumerators import build_enumerator
+from repro.compiler.strategy import PartitionStrategy
+from repro.cuda.dim3 import Dim3
+from repro.cuda.dtypes import f32
+from repro.cuda.exec.interpreter import AccessTrace, run_kernel
+from repro.cuda.ir.builder import KernelBuilder
+
+N = 48  # array extent
+GRID = Dim3(x=6)
+BLOCK = Dim3(x=8)
+
+
+@st.composite
+def kernel_specs(draw):
+    """Random 1-D kernels: guarded reads at affine offsets, 1:1 write."""
+    n_reads = draw(st.integers(1, 4))
+    read_offsets = [draw(st.integers(-3, 3)) for _ in range(n_reads)]
+    guard_lo = draw(st.integers(0, 8))
+    guard_hi = draw(st.integers(N - 8, N))
+    write_offset = draw(st.integers(-2, 2))
+    branch = draw(st.booleans())
+    return (tuple(read_offsets), guard_lo, guard_hi, write_offset, branch)
+
+
+def _build(spec):
+    read_offsets, guard_lo, guard_hi, write_offset, branch = spec
+    kb = KernelBuilder("rand")
+    src = kb.array("src", f32, (N,))
+    dst = kb.array("dst", f32, (N,))
+    gi = kb.global_id("x")
+    lo_r = max(0, -min(read_offsets), -write_offset)
+    hi_r = min(N, N - max(0, max(read_offsets), write_offset))
+    guard = (gi >= max(guard_lo, lo_r)) & (gi < min(guard_hi, hi_r))
+    with kb.if_(guard):
+        acc = kb.let("acc", kb.f32const(0.0))
+        for off in read_offsets:
+            kb.assign(acc, acc + src[gi + off,])
+        if branch:
+            with kb.if_(gi < N // 2):
+                dst[gi + write_offset,] = acc
+            with kb.otherwise():
+                dst[gi + write_offset,] = acc * 2.0
+        else:
+            dst[gi + write_offset,] = acc
+    return kb.finish()
+
+
+def _traced_execution(kernel):
+    trace = AccessTrace()
+    src = np.ones(N, dtype=np.float32)
+    dst = np.zeros(N, dtype=np.float32)
+    run_kernel(kernel, GRID, BLOCK, {"src": src, "dst": dst}, trace=trace)
+    return trace
+
+
+def _scanned(info, array, mode, partition):
+    enum = build_enumerator(info, array, mode)
+    ranges, _ = enum.element_ranges(partition, BLOCK, GRID, {}, (N,))
+    out = set()
+    for lo, hi in ranges:
+        out.update(range(lo, hi))
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(kernel_specs())
+def test_read_scan_superset_of_truth(spec):
+    kernel = _build(spec)
+    info = analyze_kernel(kernel)
+    trace = _traced_execution(kernel)
+    whole = PartitionStrategy(axis="x").partitions(GRID, 1)[0]
+    scanned = _scanned(info, "src", "read", whole)
+    truth = trace.reads.get("src", set())
+    assert scanned >= truth
+    if info.reads["src"].exact:
+        assert scanned == truth
+
+
+@settings(max_examples=40, deadline=None)
+@given(kernel_specs())
+def test_write_scan_exact_per_partition(spec):
+    kernel = _build(spec)
+    info = analyze_kernel(kernel)
+    assert info.partitionable
+    # Ground truth per partition: execute the partitioned clone per band.
+    from repro.compiler.kernel_partition import partition_kernel
+    from repro.cuda.ir.kernel import partition_field_name
+
+    pk = partition_kernel(kernel)
+    for n_parts in (1, 2, 3):
+        parts = PartitionStrategy(axis="x").partitions(GRID, n_parts)
+        for part in parts:
+            if part.is_empty:
+                continue
+            trace = AccessTrace()
+            args = {
+                "src": np.ones(N, dtype=np.float32),
+                "dst": np.zeros(N, dtype=np.float32),
+            }
+            for f, v in zip(
+                ("min_z", "max_z", "min_y", "max_y", "min_x", "max_x"),
+                part.as_tuple(),
+            ):
+                args[partition_field_name("partition", f)] = v
+            run_kernel(pk, part.grid(), BLOCK, args, trace=trace)
+            truth = trace.writes.get("dst", set())
+            scanned = _scanned(info, "dst", "write", part)
+            assert scanned == truth, (spec, part)
+
+
+M = 24  # 2-D array side
+GRID2 = Dim3(x=3, y=3)
+BLOCK2 = Dim3(x=8, y=8)
+
+
+@st.composite
+def kernel_specs_2d(draw):
+    """Random 2-D stencil-like kernels with interior guards."""
+    n_reads = draw(st.integers(1, 3))
+    offsets = [
+        (draw(st.integers(-2, 2)), draw(st.integers(-2, 2))) for _ in range(n_reads)
+    ]
+    margin_y = draw(st.integers(0, 3))
+    margin_x = draw(st.integers(0, 3))
+    select_write = draw(st.booleans())
+    return (tuple(offsets), margin_y, margin_x, select_write)
+
+
+def _build_2d(spec):
+    offsets, margin_y, margin_x, select_write = spec
+    pad = 3  # covers every offset
+    kb = KernelBuilder("rand2d")
+    src = kb.array("src", f32, (M, M))
+    dst = kb.array("dst", f32, (M, M))
+    gy, gx = kb.global_id("y"), kb.global_id("x")
+    lo_y, hi_y = max(pad, margin_y), M - max(pad, margin_y)
+    lo_x, hi_x = max(pad, margin_x), M - max(pad, margin_x)
+    guard = (gy >= lo_y) & (gy < hi_y) & (gx >= lo_x) & (gx < hi_x)
+    with kb.if_(guard):
+        acc = kb.let("acc", kb.f32const(0.0))
+        for dy, dx in offsets:
+            kb.assign(acc, acc + src[gy + dy, gx + dx])
+        if select_write:
+            dst[gy, kb.select(gx < M // 2, gx + 0, gx + 0)] = acc
+        else:
+            dst[gy, gx] = acc
+    return kb.finish()
+
+
+@settings(max_examples=30, deadline=None)
+@given(kernel_specs_2d())
+def test_2d_scans_match_traced_execution(spec):
+    kernel = _build_2d(spec)
+    info = analyze_kernel(kernel)
+    assert info.partitionable
+    trace = AccessTrace()
+    src = np.ones((M, M), dtype=np.float32)
+    dst = np.zeros((M, M), dtype=np.float32)
+    run_kernel(kernel, GRID2, BLOCK2, {"src": src, "dst": dst}, trace=trace)
+    whole = PartitionStrategy(axis="y").partitions(GRID2, 1)[0]
+
+    def scanned(array, mode):
+        enum = build_enumerator(info, array, mode)
+        ranges, _ = enum.element_ranges(whole, BLOCK2, GRID2, {}, (M, M))
+        out = set()
+        for lo, hi in ranges:
+            out.update(range(lo, hi))
+        return out
+
+    truth_r = trace.reads.get("src", set())
+    truth_w = trace.writes.get("dst", set())
+    got_r = scanned("src", "read")
+    got_w = scanned("dst", "write")
+    assert got_r >= truth_r
+    if info.reads["src"].exact:
+        assert got_r == truth_r
+    assert got_w == truth_w
+
+
+@settings(max_examples=25, deadline=None)
+@given(kernel_specs(), st.integers(2, 5))
+def test_union_of_partition_writes_tiles_full_write_set(spec, n_parts):
+    kernel = _build(spec)
+    info = analyze_kernel(kernel)
+    whole = PartitionStrategy(axis="x").partitions(GRID, 1)[0]
+    full = _scanned(info, "dst", "write", whole)
+    parts = PartitionStrategy(axis="x").partitions(GRID, n_parts)
+    union = set()
+    for part in parts:
+        if not part.is_empty:
+            piece = _scanned(info, "dst", "write", part)
+            # partitions write disjoint cells (injectivity)
+            assert not (union & piece)
+            union |= piece
+    assert union == full

@@ -1,0 +1,72 @@
+"""The saved application model drives a faithful reload (paper §4).
+
+The paper's pass 1 writes the model to disk; pass 2 (a separate compiler
+invocation) reads it back. These tests assert the JSON model is a lossless
+hand-off: maps re-parse to relations with identical membership, and a
+pipeline decision (strategy, legality, unit axes) taken from the reloaded
+model matches the in-memory one.
+"""
+
+import itertools
+
+import pytest
+
+from repro.compiler.model import AppModel
+from repro.compiler.pipeline import compile_app
+from repro.workloads import ALL_WORKLOADS, functional_config
+
+
+@pytest.fixture(scope="module", params=sorted(ALL_WORKLOADS))
+def saved_model(request, tmp_path_factory):
+    name = request.param
+    wl = ALL_WORKLOADS[name](functional_config(name))
+    path = tmp_path_factory.mktemp("models") / f"{name}.json"
+    app = compile_app(wl.build_kernels(), model_path=path)
+    return name, app, AppModel.load(path)
+
+
+class TestModelRoundtrip:
+    def test_decisions_survive(self, saved_model):
+        name, app, reloaded = saved_model
+        kernel_name = next(iter(app.kernels))
+        km_live = app.model.get(kernel_name)
+        km_disk = reloaded.get(kernel_name)
+        assert km_disk.partitionable == km_live.partitionable
+        assert km_disk.strategy_axis == km_live.strategy_axis
+        assert km_disk.unit_axes == km_live.unit_axes
+        assert km_disk.runtime_coverage == km_live.runtime_coverage
+
+    def test_write_maps_semantically_equal(self, saved_model):
+        name, app, reloaded = saved_model
+        kernel_name = next(iter(app.kernels))
+        info = app.kernel(kernel_name).info
+        for arg in reloaded.get(kernel_name).args:
+            if arg.kind != "array" or arg.write is None:
+                continue
+            disk_map = arg.write.to_map()
+            live_map = info.writes[arg.name].access_map
+            # Probe a lattice of points across both relations.
+            space = live_map.space
+            names = space.params + space.in_dims + space.out_dims
+            base = {
+                "bd_z": 1, "bd_y": 4, "bd_x": 4, "gd_z": 1, "gd_y": 2, "gd_x": 2,
+                "bo_z": 0, "bi_z": 0,
+            }
+            for bo_y, bo_x, a0 in itertools.product((0, 4), (0, 4), range(0, 12, 3)):
+                vals = dict(base)
+                vals.update(bo_y=bo_y, bo_x=bo_x, bi_y=bo_y // 4, bi_x=bo_x // 4)
+                for out_dim in space.out_dims:
+                    vals[out_dim] = a0
+                probe = {k: v for k, v in vals.items() if k in names}
+                if set(probe) != set(names):
+                    continue  # maps with extra scalar params: skip probe
+                assert disk_map.contains(probe) == live_map.contains(probe), probe
+
+    def test_arg_records_complete(self, saved_model):
+        name, app, reloaded = saved_model
+        kernel_name = next(iter(app.kernels))
+        kernel = app.kernel(kernel_name).kernel
+        disk_args = {a.name: a for a in reloaded.get(kernel_name).args}
+        for p in kernel.params:
+            assert p.name in disk_args
+            assert disk_args[p.name].kind == ("array" if p.is_array else "scalar")

@@ -1,0 +1,82 @@
+"""Unit tests for affine expressions."""
+
+import pytest
+
+from repro.errors import NonAffineError, SpaceMismatchError
+from repro.poly.affine import Aff
+from repro.poly.space import Space
+
+S = Space.set_space(["y", "x"], params=["n"])
+
+
+class TestConstruction:
+    def test_const(self):
+        a = Aff.const(S, 5)
+        assert a.is_constant() and a.const_term == 5
+
+    def test_var(self):
+        a = Aff.var(S, "x")
+        assert a.coeff("x") == 1 and a.coeff("y") == 0
+
+    def test_from_terms(self):
+        a = Aff.from_terms(S, {"x": 2, "n": -1}, 7)
+        assert a.coeff("x") == 2 and a.coeff("n") == -1 and a.const_term == 7
+
+    def test_wrong_length_vector(self):
+        with pytest.raises(SpaceMismatchError):
+            Aff(S, (1, 2))
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        x, y = Aff.var(S, "x"), Aff.var(S, "y")
+        e = x + y - 3
+        assert e.coeff("x") == 1 and e.coeff("y") == 1 and e.const_term == -3
+
+    def test_radd_rsub(self):
+        x = Aff.var(S, "x")
+        assert (5 - x).coeff("x") == -1
+        assert (5 - x).const_term == 5
+        assert (5 + x).const_term == 5
+
+    def test_neg(self):
+        e = -(Aff.var(S, "x") + 1)
+        assert e.coeff("x") == -1 and e.const_term == -1
+
+    def test_mul_by_int(self):
+        e = Aff.var(S, "x") * 3
+        assert e.coeff("x") == 3
+        assert (2 * Aff.var(S, "y")).coeff("y") == 2
+
+    def test_mul_by_constant_aff(self):
+        e = Aff.var(S, "x") * Aff.const(S, 4)
+        assert e.coeff("x") == 4
+
+    def test_nonaffine_product_raises(self):
+        with pytest.raises(NonAffineError):
+            Aff.var(S, "x") * Aff.var(S, "y")
+
+    def test_space_mismatch(self):
+        other = Space.set_space(["z"])
+        with pytest.raises(SpaceMismatchError):
+            Aff.var(S, "x") + Aff.var(other, "z")
+
+
+class TestEvalRebind:
+    def test_evaluate(self):
+        e = Aff.from_terms(S, {"x": 2, "y": -1, "n": 1}, 3)
+        assert e.evaluate({"x": 5, "y": 4, "n": 10}) == 2 * 5 - 4 + 10 + 3
+
+    def test_rebind_to_superspace(self):
+        sup = Space.set_space(["y", "x", "z"], params=["n", "m"])
+        e = Aff.from_terms(S, {"x": 2}, 1).rebind(sup)
+        assert e.space == sup and e.coeff("x") == 2 and e.const_term == 1
+
+    def test_terms_only_nonzero(self):
+        e = Aff.from_terms(S, {"x": 0, "y": 3})
+        assert e.terms() == {"y": 3}
+
+    def test_str_readable(self):
+        e = Aff.from_terms(S, {"x": 1, "y": -2}, 4)
+        s = str(e)
+        assert "x" in s and "y" in s and "4" in s

@@ -1,0 +1,147 @@
+"""Unit tests for BasicSet operations."""
+
+import pytest
+
+from repro.errors import PolyhedralError
+from repro.poly import parse_basic_set
+from repro.poly.affine import Aff
+from repro.poly.basic_set import BasicSet
+from repro.poly.space import Space
+
+
+class TestBasics:
+    def test_universe_not_empty(self):
+        u = BasicSet.universe(Space.set_space(["x"]))
+        assert u.is_universe() and not u.is_empty()
+
+    def test_empty(self):
+        e = BasicSet.empty(Space.set_space(["x"]))
+        assert e.is_empty()
+
+    def test_from_box(self):
+        b = BasicSet.from_box(Space.set_space(["y", "x"]), {"y": (0, 3), "x": (1, 4)})
+        assert sorted(b.enumerate_points()) == [
+            (y, x) for y in range(3) for x in range(1, 4)
+        ]
+
+    def test_contains(self):
+        b = parse_basic_set("{ [x] : 0 <= x < 10 }")
+        assert b.contains({"x": 0}) and b.contains({"x": 9})
+        assert not b.contains({"x": 10}) and not b.contains({"x": -1})
+
+    def test_contains_missing_value(self):
+        b = parse_basic_set("[n] -> { [x] : 0 <= x < n }")
+        with pytest.raises(PolyhedralError):
+            b.contains({"x": 1})
+
+    def test_involves(self):
+        b = parse_basic_set("[n] -> { [y, x] : 0 <= x < n }")
+        assert b.involves("x") and b.involves("n")
+        assert not b.involves("y")
+
+
+class TestEmptiness:
+    @pytest.mark.parametrize(
+        "text,empty",
+        [
+            ("{ [x] : x >= 5 and x <= 4 }", True),
+            ("{ [x] : x >= 5 and x <= 5 }", False),
+            ("{ [x, y] : 2*x = 2*y + 1 }", True),  # parity
+            ("{ [x, y] : 3*x = 3*y + 6 }", False),
+            ("[n] -> { [x] : 0 <= x < n and n <= 0 }", True),
+            ("[n] -> { [x] : 0 <= x < n and n <= 1 }", False),
+            ("{ [x, y] : x + y >= 10 and x <= 4 and y <= 4 }", True),
+            ("{ [x, y] : x + y >= 8 and x <= 4 and y <= 4 }", False),
+        ],
+    )
+    def test_emptiness(self, text, empty):
+        assert parse_basic_set(text).is_empty() == empty
+
+
+class TestProjection:
+    def test_project_out_exact_unit_coeff(self):
+        b = parse_basic_set("{ [x, y] : y = x + 1 and 0 <= x < 5 }")
+        p = b.project_out(["y"])
+        assert p.exact
+        assert sorted(p.enumerate_points()) == [(i,) for i in range(5)]
+
+    def test_project_out_shadow(self):
+        # x constrained only through y: x <= y <= 7, x >= 3.
+        b = parse_basic_set("{ [x, y] : x <= y and y <= 7 and x >= 3 }")
+        p = b.project_out(["y"])
+        assert sorted(p.enumerate_points()) == [(i,) for i in range(3, 8)]
+
+    def test_project_marks_inexact_for_nonunit_pairs(self):
+        # Eliminating y from 2y >= x and 2y <= x+1 needs non-unit FM.
+        b = parse_basic_set("{ [x, y] : 2*y >= x and 3*y <= x }")
+        p = b.project_out(["y"])
+        assert not p.exact
+
+    def test_projection_is_superset_of_true_shadow(self):
+        b = parse_basic_set("{ [x, y] : 3*y = x and 0 <= x <= 10 and 0 <= y <= 10 }")
+        p = b.project_out(["y"])
+        true_shadow = {(x,) for (x, y) in b.enumerate_points()}
+        assert set(p.enumerate_points()) >= true_shadow
+
+
+class TestSubstitution:
+    def test_fix(self):
+        b = parse_basic_set("{ [y, x] : 0 <= y <= x and x <= 4 }")
+        f = b.fix("x", 3)
+        assert sorted(f.enumerate_points()) == [(0,), (1,), (2,), (3,)]
+
+    def test_fix_param(self):
+        b = parse_basic_set("[n] -> { [x] : 0 <= x < n }")
+        assert len(list(b.fix("n", 4).enumerate_points())) == 4
+
+    def test_substitute_affine(self):
+        b = parse_basic_set("{ [x, y] : 0 <= x <= 10 and 0 <= y <= 10 }")
+        # y := x + 2
+        s = b.substitute("y", Aff.from_terms(b.space, {"x": 1}, 2))
+        assert sorted(s.enumerate_points()) == [(i,) for i in range(0, 9)]
+
+    def test_substitute_self_reference_raises(self):
+        b = parse_basic_set("{ [x] : x >= 0 }")
+        with pytest.raises(PolyhedralError):
+            b.substitute("x", Aff.from_terms(b.space, {"x": 1}, 1))
+
+
+class TestIntersectRename:
+    def test_intersect(self):
+        a = parse_basic_set("{ [x] : x >= 0 }")
+        b = parse_basic_set("{ [x] : x <= 5 }")
+        assert sorted(a.intersect(b).enumerate_points()) == [(i,) for i in range(6)]
+
+    def test_rename(self):
+        b = parse_basic_set("{ [x] : 0 <= x < 3 }").rename({"x": "z"})
+        assert b.space.out_dims == ("z",)
+        assert sorted(b.enumerate_points()) == [(0,), (1,), (2,)]
+
+    def test_align_superspace(self):
+        b = parse_basic_set("{ [x] : 0 <= x < 3 }")
+        sup = Space.set_space(["x", "w"], params=["n"])
+        a = b.align(sup)
+        assert a.space == sup
+        assert a.contains({"x": 1, "w": 99, "n": 0})
+        assert not a.contains({"x": 5, "w": 0, "n": 0})
+
+
+class TestEnumeration:
+    def test_unbounded_raises(self):
+        b = parse_basic_set("{ [x] : x >= 0 }")
+        with pytest.raises(PolyhedralError):
+            list(b.enumerate_points())
+
+    def test_parametric_raises(self):
+        b = parse_basic_set("[n] -> { [x] : 0 <= x < n }")
+        with pytest.raises(PolyhedralError):
+            list(b.enumerate_points())
+
+    def test_max_points_guard(self):
+        b = parse_basic_set("{ [x] : 0 <= x < 1000 }")
+        with pytest.raises(PolyhedralError):
+            list(b.enumerate_points(max_points=10))
+
+    def test_equality_stride(self):
+        b = parse_basic_set("{ [x, y] : 2*y = x and 0 <= x <= 8 }")
+        assert sorted(b.enumerate_points()) == [(x, x // 2) for x in range(0, 9, 2)]

@@ -1,0 +1,85 @@
+"""Tests for bound extraction, lane compaction and other internals."""
+
+import pytest
+
+from repro.poly import parse_basic_set
+from repro.poly.basic_set import BasicSet, BoundSpec
+from repro.poly.space import Space
+from repro.sim.engine import _Lane
+
+
+class TestBoundSpec:
+    def test_bounds_from_inequalities(self):
+        b = parse_basic_set("{ [x] : 2 <= x and x <= 9 }")
+        spec = b.dim_bounds("x")
+        point = (1, 0)
+        assert spec.eval_lower(point) == 2
+        assert spec.eval_upper(point) == 9
+
+    def test_bounds_from_equality(self):
+        b = parse_basic_set("{ [x] : 2*x = 6 }")
+        spec = b.dim_bounds("x")
+        point = (1, 0)
+        assert spec.eval_lower(point) == 3
+        assert spec.eval_upper(point) == 3
+
+    def test_bounds_with_rounding(self):
+        # 3x >= 7  =>  x >= ceil(7/3) = 3 ; 3x <= 11  =>  x <= floor(11/3) = 3
+        b = parse_basic_set("{ [x] : 3*x >= 7 and 3*x <= 11 }")
+        spec = b.dim_bounds("x")
+        point = (1, 0)
+        assert spec.eval_lower(point) == 3
+        assert spec.eval_upper(point) == 3
+
+    def test_unbounded_returns_none(self):
+        b = parse_basic_set("{ [x] : x >= 0 }")
+        spec = b.dim_bounds("x")
+        point = (1, 0)
+        assert spec.eval_lower(point) == 0
+        assert spec.eval_upper(point) is None
+
+    def test_parametric_bounds(self):
+        b = parse_basic_set("[n] -> { [x] : n <= x and x < 2*n }")
+        spec = b.dim_bounds("x")
+        # column layout: (1, n, x); evaluate at n = 5 (x column unused).
+        point = (1, 5, 0)
+        assert spec.eval_lower(point) == 5
+        assert spec.eval_upper(point) == 9
+
+
+class TestEmptyPropagation:
+    def test_projection_of_empty_is_empty(self):
+        e = parse_basic_set("{ [x, y] : x >= 1 and x <= 0 }")
+        assert e.project_out(["y"]).is_empty()
+
+    def test_fix_of_empty_is_empty(self):
+        e = parse_basic_set("{ [x, y] : x >= 1 and x <= 0 }")
+        assert e.fix("y", 3).is_empty()
+
+    def test_intersect_with_empty(self):
+        e = BasicSet.empty(Space.set_space(["x"]))
+        u = BasicSet.universe(Space.set_space(["x"]))
+        assert u.intersect(e).is_empty()
+
+    def test_empty_enumerates_nothing(self):
+        e = parse_basic_set("{ [x, y] : x >= 1 and x <= 0 }")
+        assert list(e.enumerate_points()) == []
+
+
+class TestLaneCompaction:
+    def test_compaction_preserves_semantics(self):
+        lane = _Lane()
+        for i in range(600):  # exceed the compaction threshold
+            lane.reserve(float(2 * i), float(2 * i + 1))
+        # After compaction the availability must be unchanged and gaps in
+        # the retained tail must still be findable.
+        assert lane.avail == pytest.approx(1199.0)
+        assert len(lane.busy) < 600
+        start = lane.next_fit(lane.avail, 5.0)
+        assert start >= lane.avail
+
+    def test_next_fit_respects_earliest(self):
+        lane = _Lane()
+        lane.reserve(10.0, 20.0)
+        assert lane.next_fit(0.0, 5.0) == 0.0
+        assert lane.next_fit(7.0, 5.0) == 20.0  # gap [7,10) too small

@@ -1,0 +1,61 @@
+"""Unit tests for constraint normalization and predicates."""
+
+import pytest
+
+from repro.poly.affine import Aff
+from repro.poly.constraint import Constraint, Kind
+from repro.poly.space import Space
+
+S = Space.set_space(["x"], params=["n"])
+
+
+class TestNormalization:
+    def test_ineq_gcd_tightening(self):
+        # 2x + 3 >= 0 tightens to x + 1 >= 0 over the integers.
+        c = Constraint.ineq(Aff.from_terms(S, {"x": 2}, 3))
+        assert c.vec == (1, 0, 1)
+
+    def test_eq_divisible_gcd(self):
+        c = Constraint.eq(Aff.from_terms(S, {"x": 2}, 4))
+        assert c.vec == (2, 0, 1)
+
+    def test_eq_nondivisible_kept(self):
+        # 2x + 1 == 0 has no integer solutions; normalization must NOT
+        # round it (the emptiness check detects the contradiction).
+        c = Constraint.eq(Aff.from_terms(S, {"x": 2}, 1))
+        assert c.vec[2] == 2 and c.vec[0] == 1
+
+    def test_eq_canonical_sign(self):
+        a = Constraint.eq(Aff.from_terms(S, {"x": -1}, 5))
+        b = Constraint.eq(Aff.from_terms(S, {"x": 1}, -5))
+        assert a.vec == b.vec
+
+
+class TestPredicates:
+    def test_tautology(self):
+        assert Constraint.ineq(Aff.const(S, 3)).is_tautology()
+        assert Constraint.eq(Aff.const(S, 0)).is_tautology()
+        assert not Constraint.ineq(Aff.var(S, "x")).is_tautology()
+
+    def test_contradiction(self):
+        assert Constraint.ineq(Aff.const(S, -1)).is_contradiction()
+        assert Constraint.eq(Aff.const(S, 2)).is_contradiction()
+        assert not Constraint.eq(Aff.var(S, "x")).is_contradiction()
+
+    def test_satisfied_by(self):
+        c = Constraint.ineq(Aff.from_terms(S, {"x": 1}, -3))  # x >= 3
+        assert c.satisfied_by((1, 0, 3))
+        assert not c.satisfied_by((1, 0, 2))
+
+    def test_negated(self):
+        c = Constraint.ineq(Aff.from_terms(S, {"x": 1}))  # x >= 0
+        neg = c.negated()  # x <= -1
+        assert neg.satisfied_by((1, 0, -1))
+        assert not neg.satisfied_by((1, 0, 0))
+        # Exactly one of c, neg holds for every integer x.
+        for x in range(-3, 4):
+            assert c.satisfied_by((1, 0, x)) != neg.satisfied_by((1, 0, x))
+
+    def test_negate_equality_raises(self):
+        with pytest.raises(ValueError):
+            Constraint.eq(Aff.var(S, "x")).negated()

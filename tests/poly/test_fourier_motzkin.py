@@ -1,0 +1,88 @@
+"""Unit tests for Fourier-Motzkin / Gaussian elimination."""
+
+import pytest
+
+from repro.poly import parse_basic_set
+from repro.poly.constraint import Constraint, Kind
+from repro.poly.fourier_motzkin import eliminate_column, project_columns
+
+
+def _ineq(*vec):
+    return Constraint(Kind.INEQ, vec)
+
+
+def _eq(*vec):
+    return Constraint(Kind.EQ, vec)
+
+
+class TestEliminateColumn:
+    # Column layout in these tests: (const, x, y)
+
+    def test_fm_combines_lower_and_upper(self):
+        # y >= x  and  y <= 5  =>  x <= 5
+        cons = [_ineq(0, -1, 1), _ineq(5, 0, -1)]
+        out, exact = eliminate_column(cons, 2)
+        assert exact
+        assert len(out) == 1
+        assert out[0].vec == (5, -1, 0)
+
+    def test_fm_exactness_flag_nonunit(self):
+        # 2y >= x and 3y <= x: both coefficients non-unit.
+        cons = [_ineq(0, -1, 2), _ineq(0, 1, -3)]
+        out, exact = eliminate_column(cons, 2)
+        assert not exact
+
+    def test_fm_unit_on_one_side_is_exact(self):
+        # y >= 2x (coeff 1 on lower side) and y <= 10.
+        cons = [_ineq(0, -2, 1), _ineq(10, 0, -1)]
+        out, exact = eliminate_column(cons, 2)
+        assert exact
+        assert out[0].vec == (5, -1, 0)  # 2x <= 10, normalized
+
+    def test_one_sided_bounds_dropped(self):
+        # Only lower bounds on y: projection is everything (for x).
+        cons = [_ineq(0, -1, 1), _ineq(3, 0, 1)]
+        out, exact = eliminate_column(cons, 2)
+        assert exact and out == []
+
+    def test_gauss_preferred_over_fm(self):
+        # y = x + 2 present: substitution, not pairwise combination.
+        cons = [_eq(2, 1, -1), _ineq(0, 0, 1), _ineq(10, 0, -1)]
+        out, exact = eliminate_column(cons, 2)
+        assert exact
+        # y >= 0 -> x + 2 >= 0 ; y <= 10 -> x <= 8
+        vecs = {c.vec for c in out}
+        assert (2, 1, 0) in vecs and (8, -1, 0) in vecs
+
+    def test_gauss_nonunit_pivot_inexact(self):
+        cons = [_eq(0, 1, -2), _ineq(9, 0, -1)]  # 2y = x, y <= 9
+        out, exact = eliminate_column(cons, 2)
+        assert not exact
+
+    def test_untouched_constraints_kept(self):
+        cons = [_ineq(1, 1, 0), _ineq(0, -1, 1), _ineq(5, 0, -1)]
+        out, _ = eliminate_column(cons, 2)
+        assert _ineq(1, 1, 0) in out
+
+
+class TestProjectColumns:
+    def test_multi_column_projection(self):
+        # Box 0<=x<=2, 0<=y<=3, z = x + y: project x and y.
+        cons = [
+            _ineq(0, 1, 0, 0),
+            _ineq(2, -1, 0, 0),
+            _ineq(0, 0, 1, 0),
+            _ineq(3, 0, -1, 0),
+            _eq(0, 1, 1, -1),
+        ]
+        out, exact = project_columns(cons, [1, 2])
+        assert exact
+        bounds = sorted(c.vec for c in out)
+        # z in [0, 5]
+        assert (0, 0, 0, 1) in bounds and (5, 0, 0, -1) in bounds
+
+    def test_projection_preserves_feasibility(self):
+        b = parse_basic_set("{ [x, y, z] : 0 <= x <= 4 and x <= y <= x + 2 and z = y - x }")
+        p = b.project_out(["x", "y"])
+        pts = set(p.enumerate_points())
+        assert pts == {(0,), (1,), (2,)}

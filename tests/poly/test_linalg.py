@@ -1,0 +1,94 @@
+"""Unit tests for exact integer vector helpers."""
+
+import pytest
+
+from repro.poly.linalg import (
+    ceildiv,
+    floordiv,
+    vec_add,
+    vec_combine,
+    vec_dot,
+    vec_gcd,
+    vec_is_zero,
+    vec_neg,
+    vec_normalize,
+    vec_scale,
+    vec_sub,
+)
+
+
+class TestVectorOps:
+    def test_add_sub_roundtrip(self):
+        a, b = (1, -2, 3), (4, 5, -6)
+        assert vec_sub(vec_add(a, b), b) == a
+
+    def test_neg(self):
+        assert vec_neg((1, 0, -7)) == (-1, 0, 7)
+
+    def test_scale(self):
+        assert vec_scale((1, -2), 3) == (3, -6)
+        assert vec_scale((1, -2), 0) == (0, 0)
+
+    def test_combine_is_linear(self):
+        a, b = (2, 3), (5, -1)
+        assert vec_combine(a, 2, b, -3) == (-11, 9)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            vec_add((1,), (1, 2))
+        with pytest.raises(ValueError):
+            vec_dot((1,), (1, 2))
+
+    def test_dot(self):
+        assert vec_dot((1, 2, 3), (4, 5, 6)) == 32
+
+    def test_is_zero(self):
+        assert vec_is_zero((0, 0))
+        assert not vec_is_zero((0, 1))
+        assert vec_is_zero(())
+
+
+class TestGcdNormalize:
+    def test_gcd_basic(self):
+        assert vec_gcd((4, 6, 8)) == 2
+        assert vec_gcd((0, 0)) == 0
+        assert vec_gcd((7,)) == 7
+        assert vec_gcd((3, 5)) == 1
+
+    def test_normalize_plain(self):
+        assert vec_normalize((4, 6, 8)) == (2, 3, 4)
+
+    def test_normalize_skip_const_tightens(self):
+        # 2x + 3 >= 0  =>  x >= -3/2  =>  x >= -1  =>  x + 1 >= 0
+        assert vec_normalize((3, 2), skip_const=True) == (1, 1)
+
+    def test_normalize_skip_const_floor_negative(self):
+        # 2x - 3 >= 0  =>  x >= 3/2  =>  x >= 2  =>  x - 2 >= 0
+        assert vec_normalize((-3, 2), skip_const=True) == (-2, 1)
+
+    def test_normalize_unit_gcd_unchanged(self):
+        assert vec_normalize((5, 3, 7), skip_const=True) == (5, 3, 7)
+
+
+class TestDivision:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(7, 2, 3), (-7, 2, -4), (7, -2, -4), (-7, -2, 3), (6, 3, 2), (0, 5, 0)],
+    )
+    def test_floordiv(self, a, b, expected):
+        assert floordiv(a, b) == expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(7, 2, 4), (-7, 2, -3), (7, -2, -3), (-7, -2, 4), (6, 3, 2), (0, 5, 0)],
+    )
+    def test_ceildiv(self, a, b, expected):
+        assert ceildiv(a, b) == expected
+
+    def test_floor_le_ceil(self):
+        for a in range(-12, 13):
+            for b in (1, 2, 3, 5, -1, -3):
+                assert floordiv(a, b) <= ceildiv(a, b)
+                # Match Python semantics for positive divisors.
+                if b > 0:
+                    assert floordiv(a, b) == a // b

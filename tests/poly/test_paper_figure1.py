@@ -1,0 +1,43 @@
+"""Reproduction of the paper's Figure 1 / Equations (1)-(4).
+
+S1 = { [y, x] : 0 <= y <= x and 0 <= x <= 4 }           (1)
+M  = { [y, x] -> [y', x'] : y' = y + 1 and x' = x + 3 }  (2)
+S2 = M(S1) = { [y, x] : 1 <= y <= x - 2 and 3 <= x <= 7 }(3)
+U  = S1 union S2                                          (4)
+"""
+
+from repro.poly import parse_basic_map, parse_basic_set, parse_set
+
+
+def _pts(obj):
+    return set(obj.enumerate_points())
+
+
+S1 = parse_basic_set("{ [y, x] : 0 <= y <= x and 0 <= x <= 4 }")
+M = parse_basic_map("{ [y, x] -> [y + 1, x + 3] }")
+
+
+def test_s1_is_the_triangle():
+    assert _pts(S1) == {(y, x) for x in range(5) for y in range(x + 1)}
+
+
+def test_image_matches_equation_3():
+    s2 = M.image(S1)
+    closed_form = parse_basic_set("{ [y, x] : 1 <= y <= x - 2 and 3 <= x <= 7 }")
+    assert _pts(s2) == _pts(closed_form)
+    assert _pts(s2) == {(y + 1, x + 3) for (y, x) in _pts(S1)}
+
+
+def test_union_equation_4():
+    u = parse_set(
+        "{ [y, x] : 0 <= y <= x and 0 <= x <= 4 ;"
+        "  [y, x] : 1 <= y <= x - 2 and 3 <= x <= 7 }"
+    )
+    s2 = M.image(S1)
+    assert _pts(u) == _pts(S1) | _pts(s2)
+    # The pieces overlap (e.g. (1, 3)), so the union is smaller than the sum.
+    assert len(_pts(u)) < len(_pts(S1)) + len(_pts(s2))
+
+
+def test_image_under_translation_preserves_cardinality():
+    assert len(_pts(M.image(S1))) == len(_pts(S1))

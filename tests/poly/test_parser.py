@@ -1,0 +1,116 @@
+"""Unit tests for the isl-notation parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.poly import parse_basic_map, parse_basic_set, parse_map, parse_set
+
+
+class TestSets:
+    def test_simple_box(self):
+        s = parse_basic_set("{ [x] : 0 <= x and x <= 4 }")
+        assert sorted(s.enumerate_points()) == [(i,) for i in range(5)]
+
+    def test_chained_comparisons(self):
+        s = parse_basic_set("{ [x] : 0 <= x <= 4 }")
+        assert len(list(s.enumerate_points())) == 5
+
+    def test_strict_comparisons(self):
+        s = parse_basic_set("{ [x] : 0 < x < 4 }")
+        assert sorted(s.enumerate_points()) == [(1,), (2,), (3,)]
+
+    def test_params_prefix(self):
+        s = parse_basic_set("[n, m] -> { [x] : m <= x < n }")
+        assert s.space.params == ("n", "m")
+        fixed = s.fix("n", 5).fix("m", 3)
+        assert sorted(fixed.enumerate_points()) == [(3,), (4,)]
+
+    def test_arithmetic_in_conditions(self):
+        s = parse_basic_set("{ [x, y] : y = 2*x + 1 and 0 <= x < 3 }")
+        assert sorted(s.enumerate_points()) == [(0, 1), (1, 3), (2, 5)]
+
+    def test_parenthesized(self):
+        s = parse_basic_set("{ [x] : 2*(x - 1) <= 4 and x >= 0 }")
+        assert max(p[0] for p in s.enumerate_points()) == 3
+
+    def test_union_with_semicolon(self):
+        u = parse_set("{ [x] : 0 <= x < 2 ; [x] : 5 <= x < 7 }")
+        assert u.n_basic_sets == 2
+        assert sorted(u.enumerate_points()) == [(0,), (1,), (5,), (6,)]
+
+    def test_empty_set(self):
+        assert parse_set("{ }").is_empty()
+
+    def test_equality(self):
+        s = parse_basic_set("{ [x, y] : x = y and 0 <= x <= 2 }")
+        assert sorted(s.enumerate_points()) == [(0, 0), (1, 1), (2, 2)]
+
+
+class TestMaps:
+    def test_translation_map(self):
+        m = parse_basic_map("{ [y, x] -> [y + 1, x + 3] }")
+        assert m.space.n_in == 2 and m.space.n_out == 2
+        assert m.contains({"y": 0, "x": 0, "o0": 1, "o1": 3})
+        assert not m.contains({"y": 0, "x": 0, "o0": 0, "o1": 3})
+
+    def test_fresh_output_names(self):
+        m = parse_basic_map("{ [i] -> [j] : j = i + 1 }")
+        assert m.space.out_dims == ("j",)
+
+    def test_identity_output_expression(self):
+        m = parse_basic_map("{ [i] -> [i] }")
+        assert m.contains({"i": 7, "o0": 7})
+        assert not m.contains({"i": 7, "o0": 8})
+
+    def test_map_with_conditions(self):
+        m = parse_basic_map("[n] -> { [i] -> [o] : o = i and 0 <= i < n }")
+        dom = m.domain().fix("n", 3)
+        assert sorted(dom.enumerate_points()) == [(0,), (1,), (2,)]
+
+    def test_negative_coefficients(self):
+        m = parse_basic_map("{ [i] -> [-i] }")
+        assert m.contains({"i": 4, "o0": -4})
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "{ [x] : x >= }",
+            "{ [x : x >= 0 }",
+            "{ [x] : y >= 0 }",  # undeclared name
+            "[n] { [x] }",  # missing ->
+            "{ [x] -> }",
+            "{ [x] : x > 0 } trailing",
+        ],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse_set(text)
+
+    def test_set_where_map_expected(self):
+        with pytest.raises(ParseError):
+            parse_basic_map("{ [x] : x >= 0 }")
+
+    def test_union_where_single_expected(self):
+        with pytest.raises(ParseError):
+            parse_basic_set("{ [x] : x = 0 ; [x] : x = 1 }")
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "{ [x] : 0 <= x <= 4 }",
+            "[n] -> { [y, x] : 0 <= y < n and y <= x < n }",
+            "{ [y, x] : 1 <= y <= x - 2 and 3 <= x <= 7 }",
+            "{ [x, y] : 2*x = y and 0 <= x <= 10 }",
+        ],
+    )
+    def test_print_parse_same_points(self, text):
+        s1 = parse_basic_set(text)
+        s2 = parse_basic_set(repr(s1).replace("[n] -> ", "[n] -> "))
+        if s1.space.params:
+            s1 = s1.fix("n", 9)
+            s2 = s2.fix("n", 9)
+        assert set(s1.enumerate_points()) == set(s2.enumerate_points())

@@ -1,0 +1,58 @@
+"""Property test: printing and re-parsing preserves semantics exactly."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.poly.basic_set import BasicSet
+from repro.poly.constraint import Constraint, Kind
+from repro.poly.parser import parse_basic_set, parse_set
+from repro.poly.set_ import Set
+from repro.poly.space import Space
+
+SPACE = Space.set_space(["y", "x"], params=["n"])
+BOX = 5
+
+
+@st.composite
+def random_sets(draw):
+    n_cons = draw(st.integers(1, 4))
+    cons = [
+        Constraint(Kind.INEQ, (BOX, 0, 1, 0)),
+        Constraint(Kind.INEQ, (BOX, 0, -1, 0)),
+        Constraint(Kind.INEQ, (BOX, 0, 0, 1)),
+        Constraint(Kind.INEQ, (BOX, 0, 0, -1)),
+    ]
+    for _ in range(n_cons):
+        vec = (
+            draw(st.integers(-6, 6)),
+            draw(st.integers(-2, 2)),  # n
+            draw(st.integers(-3, 3)),  # y
+            draw(st.integers(-3, 3)),  # x
+        )
+        kind = draw(st.sampled_from([Kind.INEQ, Kind.INEQ, Kind.EQ]))
+        cons.append(Constraint(kind, vec))
+    return BasicSet(SPACE, cons)
+
+
+def _points(s, n_value):
+    fixed = s.fix("n", n_value)
+    return set(fixed.enumerate_points())
+
+
+@settings(max_examples=100, deadline=None)
+@given(random_sets(), st.integers(-3, 3))
+def test_basic_set_roundtrip(bset, n_value):
+    text = repr(bset)
+    if bset._trivially_empty:
+        assert text.endswith("{ }")
+        return
+    again = parse_basic_set(text)
+    assert _points(bset, n_value) == _points(again, n_value)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_sets(), random_sets(), st.integers(-2, 2))
+def test_union_roundtrip(a, b, n_value):
+    u = Set(SPACE, [a, b])
+    text = repr(u)
+    again = parse_set(text)
+    assert _points(u, n_value) == _points(again, n_value)

@@ -1,0 +1,78 @@
+"""Tests for isl-notation printing."""
+
+import pytest
+
+from repro.poly import (
+    parse_basic_map,
+    parse_basic_set,
+    parse_map,
+    parse_set,
+)
+from repro.poly.pretty import (
+    basic_map_to_str,
+    basic_set_to_str,
+    constraint_to_str,
+    map_to_str,
+    set_to_str,
+)
+
+
+class TestSetPrinting:
+    def test_simple_set(self):
+        s = parse_basic_set("{ [x] : 0 <= x <= 4 }")
+        text = basic_set_to_str(s)
+        assert text.startswith("{ [x] :")
+        assert "x >= 0" in text or "x" in text
+
+    def test_params_prefix(self):
+        s = parse_basic_set("[n] -> { [x] : 0 <= x < n }")
+        assert basic_set_to_str(s).startswith("[n] -> ")
+
+    def test_universe(self):
+        s = parse_basic_set("{ [x] }") if False else None
+        from repro.poly.basic_set import BasicSet
+        from repro.poly.space import Space
+
+        u = BasicSet.universe(Space.set_space(["x"]))
+        assert basic_set_to_str(u) == "{ [x] }"
+
+    def test_empty_set_prints_braces(self):
+        assert set_to_str(parse_set("{ }")) == "{ }"
+
+    def test_union_printed_with_semicolons(self):
+        u = parse_set("{ [x] : x = 0 ; [x] : x = 5 }")
+        assert ";" in set_to_str(u)
+
+    def test_coefficient_rendering_roundtrips(self):
+        s = parse_basic_set("{ [x, y] : 3*x - 2*y >= 7 and -x + 5*y <= 40 }")
+        text = basic_set_to_str(s)
+        again = parse_basic_set(text)
+        for x in range(-5, 6):
+            for y in range(-5, 6):
+                assert s.contains({"x": x, "y": y}) == again.contains({"x": x, "y": y})
+
+
+class TestMapPrinting:
+    def test_arrow_form(self):
+        m = parse_basic_map("{ [i] -> [o] : o = i + 1 }")
+        text = basic_map_to_str(m)
+        assert "] -> [" in text
+
+    def test_map_union(self):
+        m = parse_map("{ [i] -> [o] : o = i ; [i] -> [o] : o = i + 1 }")
+        assert ";" in map_to_str(m)
+
+    def test_empty_map(self):
+        from repro.poly.map_ import Map
+        from repro.poly.space import Space
+
+        m = Map(Space.map_space(["i"], ["o"]), [])
+        assert map_to_str(m) == "{ }"
+
+
+class TestConstraintPrinting:
+    def test_eq_and_ineq_ops(self):
+        s = parse_basic_set("{ [x, y] : x = 2 and y >= 3 }")
+        texts = [constraint_to_str(c, s.space.all_names) for c in s.constraints]
+        assert any("= 0" in t and ">= 0" not in t for t in texts)
+        assert any(">= 0" in t for t in texts)

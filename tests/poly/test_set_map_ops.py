@@ -1,0 +1,161 @@
+"""Unit tests for Set (unions) and Map operations."""
+
+import pytest
+
+from repro.errors import SpaceMismatchError
+from repro.poly import (
+    BasicMap,
+    BasicSet,
+    Map,
+    Set,
+    parse_basic_map,
+    parse_basic_set,
+    parse_map,
+    parse_set,
+)
+from repro.poly.space import Space
+
+
+class TestSetOps:
+    def test_union_dedup(self):
+        a = parse_basic_set("{ [x] : 0 <= x < 4 }")
+        s = Set.from_basic(a).union(Set.from_basic(a))
+        assert s.n_basic_sets == 1
+
+    def test_union_points(self):
+        u = parse_set("{ [x] : 0 <= x < 2 }").union(parse_set("{ [x] : 1 <= x < 4 }"))
+        assert sorted(u.enumerate_points()) == [(0,), (1,), (2,), (3,)]
+
+    def test_intersect_distributes(self):
+        u = parse_set("{ [x] : 0 <= x < 3 ; [x] : 10 <= x < 13 }")
+        v = parse_set("{ [x] : 2 <= x < 11 }")
+        assert sorted(u.intersect(v).enumerate_points()) == [(2,), (10,)]
+
+    def test_empty_union(self):
+        e = Set.empty(Space.set_space(["x"]))
+        assert e.is_empty()
+        u = e.union(parse_set("{ [x] : x = 5 }"))
+        assert sorted(u.enumerate_points()) == [(5,)]
+
+    def test_universe(self):
+        u = Set.universe(Space.set_space(["x"]))
+        assert not u.is_empty()
+        assert u.contains({"x": 12345})
+
+    def test_project_out_union(self):
+        u = parse_set("{ [x, y] : x = 0 and 0 <= y < 2 ; [x, y] : x = 5 and 0 <= y < 2 }")
+        p = u.project_out(["y"])
+        assert sorted(p.enumerate_points()) == [(0,), (5,)]
+
+    def test_fix_union(self):
+        u = parse_set("{ [x, y] : x = 0 and 0 <= y < 2 ; [x, y] : x = 5 and 3 <= y < 9 }")
+        assert sorted(u.fix("x", 5).enumerate_points()) == [(y,) for y in range(3, 9)]
+
+    def test_coalesce_drops_empty_disjuncts(self):
+        u = parse_set("{ [x] : 0 <= x < 2 ; [x] : x >= 5 and x <= 4 }")
+        assert u.coalesce().n_basic_sets == 1
+
+    def test_exactness_aggregates(self):
+        exact = parse_basic_set("{ [x] : 0 <= x < 4 }")
+        inexact = exact.project_out([]) if True else exact
+        s = Set.from_basic(exact)
+        assert s.exact
+
+    def test_space_mismatch(self):
+        a = parse_set("{ [x] : x = 0 }")
+        b = parse_set("{ [y] : y = 0 }")
+        with pytest.raises(SpaceMismatchError):
+            a.union(b)
+
+
+class TestMapOps:
+    def test_domain_and_range(self):
+        m = parse_basic_map("{ [i] -> [o] : o = i + 5 and 0 <= i < 4 }")
+        assert sorted(m.domain().enumerate_points()) == [(i,) for i in range(4)]
+        assert sorted(m.range().enumerate_points()) == [(i + 5,) for i in range(4)]
+
+    def test_reverse(self):
+        m = parse_basic_map("{ [i] -> [o] : o = 2*i and 0 <= i < 3 }")
+        r = m.reverse()
+        assert r.contains({"o": 4, "i": 2})
+        assert not r.contains({"o": 3, "i": 1})
+        # Projecting out the (stride-2) input is over-approximate on Z: the
+        # domain is the rational hull [0, 4], flagged inexact.
+        dom = r.domain()
+        assert not dom.exact
+        assert set(dom.enumerate_points()) >= {(0,), (2,), (4,)}
+
+    def test_wrap(self):
+        m = parse_basic_map("{ [i] -> [o] : o = i and 0 <= i < 2 }")
+        w = m.wrap()
+        assert sorted(w.enumerate_points()) == [(0, 0), (1, 1)]
+
+    def test_intersect_domain(self):
+        m = parse_basic_map("{ [i] -> [o] : o = i }")
+        dom = parse_basic_set("{ [i] : 3 <= i < 6 }")
+        img = m.intersect_domain(dom).range()
+        assert sorted(img.enumerate_points()) == [(3,), (4,), (5,)]
+
+    def test_intersect_range(self):
+        m = parse_basic_map("{ [i] -> [o] : o = i and 0 <= i < 10 }")
+        rng_ = parse_basic_set("{ [o] : o >= 7 }")
+        dom = m.intersect_range(rng_).domain()
+        assert sorted(dom.enumerate_points()) == [(7,), (8,), (9,)]
+
+    def test_map_union_image(self):
+        m = parse_map("{ [i] -> [o] : o = i ; [i] -> [o] : o = i + 10 }")
+        dom = parse_basic_set("{ [i] : i = 1 }")
+        img = m.image(dom)
+        assert sorted(img.enumerate_points()) == [(1,), (11,)]
+
+    def test_from_affine_exprs(self):
+        from repro.poly.affine import Aff
+
+        space = Space.map_space(["i"], ["o0", "o1"])
+        m = BasicMap.from_affine_exprs(
+            space,
+            [Aff.var(space, "i") + 1, Aff.var(space, "i") * 2],
+        )
+        assert m.contains({"i": 3, "o0": 4, "o1": 6})
+        assert not m.contains({"i": 3, "o0": 4, "o1": 7})
+
+    def test_add_params(self):
+        m = parse_basic_map("{ [i] -> [o] : o = i }")
+        m2 = m.add_params(["n"])
+        assert "n" in m2.space.params
+
+    def test_requires_map_space(self):
+        with pytest.raises(SpaceMismatchError):
+            BasicMap(Space.set_space(["x"]))
+
+    def test_empty_map(self):
+        m = parse_basic_map("{ [i] -> [o] : o = i and i >= 1 and i <= 0 }")
+        assert m.is_empty()
+
+    def test_map_equality_and_hash(self):
+        a = parse_basic_map("{ [i] -> [o] : o = i }")
+        b = parse_basic_map("{ [i] -> [o] : o = i }")
+        assert a == b and hash(a) == hash(b)
+
+
+class TestPrettyRoundtrips:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "{ [i] -> [o] : o = i + 1 and 0 <= i < 5 }",
+            "[n] -> { [i] -> [o] : o = 2*i and 0 <= i < n }",
+        ],
+    )
+    def test_map_roundtrip(self, text):
+        m1 = parse_map(text)
+        m2 = parse_map(repr(m1))
+        probe = {"i": 2, "o": None, "n": 9}
+        for o in range(12):
+            vals = {"i": 2, "o": o}
+            if m1.space.params:
+                vals["n"] = 9
+            assert m1.contains(vals) == m2.contains(vals)
+
+    def test_empty_printing(self):
+        s = parse_set("{ }")
+        assert repr(s) == "{ }"

@@ -1,0 +1,54 @@
+"""Unit tests for constraint-system simplification."""
+
+from repro.poly.constraint import Constraint, Kind
+from repro.poly.simplify import simplify_system
+
+
+def _ineq(*vec):
+    return Constraint(Kind.INEQ, vec)
+
+
+def _eq(*vec):
+    return Constraint(Kind.EQ, vec)
+
+
+class TestSimplify:
+    def test_drops_tautologies(self):
+        out = simplify_system([_ineq(5, 0), _eq(0, 0), _ineq(0, 1)])
+        assert not out.empty
+        assert out.constraints == [_ineq(0, 1)]
+
+    def test_detects_constant_contradiction(self):
+        assert simplify_system([_ineq(-1, 0)]).empty
+        assert simplify_system([_eq(3, 0)]).empty
+
+    def test_keeps_strongest_duplicate(self):
+        # x >= 3 (vec (-3, 1)) is stronger than x >= 1.
+        out = simplify_system([_ineq(-1, 1), _ineq(-3, 1)])
+        assert out.constraints == [_ineq(-3, 1)]
+
+    def test_opposed_pair_becomes_equality(self):
+        # x >= 4 and x <= 4.
+        out = simplify_system([_ineq(-4, 1), _ineq(4, -1)])
+        assert len(out.constraints) == 1
+        assert out.constraints[0].is_eq
+
+    def test_opposed_pair_contradiction(self):
+        # x >= 5 and x <= 4.
+        assert simplify_system([_ineq(-5, 1), _ineq(4, -1)]).empty
+
+    def test_equality_substituted_into_inequalities(self):
+        # layout (const, x, y): y = 3, y >= x  =>  x <= 3.
+        out = simplify_system([_eq(-3, 0, 1), _ineq(0, -1, 1)])
+        assert not out.empty
+        ineqs = [c for c in out.constraints if not c.is_eq]
+        assert ineqs == [_ineq(3, -1, 0)]
+
+    def test_parity_contradiction_through_echelon(self):
+        # 2x = 2y + 1 (after echelon: gcd 2 does not divide 1).
+        assert simplify_system([_eq(-1, 2, -2)]).empty
+
+    def test_consistent_equalities_kept(self):
+        out = simplify_system([_eq(0, 1, -1), _eq(-2, 1, 0)])  # x = y, x = 2
+        assert not out.empty
+        assert sum(1 for c in out.constraints if c.is_eq) == 2

@@ -1,0 +1,101 @@
+"""Unit tests for dimension spaces."""
+
+import pytest
+
+from repro.errors import SpaceMismatchError
+from repro.poly.space import Space
+
+
+class TestConstruction:
+    def test_set_space(self):
+        s = Space.set_space(["y", "x"], params=["n"])
+        assert s.is_set
+        assert s.out_dims == ("y", "x")
+        assert s.params == ("n",)
+        assert s.ncols == 4
+
+    def test_map_space(self):
+        s = Space.map_space(["i"], ["o1", "o2"], params=["n", "m"])
+        assert not s.is_set
+        assert s.n_in == 1 and s.n_out == 2 and s.n_params == 2
+        assert s.ncols == 1 + 2 + 3
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SpaceMismatchError):
+            Space.set_space(["x", "x"])
+        with pytest.raises(SpaceMismatchError):
+            Space.map_space(["x"], ["x"])
+        with pytest.raises(SpaceMismatchError):
+            Space.set_space(["x"], params=["x"])
+
+
+class TestColumns:
+    def test_column_layout_order(self):
+        s = Space.map_space(["i"], ["o"], params=["n"])
+        assert s.column_of("n") == 1
+        assert s.column_of("i") == 2
+        assert s.column_of("o") == 3
+
+    def test_name_of_inverse(self):
+        s = Space.map_space(["i"], ["o"], params=["n"])
+        for col in range(1, s.ncols):
+            assert s.column_of(s.name_of(col)) == col
+        assert s.name_of(0) == "1"
+
+    def test_unknown_name(self):
+        s = Space.set_space(["x"])
+        with pytest.raises(SpaceMismatchError):
+            s.column_of("nope")
+        assert not s.has("nope")
+        assert s.has("x")
+
+    def test_column_ranges(self):
+        s = Space.map_space(["i", "j"], ["o"], params=["n"])
+        assert list(s.param_columns()) == [1]
+        assert list(s.in_columns()) == [2, 3]
+        assert list(s.out_columns()) == [4]
+        assert list(s.dim_columns()) == [2, 3, 4]
+
+
+class TestDerivedSpaces:
+    def test_domain_range(self):
+        s = Space.map_space(["i"], ["o"], params=["n"])
+        assert s.domain() == Space.set_space(["i"], ["n"])
+        assert s.range() == Space.set_space(["o"], ["n"])
+
+    def test_reversed(self):
+        s = Space.map_space(["i"], ["o"])
+        assert s.reversed() == Space.map_space(["o"], ["i"])
+
+    def test_drop_dims(self):
+        s = Space.map_space(["i", "j"], ["o"])
+        assert s.drop_dims(["j"]) == Space.map_space(["i"], ["o"])
+        with pytest.raises(SpaceMismatchError):
+            s.drop_dims(["zzz"])
+
+    def test_drop_params(self):
+        s = Space.set_space(["x"], params=["n", "m"])
+        assert s.drop_params(["n"]) == Space.set_space(["x"], params=["m"])
+        with pytest.raises(SpaceMismatchError):
+            s.drop_params(["x"])  # a dim, not a param
+
+    def test_add_params_idempotent(self):
+        s = Space.set_space(["x"], params=["n"])
+        s2 = s.add_params(["n", "m"])
+        assert s2.params == ("n", "m")
+
+    def test_rename(self):
+        s = Space.map_space(["i"], ["o"], params=["n"])
+        r = s.rename({"i": "a", "o": "b"})
+        assert r.in_dims == ("a",) and r.out_dims == ("b",) and r.params == ("n",)
+
+    def test_to_set_wraps(self):
+        s = Space.map_space(["i"], ["o"], params=["n"])
+        assert s.to_set() == Space.set_space(["i", "o"], ["n"])
+
+    def test_check_compatible(self):
+        a = Space.set_space(["x"])
+        b = Space.set_space(["y"])
+        with pytest.raises(SpaceMismatchError):
+            a.check_compatible(b)
+        a.check_compatible(Space.set_space(["x"]))

@@ -1,0 +1,93 @@
+"""API misuse paths and async/sync memcpy timing semantics."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_app
+from repro.cuda.api import CudaApi, MemcpyKind
+from repro.cuda.device import Device
+from repro.errors import RuntimeApiError
+from repro.runtime.api import MultiGpuApi
+from repro.runtime.config import RuntimeConfig
+from repro.sim.engine import SimMachine
+from repro.sim.topology import MachineSpec
+
+
+class TestMisuse:
+    def test_free_requires_virtual_buffer(self):
+        api = MultiGpuApi(compile_app([]), RuntimeConfig(n_gpus=2))
+        with pytest.raises(RuntimeApiError):
+            api.cudaFree(object())
+
+    def test_double_free(self):
+        api = MultiGpuApi(compile_app([]), RuntimeConfig(n_gpus=2))
+        vb = api.cudaMalloc(16)
+        api.cudaFree(vb)
+        with pytest.raises(RuntimeApiError):
+            api.cudaFree(vb)
+
+    def test_use_after_free(self, rng):
+        api = MultiGpuApi(compile_app([]), RuntimeConfig(n_gpus=2))
+        vb = api.cudaMalloc(16)
+        api.cudaFree(vb)
+        with pytest.raises(RuntimeApiError):
+            api.cudaMemcpy(vb, np.zeros(4, dtype=np.float32), 16, MemcpyKind.HostToDevice)
+
+    def test_machine_gpu_count_mismatch(self):
+        machine = SimMachine(MachineSpec(n_gpus=2))
+        with pytest.raises(RuntimeApiError):
+            MultiGpuApi(
+                compile_app([]), RuntimeConfig(n_gpus=4), machine=machine, functional=False
+            )
+
+    def test_launch_unknown_kernel(self):
+        from repro.cuda.dim3 import Dim3
+        from repro.cuda.dtypes import f32
+        from repro.cuda.ir.builder import KernelBuilder
+        from repro.errors import PartitioningError
+
+        kb = KernelBuilder("ghost")
+        kb.scalar("n")
+        ghost = kb.finish()
+        api = MultiGpuApi(compile_app([]), RuntimeConfig(n_gpus=2))
+        with pytest.raises(PartitioningError, match="no kernel"):
+            api.launch(ghost, Dim3(1), Dim3(1), [1])
+
+
+class TestAsyncTiming:
+    def _timed_api(self):
+        spec = MachineSpec(
+            n_gpus=1, pcie_bw=1e9, pcie_latency=0.0, issue_overhead=0.0,
+            sync_overhead=0.0, host_bus_bw=1e12,
+        )
+        machine = SimMachine(spec)
+        return CudaApi(Device(0, functional=False), machine=machine, functional=False), machine
+
+    def test_sync_memcpy_blocks_host(self):
+        api, machine = self._timed_api()
+        p = api.cudaMalloc(int(1e9))
+        api.cudaMemcpy(p, None, int(1e9), MemcpyKind.HostToDevice)
+        assert machine.now == pytest.approx(1.0)
+
+    def test_async_memcpy_returns_immediately(self):
+        api, machine = self._timed_api()
+        p = api.cudaMalloc(int(1e9))
+        api.cudaMemcpyAsync(p, None, int(1e9), MemcpyKind.HostToDevice)
+        assert machine.now == pytest.approx(0.0)
+        assert machine.elapsed() == pytest.approx(1.0)
+        api.cudaDeviceSynchronize()
+        assert machine.now == pytest.approx(1.0)
+
+    def test_multi_gpu_h2d_chunks_overlap(self):
+        spec = MachineSpec(
+            n_gpus=4, pcie_bw=1e9, pcie_latency=0.0, issue_overhead=0.0,
+            sync_overhead=0.0, host_bus_bw=1e12,
+        )
+        machine = SimMachine(spec)
+        api = MultiGpuApi(
+            compile_app([]), RuntimeConfig(n_gpus=4), machine=machine, functional=False
+        )
+        vb = api.cudaMalloc(int(4e9))
+        api.cudaMemcpyAsync(vb, None, int(4e9), MemcpyKind.HostToDevice)
+        # Four 1 GB chunks on four independent lanes: ~1 s, not 4 s.
+        assert machine.elapsed() == pytest.approx(1.0, rel=0.05)

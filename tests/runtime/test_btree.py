@@ -1,0 +1,135 @@
+"""Unit and property tests for the B-tree map substrate (§8.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.btree import BTreeMap
+
+
+class TestBasics:
+    def test_insert_get(self):
+        bt = BTreeMap(2)
+        bt.insert(5, "a")
+        bt.insert(3, "b")
+        assert bt.get(5) == "a" and bt.get(3) == "b"
+        assert bt.get(99) is None
+        assert bt.get(99, "dflt") == "dflt"
+
+    def test_overwrite_keeps_size(self):
+        bt = BTreeMap(2)
+        bt.insert(1, "a")
+        bt.insert(1, "b")
+        assert len(bt) == 1 and bt.get(1) == "b"
+
+    def test_contains(self):
+        bt = BTreeMap(2)
+        bt.insert(7, None)
+        assert 7 in bt and 8 not in bt
+
+    def test_delete(self):
+        bt = BTreeMap(2)
+        for k in range(10):
+            bt.insert(k, k)
+        assert bt.delete(5)
+        assert not bt.delete(5)
+        assert len(bt) == 9
+        assert 5 not in bt
+
+    def test_min_max(self):
+        bt = BTreeMap(3)
+        assert bt.min_key() is None and bt.max_key() is None
+        for k in (8, 2, 5):
+            bt.insert(k, None)
+        assert bt.min_key() == 2 and bt.max_key() == 8
+
+    def test_min_degree_validation(self):
+        with pytest.raises(ValueError):
+            BTreeMap(1)
+
+
+class TestOrderedOps:
+    def _tree(self, keys):
+        bt = BTreeMap(2)
+        for k in keys:
+            bt.insert(k, f"v{k}")
+        return bt
+
+    def test_items_sorted(self):
+        bt = self._tree([9, 1, 5, 3, 7])
+        assert [k for k, _ in bt.items()] == [1, 3, 5, 7, 9]
+
+    def test_floor(self):
+        bt = self._tree([10, 20, 30])
+        assert bt.floor(25) == (20, "v20")
+        assert bt.floor(20) == (20, "v20")
+        assert bt.floor(9) is None
+        assert bt.floor(100) == (30, "v30")
+
+    def test_ceiling(self):
+        bt = self._tree([10, 20, 30])
+        assert bt.ceiling(15) == (20, "v20")
+        assert bt.ceiling(30) == (30, "v30")
+        assert bt.ceiling(31) is None
+
+    def test_items_from(self):
+        bt = self._tree(range(0, 50, 5))
+        assert [k for k, _ in bt.items_from(23)] == [25, 30, 35, 40, 45]
+
+    def test_range_items(self):
+        bt = self._tree(range(0, 50, 5))
+        assert [k for k, _ in bt.range_items(10, 30)] == [10, 15, 20, 25]
+
+
+class TestSplitsAndMerges:
+    @pytest.mark.parametrize("degree", [2, 3, 8])
+    def test_sequential_insert_then_delete_all(self, degree):
+        bt = BTreeMap(degree)
+        n = 200
+        for k in range(n):
+            bt.insert(k, k * 2)
+        bt.check_invariants()
+        for k in range(n):
+            assert bt.delete(k)
+            if k % 37 == 0:
+                bt.check_invariants()
+        assert len(bt) == 0
+
+    def test_reverse_and_interleaved(self):
+        bt = BTreeMap(2)
+        for k in reversed(range(100)):
+            bt.insert(k, k)
+        for k in range(0, 100, 2):
+            bt.delete(k)
+        bt.check_invariants()
+        assert [k for k, _ in bt.items()] == list(range(1, 100, 2))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["ins", "del", "get", "floor"]), st.integers(0, 120)),
+        max_size=300,
+    ),
+    degree=st.integers(2, 6),
+)
+def test_btree_matches_dict_model(ops, degree):
+    """Property: the B-tree behaves like a sorted dict under any op sequence."""
+    bt = BTreeMap(degree)
+    model = {}
+    for op, k in ops:
+        if op == "ins":
+            bt.insert(k, k)
+            model[k] = k
+        elif op == "del":
+            assert bt.delete(k) == (k in model)
+            model.pop(k, None)
+        elif op == "get":
+            assert bt.get(k) == model.get(k)
+        else:
+            expect = max((mk for mk in model if mk <= k), default=None)
+            got = bt.floor(k)
+            assert (got[0] if got else None) == expect
+    bt.check_invariants()
+    assert list(bt.items()) == sorted(model.items())

@@ -1,0 +1,77 @@
+"""Tests for the write-scan debug audit."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_app
+from repro.cuda.api import MemcpyKind
+from repro.cuda.dim3 import Dim3
+from repro.errors import PartitioningError
+from repro.runtime.api import MultiGpuApi
+from repro.runtime.config import RuntimeConfig
+from repro.workloads import ALL_WORKLOADS, functional_config
+
+
+class TestAuditPasses:
+    @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+    def test_workloads_survive_audit(self, name):
+        """All benchmark kernels' scans match real execution, per partition."""
+        wl = ALL_WORKLOADS[name](functional_config(name))
+        inputs = wl.make_inputs(seed=9)
+        app = compile_app(wl.build_kernels())
+        api = MultiGpuApi(
+            app, RuntimeConfig(n_gpus=3, debug_validate_writes=True)
+        )
+        wl.run(api, inputs)  # raises if any scan over/under-claims
+
+    def test_audit_with_annotation(self, rng):
+        """Correct annotations pass the audit too."""
+        from repro.cuda.dtypes import f32
+        from repro.cuda.ir.builder import KernelBuilder
+
+        kb = KernelBuilder("obf")
+        n = kb.scalar("n")
+        src = kb.array("src", f32, (n,))
+        dst = kb.array("dst", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            dst[(gi * 2) // 2,] = src[gi,]
+        k = kb.finish()
+        good = (
+            "[bd_x, n] -> { [bo_z, bo_y, bo_x, bi_z, bi_y, bi_x] -> [a0] :"
+            " bo_x <= a0 < bo_x + bd_x and 0 <= a0 < n }"
+        )
+        app = compile_app([k], write_annotations={"obf": {"dst": good}})
+        api = MultiGpuApi(app, RuntimeConfig(n_gpus=2, debug_validate_writes=True))
+        d_s = api.cudaMalloc(64 * 4)
+        d_d = api.cudaMalloc(64 * 4)
+        api.cudaMemcpy(d_s, rng.random(64, dtype=np.float32), 64 * 4, MemcpyKind.HostToDevice)
+        api.launch(k, Dim3(8), Dim3(8), [64, d_s, d_d])
+
+
+class TestAuditCatchesLies:
+    def test_wrong_annotation_detected(self, rng):
+        """A plausible-but-wrong programmer annotation fails at launch."""
+        from repro.cuda.dtypes import f32
+        from repro.cuda.ir.builder import KernelBuilder
+
+        kb = KernelBuilder("obf2")
+        n = kb.scalar("n")
+        src = kb.array("src", f32, (n,))
+        dst = kb.array("dst", f32, (n,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < n):
+            dst[(gi * 2) // 2,] = src[gi,]
+        k = kb.finish()
+        # Lie: claims each thread writes index + 1.
+        wrong = (
+            "[bd_x, n] -> { [bo_z, bo_y, bo_x, bi_z, bi_y, bi_x] -> [a0] :"
+            " bo_x + 1 <= a0 < bo_x + bd_x + 1 and 1 <= a0 < n }"
+        )
+        app = compile_app([k], write_annotations={"obf2": {"dst": wrong}})
+        api = MultiGpuApi(app, RuntimeConfig(n_gpus=2, debug_validate_writes=True))
+        d_s = api.cudaMalloc(64 * 4)
+        d_d = api.cudaMalloc(64 * 4)
+        api.cudaMemcpy(d_s, rng.random(64, dtype=np.float32), 64 * 4, MemcpyKind.HostToDevice)
+        with pytest.raises(PartitioningError, match="write-scan audit failed"):
+            api.launch(k, Dim3(8), Dim3(8), [64, d_s, d_d])

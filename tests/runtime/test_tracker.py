@@ -1,0 +1,162 @@
+"""Unit and property tests for segment trackers (§8.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TrackerError
+from repro.runtime.tracker import Segment, SegmentTracker
+
+
+class TestBasics:
+    def test_initial_single_segment(self):
+        tr = SegmentTracker(100, initial_owner=3)
+        assert tr.segments() == [Segment(0, 100, 3)]
+        assert tr.owner_at(50) == 3
+
+    def test_update_middle_splits(self):
+        tr = SegmentTracker(100, 0)
+        tr.update(30, 60, 1)
+        assert tr.segments() == [Segment(0, 30, 0), Segment(30, 60, 1), Segment(60, 100, 0)]
+
+    def test_update_prefix_suffix(self):
+        tr = SegmentTracker(100, 0)
+        tr.update(0, 10, 1)
+        tr.update(90, 100, 2)
+        assert tr.n_segments == 3
+        assert tr.owner_at(0) == 1 and tr.owner_at(99) == 2
+
+    def test_same_owner_coalesces(self):
+        tr = SegmentTracker(100, 0)
+        tr.update(10, 20, 1)
+        tr.update(20, 30, 1)
+        assert Segment(10, 30, 1) in tr.segments()
+        tr.update(10, 30, 0)
+        assert tr.segments() == [Segment(0, 100, 0)]
+
+    def test_update_spanning_multiple_segments(self):
+        tr = SegmentTracker(100, 0)
+        for i, owner in enumerate([1, 2, 3]):
+            tr.update(i * 20, (i + 1) * 20, owner)
+        tr.update(10, 55, 9)
+        assert tr.query(10, 55) == [Segment(10, 55, 9)]
+        tr.check_invariants()
+
+    def test_query_clips(self):
+        tr = SegmentTracker(100, 0)
+        tr.update(40, 60, 5)
+        assert tr.query(50, 55) == [Segment(50, 55, 5)]
+        assert tr.query(30, 45) == [Segment(30, 40, 0), Segment(40, 45, 5)]
+
+    def test_zero_length_update_noop(self):
+        tr = SegmentTracker(10, 0)
+        tr.update(5, 5, 7)
+        assert tr.segments() == [Segment(0, 10, 0)]
+
+    def test_out_of_range_rejected(self):
+        tr = SegmentTracker(10, 0)
+        with pytest.raises(TrackerError):
+            tr.query(0, 11)
+        with pytest.raises(TrackerError):
+            tr.update(-1, 5, 0)
+
+    def test_empty_tracker_rejected(self):
+        with pytest.raises(TrackerError):
+            SegmentTracker(0)
+
+    def test_one_segment_per_partition_locality(self):
+        """§8.1: a 1:1 write pattern keeps one segment per partition."""
+        tr = SegmentTracker(1600, 0)
+        for gpu in range(4):
+            tr.update(gpu * 400, (gpu + 1) * 400, gpu)
+        assert tr.n_segments == 4
+        # Re-writing the same pattern (next iteration) changes nothing.
+        for gpu in range(4):
+            tr.update(gpu * 400, (gpu + 1) * 400, gpu)
+        assert tr.n_segments == 4
+
+
+class TestBatchedOps:
+    def test_query_many_matches_loop(self):
+        tr = SegmentTracker(100, 0)
+        tr.update(10, 40, 1)
+        tr.update(60, 70, 2)
+        ranges = [(5, 15), (35, 65), (90, 100)]
+        batched = tr.query_many(ranges)
+        single = [s for lo, hi in ranges for s in tr.query(lo, hi)]
+        assert batched == single
+
+    def test_update_many_matches_sequential(self):
+        a = SegmentTracker(100, 0)
+        b = SegmentTracker(100, 0)
+        ranges = [(3, 9), (15, 16), (40, 77)]
+        a.update_many(ranges, 4)
+        for lo, hi in ranges:
+            b.update(lo, hi, 4)
+        assert a.segments() == b.segments()
+        a.check_invariants()
+
+    def test_update_many_preserves_gaps(self):
+        tr = SegmentTracker(100, 7)
+        tr.update_many([(0, 10), (20, 30)], 1)
+        assert tr.owner_at(15) == 7
+        assert tr.owner_at(5) == 1 and tr.owner_at(25) == 1
+
+    def test_op_count_accounting(self):
+        tr = SegmentTracker(100, 0)
+        before = tr.op_count
+        tr.query_many([(0, 10), (20, 30), (40, 50)])
+        assert tr.op_count == before + 3
+
+
+segments_strategy = st.lists(
+    st.tuples(st.integers(0, 199), st.integers(0, 199), st.integers(0, 5)),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=segments_strategy)
+def test_tracker_matches_flat_array(ops):
+    """Property: the tracker equals a byte-per-slot ownership array."""
+    size = 200
+    tr = SegmentTracker(size, 0)
+    flat = [0] * size
+    for a, b, owner in ops:
+        lo, hi = min(a, b), max(a, b)
+        tr.update(lo, hi, owner)
+        flat[lo:hi] = [owner] * (hi - lo)
+    tr.check_invariants()
+    recon = [None] * size
+    for s in tr.segments():
+        recon[s.start : s.end] = [s.owner] * s.nbytes
+    assert recon == flat
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    ops=segments_strategy,
+    cuts=st.lists(st.integers(0, 200), min_size=2, max_size=10, unique=True),
+)
+def test_update_many_matches_flat_array(ops, cuts):
+    size = 200
+    tr = SegmentTracker(size, 0)
+    flat = [0] * size
+    for a, b, owner in ops:
+        lo, hi = min(a, b), max(a, b)
+        # alternate batched and single-range updates
+        if (lo + hi) % 2:
+            tr.update(lo, hi, owner)
+        else:
+            tr.update_many([(lo, hi)], owner)
+        flat[lo:hi] = [owner] * (hi - lo)
+    cuts = sorted(cuts)
+    ranges = [(a, b) for a, b in zip(cuts[::2], cuts[1::2]) if a < b]
+    tr.update_many(ranges, 9)
+    for lo, hi in ranges:
+        flat[lo:hi] = [9] * (hi - lo)
+    tr.check_invariants()
+    recon = [None] * size
+    for s in tr.segments():
+        recon[s.start : s.end] = [s.owner] * s.nbytes
+    assert recon == flat

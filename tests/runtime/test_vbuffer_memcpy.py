@@ -1,0 +1,137 @@
+"""Unit tests for virtual buffers and translated memcopies (§8.1-8.2)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_app
+from repro.cuda.api import MemcpyKind
+from repro.cuda.device import Device
+from repro.errors import RuntimeApiError, UnsupportedMemcpyError
+from repro.runtime.api import MultiGpuApi
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.memcpy import linear_chunks
+from repro.runtime.vbuffer import VirtualBuffer
+
+
+def _api(n_gpus=4, kernels=()):
+    app = compile_app(list(kernels))
+    return MultiGpuApi(app, RuntimeConfig(n_gpus=n_gpus))
+
+
+class TestVirtualBuffer:
+    def test_instance_per_device(self):
+        devices = [Device(i) for i in range(3)]
+        vb = VirtualBuffer(1, 256, devices)
+        assert sorted(vb.instances) == [0, 1, 2]
+        assert vb.tracker.n_segments == 1
+
+    def test_instances_are_independent(self):
+        devices = [Device(i) for i in range(2)]
+        vb = VirtualBuffer(1, 16, devices)
+        vb.bytes_on(0)[:] = 1
+        assert np.all(vb.bytes_on(1) == 0)
+
+    def test_free(self):
+        devices = [Device(i) for i in range(2)]
+        vb = VirtualBuffer(1, 16, devices)
+        vb.free()
+        with pytest.raises(RuntimeApiError):
+            vb.bytes_on(0)
+        assert devices[0].bytes_allocated == 0
+
+    def test_unknown_device(self):
+        vb = VirtualBuffer(1, 16, [Device(0)])
+        with pytest.raises(RuntimeApiError):
+            vb.instance(5)
+
+
+class TestLinearChunks:
+    def test_balanced(self):
+        assert linear_chunks(10, 3) == [(0, 0, 4), (1, 4, 7), (2, 7, 10)]
+
+    def test_exact(self):
+        assert linear_chunks(8, 4) == [(0, 0, 2), (1, 2, 4), (2, 4, 6), (3, 6, 8)]
+
+    def test_more_parts_than_bytes(self):
+        chunks = linear_chunks(2, 4)
+        assert chunks == [(0, 0, 1), (1, 1, 2)]
+
+    def test_covers_everything_in_order(self):
+        chunks = linear_chunks(1234, 7)
+        assert chunks[0][1] == 0 and chunks[-1][2] == 1234
+        for (_, _, e), (_, s, _) in zip(chunks, chunks[1:]):
+            assert e == s
+
+
+class TestTranslatedMemcpy:
+    def test_h2d_scatters_linearly(self, rng):
+        api = _api(4)
+        data = rng.integers(0, 255, 64, dtype=np.uint8)
+        vb = api.cudaMalloc(64)
+        api.cudaMemcpy(vb, data, 64, MemcpyKind.HostToDevice)
+        # Each device holds its linear slice; tracker records ownership.
+        for dev, lo, hi in linear_chunks(64, 4):
+            assert np.array_equal(vb.bytes_on(dev)[lo:hi], data[lo:hi])
+            assert vb.tracker.owner_at(lo) == dev
+
+    def test_d2h_gathers_via_tracker(self, rng):
+        api = _api(3)
+        vb = api.cudaMalloc(30)
+        # Scatter manually with funny ownership.
+        vb.bytes_on(2)[0:10] = 7
+        vb.bytes_on(0)[10:20] = 8
+        vb.bytes_on(1)[20:30] = 9
+        vb.tracker.update(0, 10, 2)
+        vb.tracker.update(10, 20, 0)
+        vb.tracker.update(20, 30, 1)
+        out = np.zeros(30, dtype=np.uint8)
+        api.cudaMemcpy(out, vb, 30, MemcpyKind.DeviceToHost)
+        assert np.all(out[0:10] == 7) and np.all(out[10:20] == 8) and np.all(out[20:30] == 9)
+
+    def test_h2d_d2h_roundtrip(self, rng):
+        api = _api(5)
+        data = rng.random(25).astype(np.float32)
+        vb = api.cudaMalloc(100)
+        api.cudaMemcpy(vb, data, 100, MemcpyKind.HostToDevice)
+        out = np.zeros(25, dtype=np.float32)
+        api.cudaMemcpy(out, vb, 100, MemcpyKind.DeviceToHost)
+        assert np.array_equal(out, data)
+
+    def test_d2d_unsupported(self):
+        api = _api(2)
+        a = api.cudaMalloc(16)
+        b = api.cudaMalloc(16)
+        with pytest.raises(UnsupportedMemcpyError):
+            api.cudaMemcpy(a, b, 16, MemcpyKind.DeviceToDevice)
+
+    def test_h2h_passthrough(self, rng):
+        api = _api(2)
+        src = rng.random(8).astype(np.float32)
+        dst = np.zeros(8, dtype=np.float32)
+        api.cudaMemcpy(dst, src, 32, MemcpyKind.HostToHost)
+        assert np.array_equal(src, dst)
+
+    def test_oversized_memcpy_rejected(self, rng):
+        api = _api(2)
+        vb = api.cudaMalloc(16)
+        with pytest.raises(RuntimeApiError):
+            api.cudaMemcpy(vb, np.zeros(8, dtype=np.float32), 32, MemcpyKind.HostToDevice)
+
+    def test_api_prototype_parity(self):
+        """§8.4: replacements share prototypes with the single-device API."""
+        from repro.cuda.api import CudaApi
+
+        for name in (
+            "cudaMalloc",
+            "cudaFree",
+            "cudaMemcpy",
+            "cudaMemcpyAsync",
+            "cudaDeviceSynchronize",
+            "cudaGetDeviceCount",
+            "launch",
+        ):
+            assert hasattr(MultiGpuApi, name) and hasattr(CudaApi, name)
+
+    def test_device_count_lies(self):
+        """§8.4: cudaGetDeviceCount always returns 1."""
+        assert _api(8).cudaGetDeviceCount() == 1

@@ -1,0 +1,183 @@
+"""Unit tests for the timing engine (scheduler, lanes, staging bus)."""
+
+import pytest
+
+from repro.constants import HOST
+from repro.errors import SimulationError
+from repro.sim.engine import SimMachine, _Lane
+from repro.sim.topology import MachineSpec
+from repro.sim.trace import Category
+
+SPEC = MachineSpec(
+    n_gpus=4,
+    pcie_bw=1e9,
+    host_bus_bw=2e9,
+    pcie_latency=0.0,
+    staging_latency=0.0,
+    issue_overhead=0.0,
+    sync_overhead=0.0,
+    staging_factor=2.0,
+    p2p_enabled=False,
+)
+
+
+class TestLane:
+    def test_next_fit_empty(self):
+        lane = _Lane()
+        assert lane.next_fit(3.0, 1.0) == 3.0
+
+    def test_backfill_into_gap(self):
+        lane = _Lane()
+        lane.reserve(0.0, 1.0)
+        lane.reserve(5.0, 6.0)
+        assert lane.next_fit(0.0, 2.0) == 1.0  # gap [1, 5)
+        assert lane.next_fit(0.0, 5.0) == 6.0  # too big for the gap
+
+    def test_avail(self):
+        lane = _Lane()
+        assert lane.avail == 0.0
+        lane.reserve(2.0, 4.0)
+        assert lane.avail == 4.0
+
+
+class TestKernels:
+    def test_kernels_on_different_devices_overlap(self):
+        m = SimMachine(SPEC)
+        m.launch_kernel(0, 1.0)
+        m.launch_kernel(1, 1.0)
+        m.synchronize()
+        assert m.now == pytest.approx(1.0)
+
+    def test_kernels_on_same_device_serialize(self):
+        m = SimMachine(SPEC)
+        m.launch_kernel(0, 1.0)
+        m.launch_kernel(0, 1.0)
+        m.synchronize()
+        assert m.now == pytest.approx(2.0)
+
+    def test_bad_device_rejected(self):
+        m = SimMachine(SPEC)
+        with pytest.raises(SimulationError):
+            m.launch_kernel(9, 1.0)
+        with pytest.raises(SimulationError):
+            m.launch_kernel(0, -1.0)
+
+
+class TestTransfers:
+    def test_h2d_duration(self):
+        m = SimMachine(SPEC)
+        m.transfer(HOST, 0, int(1e9), synchronous=True)
+        assert m.now == pytest.approx(1.0)
+
+    def test_d2d_staging_inflation(self):
+        m = SimMachine(SPEC)
+        m.transfer(0, 1, int(1e9), synchronous=True)
+        # 2x staging over a 1 GB/s lane.
+        assert m.now == pytest.approx(2.0)
+
+    def test_p2p_avoids_staging(self):
+        spec = MachineSpec(
+            n_gpus=2, pcie_bw=1e9, p2p_enabled=True, pcie_latency=0.0,
+            issue_overhead=0.0, sync_overhead=0.0, host_bus_bw=1e12,
+        )
+        m = SimMachine(spec)
+        m.transfer(0, 1, int(1e9), synchronous=True)
+        assert m.now == pytest.approx(1.0)
+
+    def test_disjoint_pairs_overlap(self):
+        m = SimMachine(SPEC)
+        m.transfer(0, 1, int(1e9))
+        m.transfer(2, 3, int(1e9))
+        m.synchronize()
+        # Two staged 2s copies; the 2 GB/s bus carries 2 GB each => the bus
+        # serializes them: 2 + 2 = 4s? No: bus time per copy = 2GB/2GBps = 1s
+        # but lane time is 2s; the bus slots can overlap lanes differently.
+        # Lane-bound: both lanes busy 2s in parallel; bus: 1s + 1s.
+        assert m.elapsed() <= 4.0 + 1e-9
+        assert m.elapsed() >= 2.0
+
+    def test_same_lane_serializes(self):
+        m = SimMachine(SPEC)
+        m.transfer(HOST, 0, int(1e9))
+        m.transfer(HOST, 0, int(1e9))
+        m.synchronize()
+        assert m.now >= 2.0
+
+    def test_backfill_no_lane_cascade(self):
+        m = SimMachine(SPEC)
+        # Staged big copy: lanes 0,1 busy 4s, bus busy 2s. An independent
+        # pair must wait only for the *bus* (shared), not for lanes 0/1 —
+        # the naive "max of availability times" scheduler would cascade to 4s.
+        m.transfer(0, 1, int(2e9))
+        m.transfer(2, 3, int(1e8))
+        t_end = min(iv.end for iv in m.trace.intervals if iv.resource == "lane2")
+        assert t_end < 2.5  # bus frees at 2.0; 0.2s lane time after that
+
+    def test_transfer_waits_for_producing_kernel(self):
+        m = SimMachine(SPEC)
+        m.launch_kernel(0, 5.0)
+        m.transfer(0, 1, int(1e8))
+        end = max(iv.end for iv in m.trace.intervals if iv.category is Category.TRANSFERS)
+        assert end >= 5.0
+
+    def test_zero_bytes_is_free(self):
+        m = SimMachine(SPEC)
+        m.transfer(0, 1, 0, synchronous=True)
+        assert m.now == 0.0
+
+    def test_negative_bytes_rejected(self):
+        m = SimMachine(SPEC)
+        with pytest.raises(SimulationError):
+            m.transfer(0, 1, -1)
+
+
+class TestHostAndSync:
+    def test_host_compute_advances_clock(self):
+        m = SimMachine(SPEC)
+        m.host_compute(0.5, Category.PATTERNS)
+        assert m.now == pytest.approx(0.5)
+        assert m.trace.busy_time(Category.PATTERNS) == pytest.approx(0.5)
+
+    def test_sync_specific_devices(self):
+        m = SimMachine(SPEC)
+        m.launch_kernel(0, 1.0)
+        m.launch_kernel(1, 3.0)
+        m.synchronize([0])
+        assert m.now == pytest.approx(1.0)
+        m.synchronize()
+        assert m.now == pytest.approx(3.0)
+
+    def test_wait_device(self):
+        m = SimMachine(SPEC)
+        m.launch_kernel(2, 2.0)
+        m.wait_device(2)
+        assert m.now == pytest.approx(2.0)
+
+    def test_elapsed_includes_all_resources(self):
+        m = SimMachine(SPEC)
+        m.transfer(HOST, 3, int(1e9))
+        assert m.now == 0.0  # async
+        assert m.elapsed() == pytest.approx(1.0)
+
+    def test_issue_overhead_accounted(self):
+        spec = MachineSpec(n_gpus=1, issue_overhead=1e-3, sync_overhead=0.0)
+        m = SimMachine(spec)
+        m.launch_kernel(0, 0.0)
+        assert m.now == pytest.approx(1e-3)
+
+
+class TestTrace:
+    def test_categories_recorded(self):
+        m = SimMachine(SPEC)
+        m.launch_kernel(0, 1.0, label="k")
+        m.transfer(0, 1, int(1e6), label="t")
+        m.host_compute(0.1, Category.PATTERNS)
+        by = m.trace.by_category()
+        assert by[Category.APPLICATION] == pytest.approx(1.0)
+        assert by[Category.TRANSFERS] > 0
+        assert by[Category.PATTERNS] == pytest.approx(0.1)
+
+    def test_by_resource(self):
+        m = SimMachine(SPEC)
+        m.launch_kernel(2, 1.0)
+        assert "gpu2" in m.trace.by_resource()

@@ -1,0 +1,64 @@
+"""Unit tests for machine specs and traces."""
+
+import pytest
+
+from repro.constants import HOST
+from repro.errors import CalibrationError
+from repro.sim.topology import MachineSpec
+from repro.sim.trace import Category, Interval, Trace
+
+
+class TestMachineSpec:
+    def test_defaults_valid(self):
+        spec = MachineSpec()
+        assert spec.n_gpus == 16
+
+    def test_with_gpus(self):
+        spec = MachineSpec().with_gpus(4)
+        assert spec.n_gpus == 4
+        # other fields preserved
+        assert spec.pcie_bw == MachineSpec().pcie_bw
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_gpus": 0},
+            {"flops_per_gpu": 0},
+            {"pcie_bw": -1},
+            {"staging_factor": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(CalibrationError):
+            MachineSpec(**kwargs)
+
+    def test_transfer_time_staging(self):
+        spec = MachineSpec(pcie_bw=1e9, pcie_latency=0.0, staging_factor=2.0, p2p_enabled=False)
+        assert spec.transfer_time(0, 1, int(1e9)) == pytest.approx(2.0)
+        assert spec.transfer_time(HOST, 1, int(1e9)) == pytest.approx(1.0)
+        assert spec.transfer_time(1, HOST, int(1e9)) == pytest.approx(1.0)
+
+    def test_transfer_time_latency_floor(self):
+        spec = MachineSpec(pcie_latency=1e-5)
+        assert spec.transfer_time(HOST, 0, 1) >= 1e-5
+
+
+class TestTrace:
+    def test_record_and_aggregate(self):
+        t = Trace()
+        t.record("gpu0", 0.0, 1.0, Category.APPLICATION)
+        t.record("gpu0", 1.0, 1.5, Category.TRANSFERS)
+        t.record("host", 0.0, 0.25, Category.PATTERNS)
+        assert len(t) == 3
+        assert t.busy_time() == pytest.approx(1.75)
+        assert t.busy_time(Category.APPLICATION) == pytest.approx(1.0)
+        assert t.by_resource()["gpu0"] == pytest.approx(1.5)
+
+    def test_backwards_interval_rejected(self):
+        t = Trace()
+        with pytest.raises(ValueError):
+            t.record("gpu0", 2.0, 1.0, Category.APPLICATION)
+
+    def test_interval_duration(self):
+        iv = Interval("r", 1.0, 3.5, Category.HOST)
+        assert iv.duration == pytest.approx(2.5)

@@ -1,0 +1,54 @@
+"""Sanity checks tying the cost model to the workloads' roofline behaviour."""
+
+import pytest
+
+from repro.compiler.costmodel import KernelCostModel
+from repro.cuda.dim3 import Dim3
+from repro.harness.calibration import K80_NODE_SPEC
+from repro.workloads.hotspot import BLOCK as HS_BLOCK, build_hotspot_kernel
+from repro.workloads.matmul import BLOCK as MM_BLOCK, build_matmul_kernel
+from repro.workloads.nbody import BLOCK as NB_BLOCK, build_nbody_kernel
+
+MODEL = KernelCostModel(K80_NODE_SPEC)
+
+
+def test_hotspot_is_memory_bound():
+    n = 1024
+    cost = MODEL.thread_cost(build_hotspot_kernel(n), {})
+    flop_time = cost.flops / K80_NODE_SPEC.flops_per_gpu
+    mem_time = cost.bytes / K80_NODE_SPEC.mem_bw_per_gpu
+    assert mem_time > flop_time  # stencils stream memory
+
+
+def test_nbody_is_compute_bound():
+    n = 4096
+    cost = MODEL.thread_cost(build_nbody_kernel(n), {})
+    flop_time = cost.flops / K80_NODE_SPEC.flops_per_gpu
+    mem_time = cost.bytes / K80_NODE_SPEC.mem_bw_per_gpu
+    assert flop_time > mem_time  # O(n) flops per thread, cached reads
+
+
+def test_matmul_is_compute_bound_with_reuse():
+    n = 1024
+    cost = MODEL.thread_cost(build_matmul_kernel(n), {})
+    flop_time = cost.flops / K80_NODE_SPEC.flops_per_gpu
+    mem_time = cost.bytes / K80_NODE_SPEC.mem_bw_per_gpu
+    assert flop_time > mem_time  # tiled kernels reuse loads
+
+
+def test_kernel_time_scales_with_problem():
+    t_small = MODEL(build_matmul_kernel(256), 16 * 16, MM_BLOCK, {})
+    t_big = MODEL(build_matmul_kernel(512), 32 * 32, MM_BLOCK, {})
+    # 4x threads x 2x k-loop = ~8x work
+    assert 6 < t_big / t_small < 10
+
+
+def test_single_gpu_times_plausible():
+    """Medium hotspot: ~tens of ms per iteration on a K80 (32 GB streamed
+    at ~170 GB/s); medium matmul: seconds total."""
+    n = 16384
+    blocks = (n // 16) ** 2
+    t_iter = MODEL(build_hotspot_kernel(n), blocks, HS_BLOCK, {})
+    assert 0.01 < t_iter < 0.2
+    t_mm = MODEL(build_matmul_kernel(n), blocks, MM_BLOCK, {})
+    assert 1.0 < t_mm < 60.0

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyze:
+    def test_analyze_prints_model(self, capsys):
+        assert main(["analyze", "hotspot"]) == 0
+        out = capsys.readouterr().out
+        assert "__global__ void hotspot" in out
+        assert "partitionable:    True" in out
+        assert "read  temp_in" in out and "write temp_out" in out
+
+    def test_analyze_writes_model(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        assert main(["analyze", "matmul", "--model-out", str(path)]) == 0
+        assert path.exists()
+        from repro.compiler.model import AppModel
+
+        assert AppModel.load(path).get("matmul").partitionable
+
+
+class TestRun:
+    @pytest.mark.parametrize("workload", ["hotspot", "nbody", "matmul"])
+    def test_run_bitwise_ok(self, workload, capsys):
+        assert main(["run", workload, "--gpus", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "bitwise equal" in out
+
+    def test_run_custom_size(self, capsys):
+        assert main(["run", "matmul", "--gpus", "2", "--size", "32"]) == 0
+
+
+class TestBench:
+    def test_table1(self, capsys):
+        assert main(["bench", "table1"]) == 0
+        assert "36864" in capsys.readouterr().out
+
+    def test_figure6_tiny(self, capsys):
+        assert (
+            main(["bench", "figure6", "--gpu-counts", "1", "2", "--sizes", "small"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Speedup" in out and "hotspot" in out
+
+    def test_overhead(self, capsys):
+        assert main(["bench", "overhead", "--sizes", "small"]) == 0
+        assert "Slowdown" in capsys.readouterr().out
+
+
+class TestMachine:
+    def test_machine_table(self, capsys):
+        assert main(["machine"]) == 0
+        out = capsys.readouterr().out
+        assert "n_gpus" in out and "pcie_bw" in out
+
+
+class TestErrors:
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nonsense"])
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])

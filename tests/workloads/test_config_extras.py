@@ -1,0 +1,55 @@
+"""Extra coverage for workload configuration plumbing."""
+
+import pytest
+
+from repro.workloads import ALL_WORKLOADS, functional_config
+from repro.workloads.common import ProblemConfig, table1_configs
+
+
+class TestFunctionalConfig:
+    def test_size_override(self):
+        cfg = functional_config("hotspot", size=128)
+        assert cfg.size == 128 and cfg.size_label == "functional"
+
+    def test_iterations_override(self):
+        cfg = functional_config("nbody", iterations=2)
+        assert cfg.iterations == 2
+
+    def test_str(self):
+        assert str(functional_config("matmul")) == "matmul/functional(48)"
+
+
+class TestTable1Filtering:
+    def test_filter_by_workload(self):
+        cfgs = table1_configs("nbody")
+        assert len(cfgs) == 3
+        assert all(c.workload == "nbody" for c in cfgs)
+
+    def test_all_sizes_distinct(self):
+        for name in ALL_WORKLOADS:
+            sizes = [c.size for c in table1_configs(name)]
+            assert len(set(sizes)) == 3
+            assert sizes == sorted(sizes)
+
+
+class TestLaunchConfigs:
+    @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+    def test_grid_covers_problem(self, name):
+        wl = ALL_WORKLOADS[name](functional_config(name))
+        grid, block = wl.launch_config()
+        threads_x = grid.x * block.x
+        assert threads_x >= wl.cfg.size or name != "nbody"
+        if name in ("hotspot", "matmul"):
+            assert grid.y * block.y >= wl.cfg.size
+
+    @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+    def test_inputs_deterministic_per_seed(self, name):
+        wl = ALL_WORKLOADS[name](functional_config(name))
+        a = wl.make_inputs(seed=5)
+        b = wl.make_inputs(seed=5)
+        c = wl.make_inputs(seed=6)
+        import numpy as np
+
+        for k in a:
+            assert np.array_equal(a[k], b[k])
+        assert any(not np.array_equal(a[k], c[k]) for k in a)

@@ -1,0 +1,199 @@
+"""Functional tests of the three benchmark workloads (Table 1 scaled down)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_app
+from repro.cuda.api import CudaApi
+from repro.runtime.api import MultiGpuApi
+from repro.runtime.config import RuntimeConfig
+from repro.workloads import ALL_WORKLOADS, functional_config
+from repro.workloads.common import TABLE1, ProblemConfig, table1_configs
+
+
+class TestTable1:
+    def test_all_nine_configs(self):
+        cfgs = table1_configs()
+        assert len(cfgs) == 9
+        assert {c.workload for c in cfgs} == {"hotspot", "nbody", "matmul"}
+
+    def test_paper_sizes(self):
+        assert TABLE1["hotspot"]["large"].size == 36_864
+        assert TABLE1["hotspot"]["large"].iterations == 1_500
+        assert TABLE1["nbody"]["medium"].size == 131_072
+        assert TABLE1["nbody"]["medium"].iterations == 96
+        assert TABLE1["matmul"]["large"].size == 30_656
+
+    def test_functional_configs_small(self):
+        for name in ALL_WORKLOADS:
+            cfg = functional_config(name)
+            assert cfg.size <= 256
+
+    def test_config_workload_mismatch_rejected(self):
+        from repro.workloads.hotspot import HotspotWorkload
+
+        with pytest.raises(ValueError):
+            HotspotWorkload(ProblemConfig("nbody", "small", 64, 1))
+
+
+@pytest.fixture(scope="module", params=sorted(ALL_WORKLOADS))
+def workload_setup(request):
+    name = request.param
+    wl = ALL_WORKLOADS[name](functional_config(name))
+    inputs = wl.make_inputs(seed=11)
+    reference_api = wl.run(CudaApi(), inputs)
+    app = compile_app(wl.build_kernels())
+    return wl, inputs, reference_api, app
+
+
+class TestFunctionalCorrectness:
+    def test_kernel_matches_numpy_reference(self, workload_setup):
+        wl, inputs, ref_api, _ = workload_setup
+        ref_np = wl.reference(inputs)
+        tol = 2e-3 if wl.name == "nbody" else 2e-4
+        for key in ref_np:
+            assert np.allclose(ref_api[key], ref_np[key], atol=tol, rtol=tol), key
+
+    def test_kernel_is_partitionable(self, workload_setup):
+        wl, _, _, app = workload_setup
+        ck = app.kernel(wl.build_kernels()[0].name)
+        assert ck.partitionable, ck.model.reject_reason
+
+    @pytest.mark.parametrize("n_gpus", [2, 3, 5, 8, 16])
+    def test_multi_gpu_bitwise_equal(self, workload_setup, n_gpus):
+        wl, inputs, ref_api, app = workload_setup
+        api = MultiGpuApi(app, RuntimeConfig(n_gpus=n_gpus))
+        got = wl.run(api, inputs)
+        for key in got:
+            assert np.array_equal(got[key], ref_api[key]), (wl.name, n_gpus, key)
+        assert api.stats.fallback_launches == 0
+
+    def test_expected_strategy(self, workload_setup):
+        wl, _, _, app = workload_setup
+        ck = app.kernel(wl.build_kernels()[0].name)
+        expected_axis = {"hotspot": "y", "nbody": "x", "matmul": "y"}[wl.name]
+        assert ck.strategy.axis == expected_axis
+
+    def test_single_gpu_partitioned_equal(self, workload_setup):
+        wl, inputs, ref_api, app = workload_setup
+        api = MultiGpuApi(app, RuntimeConfig(n_gpus=1))
+        got = wl.run(api, inputs)
+        for key in got:
+            assert np.array_equal(got[key], ref_api[key])
+        assert api.stats.sync_bytes == 0  # nothing is ever stale on 1 GPU
+
+
+class TestWorkloadBehaviours:
+    def test_matmul_redistributes_b(self):
+        """§9.1: B is read column-wise but distributed linearly, so every
+        GPU must fetch most of B before the kernel starts."""
+        wl = ALL_WORKLOADS["matmul"](functional_config("matmul"))
+        inputs = wl.make_inputs(seed=1)
+        app = compile_app(wl.build_kernels())
+        api = MultiGpuApi(app, RuntimeConfig(n_gpus=4))
+        wl.run(api, inputs)
+        n = wl.cfg.size
+        b_bytes = n * n * 4
+        # Each of the 4 GPUs pulls ~3/4 of B (plus a strip of A).
+        assert api.stats.sync_bytes >= 0.7 * 3 * b_bytes
+
+    def test_hotspot_steady_state_transfers_are_halos(self):
+        wl = ALL_WORKLOADS["hotspot"](functional_config("hotspot"))
+        inputs = wl.make_inputs(seed=1)
+        app = compile_app(wl.build_kernels())
+        api = MultiGpuApi(app, RuntimeConfig(n_gpus=4))
+        wl.run(api, inputs)
+        n = wl.cfg.size
+        iters = wl.cfg.iterations
+        halo_bytes_per_iter = 2 * 3 * n * 4  # 2 rows per interior boundary
+        # Within 2x of the analytic steady-state halo traffic.
+        assert api.stats.sync_bytes <= 2 * halo_bytes_per_iter * iters
+
+    def test_nbody_gathers_positions_every_step(self):
+        wl = ALL_WORKLOADS["nbody"](functional_config("nbody"))
+        inputs = wl.make_inputs(seed=1)
+        app = compile_app(wl.build_kernels())
+        api = MultiGpuApi(app, RuntimeConfig(n_gpus=4))
+        wl.run(api, inputs)
+        n = wl.cfg.size
+        per_step = 3 * (n * 16 // 4) * 4  # each GPU pulls 3/4 of positions... per gpu
+        # At least one full position-array gather per step (minus warmup).
+        assert api.stats.sync_bytes >= (wl.cfg.iterations - 1) * n * 16 * 3 // 4
+
+    def test_nbody_requires_coverage_validation(self):
+        wl = ALL_WORKLOADS["nbody"](functional_config("nbody"))
+        app = compile_app(wl.build_kernels())
+        assert app.kernel("nbody").model.runtime_coverage
+
+    def test_hotspot_is_statically_exact(self):
+        wl = ALL_WORKLOADS["hotspot"](functional_config("hotspot"))
+        app = compile_app(wl.build_kernels())
+        assert not app.kernel("hotspot").model.runtime_coverage
+
+
+class TestParametricVariants:
+    @pytest.mark.parametrize(
+        "builder_name",
+        ["build_parametric_stencil", "build_parametric_matmul", "build_parametric_rowsum"],
+    )
+    def test_parametric_kernels_partitionable(self, builder_name):
+        import repro.workloads.parametric as par
+
+        kernel = getattr(par, builder_name)()
+        app = compile_app([kernel])
+        assert app.kernel(kernel.name).partitionable
+
+    def test_parametric_stencil_end_to_end(self, rng):
+        from repro.cuda.api import MemcpyKind
+        from repro.cuda.dim3 import Dim3
+        from repro.workloads.parametric import build_parametric_stencil
+
+        k = build_parametric_stencil()
+        app = compile_app([k])
+        n = 48
+        temp = rng.random((n, n), dtype=np.float32)
+        power = rng.random((n, n), dtype=np.float32)
+
+        def host(api):
+            nbytes = n * n * 4
+            d_s = api.cudaMalloc(nbytes)
+            d_p = api.cudaMalloc(nbytes)
+            d_d = api.cudaMalloc(nbytes)
+            api.cudaMemcpy(d_s, temp, nbytes, MemcpyKind.HostToDevice)
+            api.cudaMemcpy(d_p, power, nbytes, MemcpyKind.HostToDevice)
+            api.launch(k, Dim3(3, 3), Dim3(16, 16), [n, d_s, d_p, d_d])
+            out = np.zeros((n, n), dtype=np.float32)
+            api.cudaMemcpy(out, d_d, nbytes, MemcpyKind.DeviceToHost)
+            return out
+
+        ref = host(CudaApi())
+        for g in (2, 5):
+            got = host(MultiGpuApi(app, RuntimeConfig(n_gpus=g)))
+            assert np.array_equal(ref, got)
+
+    def test_transpose_read_full_redistribution(self, rng):
+        """The transpose-read kernel maximally mismatches the linear H2D
+        distribution — the §8.3 redundant-transfer worst case."""
+        from repro.cuda.api import MemcpyKind
+        from repro.cuda.dim3 import Dim3
+        from repro.workloads.parametric import build_parametric_transpose_read
+
+        k = build_parametric_transpose_read()
+        app = compile_app([k])
+        n = 32
+        src = rng.random((n, n), dtype=np.float32)
+
+        def host(api):
+            nbytes = n * n * 4
+            d_s = api.cudaMalloc(nbytes)
+            d_d = api.cudaMalloc(nbytes)
+            api.cudaMemcpy(d_s, src, nbytes, MemcpyKind.HostToDevice)
+            api.launch(k, Dim3(2, 2), Dim3(16, 16), [n, d_s, d_d])
+            out = np.zeros((n, n), dtype=np.float32)
+            api.cudaMemcpy(out, d_d, nbytes, MemcpyKind.DeviceToHost)
+            return out
+
+        ref = host(CudaApi())
+        assert np.array_equal(ref, src.T)
+        got = host(MultiGpuApi(app, RuntimeConfig(n_gpus=2)))
+        assert np.array_equal(got, src.T)
