@@ -1,0 +1,80 @@
+"""Static-analysis layer: a lint pass framework over kernels' access maps.
+
+Builds on the polyhedral application model (paper §4) to answer questions
+the compiler pipeline never asks explicitly: do two distinct threads race on
+a cell (:mod:`repro.analysis.races`), can any thread leave an array's bounds
+(:mod:`repro.analysis.bounds`), and what exactly makes a kernel
+(non-)partitionable (:mod:`repro.analysis.partitionability`)? Findings are
+:class:`~repro.analysis.diagnostics.Diagnostic` records with stable codes
+(:mod:`repro.analysis.codes`), rendered as text or JSON
+(:mod:`repro.analysis.render`) and surfaced by the ``repro lint`` CLI.
+
+The typical entry point is :func:`lint_kernels`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from repro.analysis.codes import REGISTRY, CodeInfo, code_info
+from repro.analysis.diagnostics import Diagnostic, Severity, make_diagnostic
+from repro.analysis.passes import (
+    AnalysisPass,
+    LaunchContext,
+    LintReport,
+    PassManager,
+    register_pass,
+    registered_passes,
+)
+from repro.analysis.render import render_json, render_text, validate_report_json
+from repro.compiler.access_analysis import analyze_kernel
+from repro.cuda.dim3 import Dim3
+from repro.cuda.ir.kernel import Kernel
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "make_diagnostic",
+    "CodeInfo",
+    "REGISTRY",
+    "code_info",
+    "LaunchContext",
+    "AnalysisPass",
+    "register_pass",
+    "registered_passes",
+    "PassManager",
+    "LintReport",
+    "render_text",
+    "render_json",
+    "validate_report_json",
+    "lint_kernels",
+]
+
+
+def lint_kernels(
+    kernels: Sequence[Kernel],
+    *,
+    grid,
+    block,
+    scalars: Optional[Mapping[str, int]] = None,
+    replay: bool = True,
+    passes: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run the static-analysis passes over a set of kernels.
+
+    Args:
+        kernels: the application's kernels (pre-partitioning).
+        grid, block: the concrete launch configuration (ints, tuples or
+            :class:`~repro.cuda.dim3.Dim3`).
+        scalars: concrete values for integer scalar kernel parameters.
+        replay: confirm race witnesses on the IR interpreter.
+        passes: subset of registered pass names (default: all).
+    """
+    launch = LaunchContext(
+        grid=Dim3.of(grid),
+        block=Dim3.of(block),
+        scalars=dict(scalars or {}),
+        replay=replay,
+    )
+    infos = [analyze_kernel(k) for k in kernels]
+    return PassManager(passes).run(infos, launch)

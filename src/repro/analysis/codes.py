@@ -1,0 +1,151 @@
+"""Registry of stable diagnostic codes emitted by the static-analysis passes.
+
+Every finding the linter can produce has a stable ``RPxxx`` code so scripts,
+CI gates and the documentation (``docs/static-analysis.md``) can refer to it
+without parsing message text. Codes are grouped by hundreds:
+
+* ``RP1xx`` — data races between distinct global threads,
+* ``RP2xx`` — partitioning legality (paper §4: exactness, injectivity),
+* ``RP3xx`` — memory-safety (out-of-bounds accesses),
+* ``RP4xx`` — behaviour downgrades (single-GPU fallback),
+* ``RP5xx`` — internal analysis failures.
+
+The default severity and fix hint of each code live here; individual
+diagnostics may override the severity (e.g. an unconfirmed race witness is
+reported at a lower severity than a replay-confirmed one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.diagnostics import Severity
+
+__all__ = ["CodeInfo", "REGISTRY", "code_info"]
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Static metadata of one diagnostic code."""
+
+    code: str
+    title: str
+    severity: Severity
+    hint: str
+
+
+def _entry(code: str, title: str, severity: Severity, hint: str) -> CodeInfo:
+    return CodeInfo(code, title, severity, hint)
+
+
+#: All known diagnostic codes, keyed by code string.
+REGISTRY: Dict[str, CodeInfo] = {
+    c.code: c
+    for c in (
+        _entry(
+            "RP101",
+            "write-write race",
+            Severity.ERROR,
+            "two distinct threads store to the same array cell; make the "
+            "write subscript injective over threads or guard one writer out",
+        ),
+        _entry(
+            "RP102",
+            "read-write race",
+            Severity.WARNING,
+            "one thread reads a cell another thread writes in the same "
+            "launch; the value read depends on scheduling — double-buffer "
+            "the array or split the kernel",
+        ),
+        _entry(
+            "RP103",
+            "race check skipped",
+            Severity.ADVICE,
+            "an access could not be modelled precisely enough for the race "
+            "analysis; rewrite the subscript/guard in affine form",
+        ),
+        _entry(
+            "RP201",
+            "non-injective write map",
+            Severity.ERROR,
+            "the polyhedral write map sends two distinct threads to one "
+            "cell; such kernels cannot be partitioned (paper §4)",
+        ),
+        _entry(
+            "RP202",
+            "write map cannot be modelled exactly",
+            Severity.ERROR,
+            "write maps must be exact for partitioning; use an affine "
+            "subscript/guard or supply a write annotation (paper §11)",
+        ),
+        _entry(
+            "RP203",
+            "block-addressed write needs a concrete block size",
+            Severity.WARNING,
+            "injectivity of a blockIdx-addressed write is only provable for "
+            "a concrete blockDim; pass block_dim / lint with a launch config",
+        ),
+        _entry(
+            "RP204",
+            "grid axis requires unit extent at launch",
+            Severity.ADVICE,
+            "the write map does not distinguish threads along this axis, so "
+            "launches must keep its grid extent at 1",
+        ),
+        _entry(
+            "RP205",
+            "write-scan exactness validated at launch",
+            Severity.ADVICE,
+            "the flat write subscript's projection is not provably exact "
+            "statically; the runtime re-validates coverage per launch",
+        ),
+        _entry(
+            "RP206",
+            "read map over-approximated",
+            Severity.ADVICE,
+            "a read could not be modelled exactly and is over-approximated "
+            "by the whole array; correct, but transfers more than needed",
+        ),
+        _entry(
+            "RP301",
+            "possible out-of-bounds write",
+            Severity.ERROR,
+            "a thread's store subscript can leave the declared extent; add "
+            "or tighten the guard",
+        ),
+        _entry(
+            "RP302",
+            "possible out-of-bounds read",
+            Severity.ERROR,
+            "a thread's load subscript can leave the declared extent; add "
+            "or tighten the guard",
+        ),
+        _entry(
+            "RP303",
+            "bounds not provable statically",
+            Severity.ADVICE,
+            "the access (or the array extent) is not affine/concrete, so "
+            "the prover cannot decide in-boundedness",
+        ),
+        _entry(
+            "RP401",
+            "kernel falls back to single-GPU execution",
+            Severity.WARNING,
+            "the kernel is not partitionable and will run on one device "
+            "(the paper's fallback); see the accompanying RP2xx diagnostic",
+        ),
+        _entry(
+            "RP501",
+            "analysis pass failed",
+            Severity.ERROR,
+            "a lint pass raised an unexpected error on this kernel; this is "
+            "a bug in the analysis, not in the kernel",
+        ),
+    )
+}
+
+
+def code_info(code: str) -> CodeInfo:
+    """Look up a code's metadata; raises ``KeyError`` for unknown codes."""
+    return REGISTRY[code]

@@ -1,0 +1,222 @@
+"""Concretizing raw accesses into parameter-free thread-coordinate sets.
+
+The race detector and bounds prover reason about *distinct threads*, so
+they operate on the pre-projection raw accesses
+(:class:`~repro.compiler.access_analysis.RawAccess`) rather than the
+block-granular Z^6 maps. Under a concrete
+:class:`~repro.analysis.passes.LaunchContext`, every launch parameter
+(``blockDim``, ``gridDim``) and integer scalar argument becomes a constant,
+``blockOff.w`` folds into ``blockDim.w * blockIdx.w``, and the resulting
+affine forms mention only thread coordinates and loop iterators — exactly
+the parameter-free sets that :meth:`BasicSet.enumerate_points` can extract
+witnesses from.
+
+Two coordinate systems are supported:
+
+* **gid form** ``(g_z, g_y, g_x)`` — used when every affine form of the
+  access touches the grid only through ``blockOff.w + threadIdx.w`` pairs
+  (the common ``global_id`` pattern). A single variable per axis keeps
+  Fourier–Motzkin emptiness proofs exact for flattened subscripts.
+* **split form** ``(bi_z, bi_y, bi_x, ti_z, ti_y, ti_x)`` — the general
+  fallback for kernels addressing blocks or threads separately.
+
+Distinct coordinate tuples correspond to distinct global threads in both
+forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.compiler.access_analysis import (
+    RawAccess,
+    SymAff,
+    _gid_fits,
+    _gid_rename,
+)
+from repro.cuda.dim3 import Dim3
+from repro.cuda.exec.interpreter import eval_scalar_expr
+from repro.cuda.ir.kernel import ArrayParam, Kernel
+from repro.errors import LintError
+from repro.poly.constraint import Constraint, Kind
+from repro.poly.space import Space
+
+__all__ = [
+    "UnmodelledAccess",
+    "GID_COORDS",
+    "SPLIT_COORDS",
+    "ConcreteAccess",
+    "concretize_access",
+    "concrete_scalars",
+    "concrete_extents",
+    "thread_box_constraints",
+    "split_gid_coord",
+]
+
+#: Thread coordinates of the gid form, slowest-varying first.
+GID_COORDS = ("g_z", "g_y", "g_x")
+#: Thread coordinates of the split form, slowest-varying first.
+SPLIT_COORDS = ("bi_z", "bi_y", "bi_x", "ti_z", "ti_y", "ti_x")
+
+
+class UnmodelledAccess(LintError):
+    """An access cannot be expressed as a concrete affine relation.
+
+    Raised during concretization (non-affine subscripts, unknown scalar
+    values, symbolic array extents) and caught by the passes, which then
+    emit an advisory instead of a hard verdict.
+    """
+
+    exit_code = 32
+
+
+@dataclass(frozen=True)
+class ConcreteAccess:
+    """A raw access with all launch parameters substituted away.
+
+    ``indices`` and the affine forms inside ``domain`` mention only the
+    chosen thread ``coords`` plus the access's loop ``iterators``.
+    """
+
+    raw: RawAccess
+    #: ``GID_COORDS`` or ``SPLIT_COORDS``.
+    coords: Tuple[str, ...]
+    indices: Tuple[SymAff, ...]
+    #: Concretized DNF domain (same shape as ``raw.domain``).
+    domain: Tuple[Tuple[Tuple[Kind, SymAff], ...], ...]
+    iterators: Tuple[str, ...]
+
+
+def concrete_scalars(kernel: Kernel, launch_scalars: Mapping[str, int]) -> Dict[str, int]:
+    """Concrete values for every name the affine forms may treat as symbolic."""
+    values: Dict[str, int] = dict(launch_scalars)
+    for p in kernel.scalar_params:
+        if p.dtype.is_float:
+            continue
+        if p.name not in values:
+            raise UnmodelledAccess(
+                f"no concrete value for scalar parameter {p.name!r}; "
+                "pass it via the launch context"
+            )
+    return values
+
+
+def _grid_consts(grid: Dim3, block: Dim3) -> Dict[str, int]:
+    return {
+        "bd_z": block.z,
+        "bd_y": block.y,
+        "bd_x": block.x,
+        "gd_z": grid.z,
+        "gd_y": grid.y,
+        "gd_x": grid.x,
+    }
+
+
+def _resolve(
+    aff: SymAff,
+    consts: Mapping[str, int],
+    allowed: Sequence[str],
+    block: Dim3,
+    *,
+    gid: bool,
+) -> SymAff:
+    """Fold constants and ``blockOff`` products; keep only allowed names."""
+    if gid:
+        aff = _gid_rename(aff)
+    const = aff.const
+    terms: Dict[str, int] = {}
+    for name, coeff in aff.terms:
+        if name in consts:
+            const += coeff * consts[name]
+        elif not gid and name.startswith("bo_"):
+            # blockOff.w == blockDim.w * blockIdx.w at a concrete launch.
+            axis = name[3:]
+            bi = f"bi_{axis}"
+            terms[bi] = terms.get(bi, 0) + coeff * block.axis(axis)
+        elif name in allowed:
+            terms[name] = terms.get(name, 0) + coeff
+        else:
+            raise UnmodelledAccess(f"symbolic name {name!r} survives concretization")
+    return SymAff(const, tuple(sorted((n, c) for n, c in terms.items() if c != 0)))
+
+
+def concretize_access(
+    access: RawAccess,
+    kernel: Kernel,
+    grid: Dim3,
+    block: Dim3,
+    scalars: Mapping[str, int],
+    *,
+    force_split: bool = False,
+) -> ConcreteAccess:
+    """Concretize one raw access, preferring the gid coordinate form.
+
+    ``force_split`` selects the split form even for gid-fitting accesses —
+    needed when the access is paired with one that does not fit (both sides
+    of a conflict set must share a coordinate system).
+    """
+    if access.indices is None:
+        raise UnmodelledAccess(
+            f"{access.mode} of {access.array!r} has a non-affine subscript"
+        )
+    consts = _grid_consts(grid, block)
+    consts.update(concrete_scalars(kernel, scalars))
+    affs = list(access.indices) + [aff for conj in access.domain for _, aff in conj]
+    gid = (not force_split) and all(_gid_fits(a) for a in affs)
+    coords = GID_COORDS if gid else SPLIT_COORDS
+    allowed = tuple(coords) + access.iterators
+    indices = tuple(
+        _resolve(a, consts, allowed, block, gid=gid) for a in access.indices
+    )
+    domain = tuple(
+        tuple((kind, _resolve(a, consts, allowed, block, gid=gid)) for kind, a in conj)
+        for conj in access.domain
+    )
+    return ConcreteAccess(
+        raw=access, coords=coords, indices=indices, domain=domain,
+        iterators=access.iterators,
+    )
+
+
+def concrete_extents(array: ArrayParam, scalars: Mapping[str, int]) -> Tuple[int, ...]:
+    """Evaluate an array's shape expressions to concrete extents."""
+    try:
+        return tuple(int(eval_scalar_expr(e, dict(scalars))) for e in array.shape)
+    except Exception as exc:  # noqa: BLE001 - any failure means "symbolic"
+        raise UnmodelledAccess(
+            f"extent of array {array.name!r} is not concrete: {exc}"
+        ) from exc
+
+
+def thread_box_constraints(
+    space: Space,
+    coords: Tuple[str, ...],
+    grid: Dim3,
+    block: Dim3,
+    rename: Optional[Mapping[str, str]] = None,
+) -> List[Constraint]:
+    """Launch-box bounds ``0 <= coord < extent`` for one copy of the coords."""
+    from repro.poly.affine import Aff
+
+    extents: Dict[str, int] = {}
+    if coords == GID_COORDS:
+        for axis in ("z", "y", "x"):
+            extents[f"g_{axis}"] = grid.axis(axis) * block.axis(axis)
+    else:
+        for axis in ("z", "y", "x"):
+            extents[f"bi_{axis}"] = grid.axis(axis)
+            extents[f"ti_{axis}"] = block.axis(axis)
+    out: List[Constraint] = []
+    for name, extent in extents.items():
+        bound = (rename or {}).get(name, name)
+        v = Aff.var(space, bound)
+        out.append(Constraint.ineq(v))
+        out.append(Constraint.ineq(Aff.const(space, extent - 1) - v))
+    return out
+
+
+def split_gid_coord(g: int, axis: str, block: Dim3) -> Tuple[int, int]:
+    """Decompose a global-thread coordinate into ``(blockIdx, threadIdx)``."""
+    bd = block.axis(axis)
+    return g // bd, g % bd

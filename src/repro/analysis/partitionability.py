@@ -1,0 +1,128 @@
+"""Partitionability lint: the §4 legality verdicts as diagnostics.
+
+The compiler pipeline decides partitionability by raising (and catching)
+exceptions deep inside ``compile_app``. This pass re-runs the same legality
+machinery (:mod:`repro.compiler.legality`) but reports the outcome as
+structured diagnostics: hard rejections (``RP201``/``RP202``/``RP203``, each
+paired with an ``RP401`` single-GPU-fallback warning) as well as the
+advisory facts a clean kernel still carries — unit-extent axis requirements
+(``RP204``), launch-time coverage validation (``RP205``) and
+over-approximated read maps (``RP206``).
+
+The diagnostic codes match the codes embedded in
+``CompiledKernel.model.reject_reason`` (see :func:`repro.errors.format_with_code`),
+so ``repro analyze`` and ``repro lint`` agree on why a kernel was rejected.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.diagnostics import Diagnostic, Severity, make_diagnostic
+from repro.analysis.passes import AnalysisPass, LaunchContext, register_pass
+from repro.compiler.access_analysis import KernelAccessInfo
+from repro.compiler.legality import check_write_access
+from repro.compiler.strategy import choose_strategy
+from repro.errors import PartitioningError
+
+__all__ = ["PartitionabilityLint"]
+
+
+@register_pass
+class PartitionabilityLint(AnalysisPass):
+    """Re-express legality/strategy/coverage verdicts as diagnostics."""
+
+    name = "partitionability"
+
+    def run(self, info: KernelAccessInfo, launch: LaunchContext) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        kernel = info.kernel
+
+        if not info.partitionable:
+            reason = info.reject_reason or "kernel is not partitionable"
+            diags.append(
+                make_diagnostic(
+                    "RP202", reason, kernel=kernel.name, pass_name=self.name
+                )
+            )
+            diags.append(self._fallback(kernel.name, reason))
+            return diags
+
+        unit_axes: set = set()
+        needs_coverage = False
+        rejected = False
+        for access in info.writes.values():
+            try:
+                axes, cov = check_write_access(
+                    access, block_dim=launch.block_dim_zyx()
+                )
+                unit_axes |= set(axes)
+                needs_coverage = needs_coverage or cov
+            except PartitioningError as exc:
+                rejected = True
+                code = exc.diagnostic_code or "RP201"
+                severity = Severity.WARNING if code == "RP203" else Severity.ERROR
+                diags.append(
+                    make_diagnostic(
+                        code,
+                        str(exc),
+                        kernel=kernel.name,
+                        array=access.array,
+                        severity=severity,
+                        pass_name=self.name,
+                    )
+                )
+        if rejected:
+            diags.append(self._fallback(kernel.name, "write-map legality failed"))
+            return diags
+
+        strategy = choose_strategy(info)
+        for axis in sorted(unit_axes):
+            extent = launch.grid.axis(axis)
+            state = (
+                "satisfied by this launch"
+                if extent == 1
+                else f"VIOLATED by this launch (extent {extent})"
+            )
+            diags.append(
+                make_diagnostic(
+                    "RP204",
+                    f"the write maps do not distinguish threads along grid "
+                    f"axis {axis!r}; launches must keep its extent at 1 "
+                    f"({state})",
+                    kernel=kernel.name,
+                    severity=Severity.ADVICE if extent == 1 else Severity.ERROR,
+                    pass_name=self.name,
+                )
+            )
+        if needs_coverage:
+            diags.append(
+                make_diagnostic(
+                    "RP205",
+                    "the flat write subscript's exactness is re-validated "
+                    f"at launch time (split axis {strategy.axis!r})",
+                    kernel=kernel.name,
+                    pass_name=self.name,
+                )
+            )
+        for access in info.reads.values():
+            if not access.exact:
+                diags.append(
+                    make_diagnostic(
+                        "RP206",
+                        f"the read map of {access.array!r} is over-approximated; "
+                        "partitions may transfer more of it than they use",
+                        kernel=kernel.name,
+                        array=access.array,
+                        pass_name=self.name,
+                    )
+                )
+        return diags
+
+    def _fallback(self, kernel_name: str, reason: str) -> Diagnostic:
+        return make_diagnostic(
+            "RP401",
+            f"kernel will execute on a single GPU ({reason})",
+            kernel=kernel_name,
+            pass_name=self.name,
+        )

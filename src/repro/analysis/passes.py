@@ -1,0 +1,167 @@
+"""Pass framework of the static-analysis layer.
+
+Passes are small classes registered by name; a :class:`PassManager` runs a
+selection of them over the polyhedral analysis results of an application's
+kernels (one :class:`~repro.compiler.access_analysis.KernelAccessInfo` per
+kernel) under a concrete :class:`LaunchContext`, and collects every
+:class:`~repro.analysis.diagnostics.Diagnostic` into a :class:`LintReport`.
+
+A pass that raises is itself reported as an ``RP501`` diagnostic instead of
+aborting the run — the linter must always produce a report.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Type
+
+from repro.analysis.diagnostics import Diagnostic, Severity, make_diagnostic
+from repro.compiler.access_analysis import KernelAccessInfo
+from repro.cuda.dim3 import Dim3
+from repro.errors import LintError
+
+__all__ = [
+    "LaunchContext",
+    "AnalysisPass",
+    "register_pass",
+    "registered_passes",
+    "PassManager",
+    "LintReport",
+]
+
+
+@dataclass(frozen=True)
+class LaunchContext:
+    """The concrete launch a lint run reasons about.
+
+    The race detector and bounds prover operate on *concrete* launches: grid
+    and block extents and integer scalar arguments are fixed, which makes
+    every access relation parameter-free and therefore enumerable (witness
+    extraction needs bounded, parameter-free sets).
+    """
+
+    grid: Dim3
+    block: Dim3
+    #: Concrete values of the kernel's integer scalar parameters.
+    scalars: Mapping[str, int] = field(default_factory=dict)
+    #: Confirm race witnesses by replaying on the IR interpreter.
+    replay: bool = True
+
+    def block_dim_zyx(self) -> Tuple[int, int, int]:
+        """Block extents in (z, y, x) order (the legality API's convention)."""
+        return self.block.zyx()
+
+
+class AnalysisPass(abc.ABC):
+    """One static-analysis pass over a kernel's access information."""
+
+    #: Stable registry name (also stamped on emitted diagnostics).
+    name: str = ""
+
+    @abc.abstractmethod
+    def run(self, info: KernelAccessInfo, launch: LaunchContext) -> List[Diagnostic]:
+        """Analyze one kernel; return the findings (possibly empty)."""
+
+
+_REGISTRY: Dict[str, Type[AnalysisPass]] = {}
+
+
+def register_pass(cls: Type[AnalysisPass]) -> Type[AnalysisPass]:
+    """Class decorator adding a pass to the global registry."""
+    if not cls.name:
+        raise LintError(f"analysis pass {cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise LintError(f"duplicate analysis pass name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def registered_passes() -> Dict[str, Type[AnalysisPass]]:
+    """Snapshot of the pass registry (name -> class), in registration order."""
+    _ensure_builtin_passes()
+    return dict(_REGISTRY)
+
+
+def _ensure_builtin_passes() -> None:
+    # The built-in pass modules self-register on import; importing them here
+    # keeps `PassManager()` usable without callers knowing the module list.
+    from repro.analysis import bounds, partitionability, races  # noqa: F401
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one lint run."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Names of the kernels that were analyzed (also the empty-finding ones).
+    kernels: List[str] = field(default_factory=list)
+
+    def extend(self, other: "LintReport") -> None:
+        """Merge another report into this one (multi-workload lint runs)."""
+        self.diagnostics.extend(other.diagnostics)
+        self.kernels.extend(k for k in other.kernels if k not in self.kernels)
+
+    def count(self, severity: Severity) -> int:
+        """Number of findings at exactly this severity."""
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    def max_severity(self) -> Optional[Severity]:
+        """Highest severity present, or None for a clean report."""
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def failed(self, fail_on: Optional[Severity]) -> bool:
+        """True when any finding reaches the failure threshold."""
+        if fail_on is None:
+            return False
+        worst = self.max_severity()
+        return worst is not None and worst >= fail_on
+
+    def sorted(self) -> List[Diagnostic]:
+        """Diagnostics ordered most-severe first, then by code and location."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (-int(d.severity), d.code, d.kernel, d.array or ""),
+        )
+
+
+class PassManager:
+    """Runs analysis passes and aggregates their findings.
+
+    ``pass_names`` selects a subset of the registry (default: every
+    registered pass, in registration order).
+    """
+
+    def __init__(self, pass_names: Optional[Sequence[str]] = None) -> None:
+        _ensure_builtin_passes()
+        if pass_names is None:
+            names = list(_REGISTRY)
+        else:
+            unknown = [n for n in pass_names if n not in _REGISTRY]
+            if unknown:
+                raise LintError(f"unknown analysis pass(es): {', '.join(unknown)}")
+            names = list(pass_names)
+        self.passes: List[AnalysisPass] = [_REGISTRY[n]() for n in names]
+
+    def run(
+        self, infos: Sequence[KernelAccessInfo], launch: LaunchContext
+    ) -> LintReport:
+        """Run every configured pass over every kernel."""
+        report = LintReport()
+        for info in infos:
+            report.kernels.append(info.kernel.name)
+            for pass_ in self.passes:
+                try:
+                    report.diagnostics.extend(pass_.run(info, launch))
+                except Exception as exc:  # noqa: BLE001 - reported, not raised
+                    report.diagnostics.append(
+                        make_diagnostic(
+                            "RP501",
+                            f"pass {pass_.name!r} failed: {exc}",
+                            kernel=info.kernel.name,
+                            pass_name=pass_.name,
+                        )
+                    )
+        return report

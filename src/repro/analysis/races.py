@@ -1,0 +1,309 @@
+"""Polyhedral race detection between distinct global threads.
+
+For every array a kernel stores to, this pass builds the conflict relation
+"two *different* threads touch the same cell in one launch" — write–write
+(``RP101``) and read–write (``RP102``) — as a concrete, parameter-free
+polyhedral set, and either proves it empty or extracts a witness: two
+thread coordinates plus the colliding array cell, obtained as the first
+point of the set's lexicographic enumeration (a lexmin).
+
+This is the MARS-style treatment of conflict relations as first-class
+polyhedral objects (Ferry et al.), applied to the paper's §4 setting: the
+relation is the negation of write-map injectivity at thread granularity.
+Unlike the block-granular legality check, the race sets keep per-thread
+identity, so a finding names the exact colliding threads.
+
+Witnesses are optionally *confirmed* by replaying the kernel on the IR
+interpreter with per-lane write tracing and, when the witness spans two
+blocks, with the kernel split into two partitions
+(:mod:`repro.analysis.replay`) — static finding, dynamic confirmation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.concretize import (
+    GID_COORDS,
+    SPLIT_COORDS,
+    UnmodelledAccess,
+    concrete_extents,
+    concretize_access,
+    split_gid_coord,
+    thread_box_constraints,
+)
+from repro.analysis.diagnostics import Diagnostic, Severity, make_diagnostic
+from repro.analysis.passes import AnalysisPass, LaunchContext, register_pass
+from repro.compiler.access_analysis import RawAccess, _gid_fits
+from repro.compiler.access_analysis import KernelAccessInfo
+from repro.errors import PolyhedralError
+from repro.poly.affine import Aff
+from repro.poly.basic_set import BasicSet
+from repro.poly.constraint import Constraint
+from repro.poly.space import Space
+
+__all__ = ["RaceDetector"]
+
+#: Sentinel returned when a conflict set is possibly non-empty but no
+#: integer witness could be enumerated (unbounded set).
+_POSSIBLE = object()
+
+
+def _fits_gid(access: RawAccess) -> bool:
+    affs = list(access.indices or ()) + [a for conj in access.domain for _, a in conj]
+    return all(_gid_fits(a) for a in affs)
+
+
+def _coords_to_thread(
+    values: Dict[str, int], coords: Tuple[str, ...], suffix: str, block
+) -> Dict[str, List[int]]:
+    """Witness-point values -> {"block": [z,y,x], "thread": [z,y,x]}."""
+    if coords == GID_COORDS:
+        pairs = [
+            split_gid_coord(values[f"g_{axis}__{suffix}"], axis, block)
+            for axis in ("z", "y", "x")
+        ]
+        return {"block": [p[0] for p in pairs], "thread": [p[1] for p in pairs]}
+    return {
+        "block": [values[f"bi_{axis}__{suffix}"] for axis in ("z", "y", "x")],
+        "thread": [values[f"ti_{axis}__{suffix}"] for axis in ("z", "y", "x")],
+    }
+
+
+@register_pass
+class RaceDetector(AnalysisPass):
+    """Find write–write and read–write conflicts between distinct threads."""
+
+    name = "races"
+
+    def run(self, info: KernelAccessInfo, launch: LaunchContext) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        kernel = info.kernel
+        arrays = {p.name: p for p in kernel.array_params}
+        writes: Dict[str, List[RawAccess]] = {}
+        reads: Dict[str, List[RawAccess]] = {}
+        for raw in info.raw_accesses:
+            (writes if raw.mode == "write" else reads).setdefault(raw.array, []).append(raw)
+
+        for array, ws in writes.items():
+            skipped = [w for w in ws if w.indices is None]
+            if skipped:
+                diags.append(
+                    make_diagnostic(
+                        "RP103",
+                        f"a write to {array!r} has a non-affine subscript; "
+                        "race analysis covers the remaining accesses only",
+                        kernel=kernel.name,
+                        array=array,
+                        pass_name=self.name,
+                    )
+                )
+            modelled = [w for w in ws if w.indices is not None]
+            try:
+                extents: Optional[Tuple[int, ...]] = concrete_extents(
+                    arrays[array], launch.scalars
+                )
+            except UnmodelledAccess:
+                extents = None
+
+            ww = self._first_conflict(
+                kernel, launch, modelled, modelled, arrays[array].ndim, extents
+            )
+            if ww is not None:
+                diags.append(
+                    self._race_diag("RP101", kernel, launch, array, ww, kind="ww")
+                )
+
+            rs = [r for r in reads.get(array, []) if r.indices is not None]
+            rw = self._first_conflict(
+                kernel, launch, modelled, rs, arrays[array].ndim, extents,
+                cross_only=True,
+            )
+            if rw is not None:
+                diags.append(
+                    self._race_diag("RP102", kernel, launch, array, rw, kind="rw")
+                )
+        return diags
+
+    # -- conflict-set construction ------------------------------------------
+
+    def _first_conflict(
+        self,
+        kernel,
+        launch: LaunchContext,
+        group_a: List[RawAccess],
+        group_b: List[RawAccess],
+        ndim: int,
+        extents: Optional[Tuple[int, ...]],
+        *,
+        cross_only: bool = False,
+    ):
+        """First witness over all access pairs, or None / the _POSSIBLE marker.
+
+        ``cross_only`` pairs every A with every B (read–write); otherwise the
+        groups are identical and symmetric pairs are visited once.
+        """
+        possible = None
+        for i, a in enumerate(group_a):
+            others = group_b if cross_only else group_a[i:]
+            for b in others:
+                same = (not cross_only) and a is b
+                try:
+                    found = self._pair_conflict(
+                        kernel, launch, a, b, ndim, extents, same_access=same
+                    )
+                except UnmodelledAccess:
+                    continue
+                if found is _POSSIBLE:
+                    possible = (_POSSIBLE, a, b)
+                elif found is not None:
+                    return (found, a, b)
+        return possible
+
+    def _pair_conflict(
+        self,
+        kernel,
+        launch: LaunchContext,
+        raw_a: RawAccess,
+        raw_b: RawAccess,
+        ndim: int,
+        extents: Optional[Tuple[int, ...]],
+        *,
+        same_access: bool,
+    ):
+        grid, block = launch.grid, launch.block
+        force_split = not (_fits_gid(raw_a) and _fits_gid(raw_b))
+        a = concretize_access(
+            raw_a, kernel, grid, block, launch.scalars, force_split=force_split
+        )
+        b = concretize_access(
+            raw_b, kernel, grid, block, launch.scalars, force_split=force_split
+        )
+        ren_a = {n: f"{n}__A" for n in a.coords + a.iterators}
+        ren_b = {n: f"{n}__B" for n in b.coords + b.iterators}
+        cells = tuple(f"c{j}" for j in range(ndim))
+        dims = (
+            tuple(ren_a[c] for c in a.coords)
+            + tuple(ren_b[c] for c in b.coords)
+            + tuple(ren_a[i] for i in a.iterators)
+            + tuple(ren_b[i] for i in b.iterators)
+            + cells
+        )
+        space = Space.set_space(dims, ())
+
+        base: List[Constraint] = []
+        base += thread_box_constraints(space, a.coords, grid, block, ren_a)
+        base += thread_box_constraints(space, b.coords, grid, block, ren_b)
+        for j in range(ndim):
+            cell = Aff.var(space, f"c{j}")
+            base.append(Constraint.eq(cell - a.indices[j].rename(ren_a).to_aff(space)))
+            base.append(Constraint.eq(cell - b.indices[j].rename(ren_b).to_aff(space)))
+            if extents is not None:
+                base.append(Constraint.ineq(cell))
+                base.append(Constraint.ineq(Aff.const(space, extents[j] - 1) - cell))
+
+        pairs = list(zip((ren_a[c] for c in a.coords), (ren_b[c] for c in b.coords)))
+        possible = False
+        for conj_a in a.domain:
+            cons_a = [Constraint(k, aff.rename(ren_a).to_aff(space).vec) for k, aff in conj_a]
+            for conj_b in b.domain:
+                cons = (
+                    base
+                    + cons_a
+                    + [Constraint(k, aff.rename(ren_b).to_aff(space).vec) for k, aff in conj_b]
+                )
+                for case in self._distinctness_cases(space, pairs, both_directions=not same_access):
+                    cand = BasicSet(space, cons + case)
+                    if cand.is_empty():
+                        continue
+                    try:
+                        for point in cand.enumerate_points(max_points=1):
+                            return dict(zip(dims, point))
+                    except PolyhedralError:
+                        possible = True
+        return _POSSIBLE if possible else None
+
+    @staticmethod
+    def _distinctness_cases(space, pairs, *, both_directions: bool):
+        """Lex-ordered case split of ``thread_a != thread_b``.
+
+        Case ``k``: the first ``k`` coordinates are equal and the ``k``-th is
+        strictly ordered. With ``both_directions`` both strict orders are
+        produced (distinct source accesses are not symmetric); otherwise only
+        ``a < b`` (a self-pair's witness set is symmetric).
+        """
+        for k, (na, nb) in enumerate(pairs):
+            eqs = [
+                Constraint.eq(Aff.var(space, pa) - Aff.var(space, pb))
+                for pa, pb in pairs[:k]
+            ]
+            lt = Constraint.ineq(Aff.var(space, nb) - Aff.var(space, na) - 1)
+            yield eqs + [lt]
+            if both_directions:
+                gt = Constraint.ineq(Aff.var(space, na) - Aff.var(space, nb) - 1)
+                yield eqs + [gt]
+
+    # -- diagnostic construction --------------------------------------------
+
+    def _race_diag(
+        self, code: str, kernel, launch: LaunchContext, array: str, found, *, kind: str
+    ) -> Diagnostic:
+        payload, raw_a, raw_b = found
+        approx = raw_a.approx_domain or raw_b.approx_domain
+        if payload is _POSSIBLE:
+            return make_diagnostic(
+                code,
+                f"conflicting accesses to {array!r} by distinct threads cannot "
+                "be ruled out (no finite witness could be enumerated)",
+                kernel=kernel.name,
+                array=array,
+                severity=Severity.WARNING,
+                pass_name=self.name,
+            )
+        # Reconstruct per-copy coordinate systems from the point's dim names.
+        def coords_of(suffix: str):
+            return GID_COORDS if f"g_z__{suffix}" in payload else SPLIT_COORDS
+
+        thread_a = _coords_to_thread(payload, coords_of("A"), "A", launch.block)
+        thread_b = _coords_to_thread(payload, coords_of("B"), "B", launch.block)
+        ndim = sum(1 for k in payload if k.startswith("c") and k[1:].isdigit())
+        cell = [payload[f"c{j}"] for j in range(ndim)]
+        witness = {
+            "array": array,
+            "cell": cell,
+            "thread_a": thread_a,
+            "thread_b": thread_b,
+            "confirmed": None,
+        }
+        severity = Severity.ERROR if code == "RP101" else Severity.WARNING
+        if launch.replay:
+            from repro.analysis.replay import confirm_witness
+
+            confirmed = confirm_witness(
+                kernel, launch.grid, launch.block, launch.scalars, witness, kind=kind
+            )
+            witness["confirmed"] = confirmed
+            if confirmed is False:
+                severity = Severity.WARNING if code == "RP101" else Severity.ADVICE
+        elif approx:
+            severity = Severity.WARNING
+        verb = "write" if kind == "ww" else ("write/read" if kind == "rw" else kind)
+        msg = (
+            f"distinct threads block{tuple(thread_a['block'])} thread"
+            f"{tuple(thread_a['thread'])} and block{tuple(thread_b['block'])} "
+            f"thread{tuple(thread_b['thread'])} both {verb} {array}"
+            f"[{', '.join(str(c) for c in cell)}]"
+        )
+        if witness["confirmed"] is True:
+            msg += " (confirmed by interpreter replay)"
+        elif witness["confirmed"] is False:
+            msg += " (replay could not reproduce the collision; possibly spurious)"
+        return make_diagnostic(
+            code,
+            msg,
+            kernel=kernel.name,
+            array=array,
+            witness=witness,
+            severity=severity,
+            pass_name=self.name,
+        )

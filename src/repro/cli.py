@@ -4,11 +4,17 @@ Commands
 --------
 ``analyze``   compile a workload's kernel and print its application model
               (CUDA-like source, access maps, strategy, legality verdict).
+``lint``      run the static-analysis passes (races, bounds,
+              partitionability) over workloads and report diagnostics.
 ``run``       run a workload functionally on N simulated GPUs and check the
               result bitwise against the single-GPU reference.
 ``bench``     regenerate the paper's evaluation tables on the simulated
               K80 node (figure6 | figure7 | figure8 | table1 | overhead).
 ``machine``   show the calibrated machine model.
+
+Exit codes: 0 success; 1 lint findings at/above the ``--fail-on`` threshold
+or a result mismatch; every :class:`repro.errors.ReproError` subclass maps
+to its own distinct code (see ``errors.py``).
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import numpy as np
 
 from repro.compiler.pipeline import compile_app
 from repro.cuda.api import CudaApi
+from repro.errors import ReproError, exit_code_for
 from repro.cuda.ir.printer import kernel_to_cuda
 from repro.harness.calibration import GPU_COUNTS, K80_NODE_SPEC
 from repro.harness.report import format_table
@@ -63,6 +70,31 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.model_out:
         print(f"\napplication model written to {args.model_out}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import LintReport, Severity, lint_kernels, render_json, render_text
+
+    names = args.workloads or sorted(ALL_WORKLOADS)
+    unknown = [n for n in names if n not in ALL_WORKLOADS]
+    if unknown:
+        print(f"error: unknown workload(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    report = LintReport()
+    for name in names:
+        workload = ALL_WORKLOADS[name](functional_config(name, size=args.size))
+        grid, block = workload.launch_config()
+        report.extend(
+            lint_kernels(
+                workload.build_kernels(),
+                grid=grid,
+                block=block,
+                replay=not args.no_replay,
+            )
+        )
+    print(render_json(report) if args.format == "json" else render_text(report))
+    fail_on = None if args.fail_on == "never" else Severity.from_label(args.fail_on)
+    return 1 if report.failed(fail_on) else 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -192,6 +224,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=_cmd_analyze)
 
+    p = sub.add_parser("lint", help="static-analysis diagnostics for workload kernels")
+    p.add_argument(
+        "workloads",
+        nargs="*",
+        metavar="workload",
+        help=f"workloads to lint (default: all of {', '.join(sorted(ALL_WORKLOADS))})",
+    )
+    p.add_argument("--size", type=int, default=None, help="problem size (default: small functional)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "advice", "never"],
+        default="error",
+        help="lowest severity that makes the exit status nonzero (default: error)",
+    )
+    p.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="skip interpreter replay confirmation of race witnesses",
+    )
+    p.set_defaults(fn=_cmd_lint)
+
     p = sub.add_parser("run", help="functional multi-GPU run with bitwise check")
     p.add_argument("workload", choices=sorted(ALL_WORKLOADS))
     p.add_argument("--gpus", type=int, default=4)
@@ -215,10 +269,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Parse arguments and dispatch to the selected subcommand."""
+    """Parse arguments and dispatch; map ``ReproError`` to its exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

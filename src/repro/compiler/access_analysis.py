@@ -56,6 +56,7 @@ __all__ = [
     "GRID_PARAMS",
     "ArrayAccess",
     "KernelAccessInfo",
+    "RawAccess",
     "analyze_kernel",
 ]
 
@@ -295,7 +296,16 @@ def _cmp_dnf(op: str, lhs: Expr, rhs: Expr, env: _AffineEnv) -> Optional[Dnf]:
 
 
 @dataclass
-class _RawAccess:
+class RawAccess:
+    """One source-level access in pre-projection (thread-granular) form.
+
+    The polyhedral maps of :class:`ArrayAccess` are block-granular (the
+    ``threadIdx`` dimensions are projected out, paper §4); the raw form
+    keeps per-thread identity and is what the static race detector
+    (:mod:`repro.analysis.races`) and out-of-bounds prover
+    (:mod:`repro.analysis.bounds`) reason about.
+    """
+
     array: str
     mode: str  # "read" | "write"
     indices: Optional[Tuple[SymAff, ...]]  # None = non-affine subscript
@@ -303,6 +313,10 @@ class _RawAccess:
     iterators: Tuple[str, ...]  # loop dims in scope
     may: bool  # under any control flow
     approx_domain: bool  # a guard was dropped because it was non-affine
+
+
+#: Backwards-compatible private alias (the class predates its export).
+_RawAccess = RawAccess
 
 
 #: Cap on the number of (guard, affine) cases a Select-bearing subscript may
@@ -553,6 +567,9 @@ class KernelAccessInfo:
     #: Arrays whose writes could not be modelled (candidates for the
     #: programmer annotations of :mod:`repro.compiler.annotations`).
     nonaffine_write_arrays: frozenset = frozenset()
+    #: The thread-granular accesses the maps were built from, in source
+    #: order (consumed by the static-analysis passes of :mod:`repro.analysis`).
+    raw_accesses: Tuple[RawAccess, ...] = ()
 
     @property
     def written_arrays(self) -> Tuple[str, ...]:
@@ -825,4 +842,5 @@ def analyze_kernel(kernel: Kernel) -> KernelAccessInfo:
         partitionable=partitionable,
         reject_reason=reason,
         nonaffine_write_arrays=frozenset(nonaffine_writes),
+        raw_accesses=tuple(collector.accesses),
     )

@@ -186,7 +186,8 @@ def check_write_access(
         if access.coverage is None or access.gid_map is None:
             raise PartitioningError(
                 f"write map of {access.array!r} is over-approximated; "
-                "partitioning would be unsound"
+                "partitioning would be unsound",
+                code="RP202",
             )
         needs_coverage = True
     if access.gid_map is not None:
@@ -199,7 +200,8 @@ def check_write_access(
     if block_dim is None:
         raise InjectivityError(
             f"write map of {access.array!r} addresses blocks directly; "
-            "injectivity needs a concrete block size (pass block_dim)"
+            "injectivity needs a concrete block size (pass block_dim)",
+            code="RP203",
         )
     specialized = substitute_block_dims(access, block_dim)
     block_dims_names = ("bi_z", "bi_y", "bi_x")
@@ -223,7 +225,8 @@ def check_partitionable(
     """
     if not info.partitionable:
         raise PartitioningError(
-            f"kernel {info.kernel.name!r}: {info.reject_reason or 'not partitionable'}"
+            f"kernel {info.kernel.name!r}: {info.reject_reason or 'not partitionable'}",
+            code="RP202",
         )
     unit_axes: frozenset = frozenset()
     needs_coverage = False

@@ -27,7 +27,7 @@ from repro.compiler.strategy import PartitionStrategy, choose_strategy
 from repro.cuda.ir.kernel import Kernel
 from repro.cuda.ir.printer import kernel_to_cuda
 from repro.cuda.ir.validate import validate_kernel
-from repro.errors import PartitioningError
+from repro.errors import PartitioningError, format_with_code
 
 __all__ = ["PipelineTimings", "CompiledKernel", "CompiledApp", "compile_app", "baseline_compile"]
 
@@ -139,7 +139,7 @@ def compile_app(
             unit_axes, needs_coverage = check_partitionable(info, block_dim=block_dim)
         except PartitioningError as exc:
             partitionable = False
-            reason = str(exc)
+            reason = format_with_code(exc)
         model.add(
             KernelModel.from_analysis(
                 info,

@@ -47,17 +47,40 @@ class AccessTrace:
     actually loaded and stored by active threads. Used by the property
     tests to validate the polyhedral access analysis against reality, and
     by debug tooling to audit scanned write sets.
+
+    With ``record_lanes=True`` the trace additionally keeps, per array and
+    per written cell, the set of *lane ids* that stored to it (``writers``).
+    Lane ids follow the interpreter's flat lane order — blocks in z,y,x-major
+    order, then threads within the block. This is the replay hook the static
+    race detector (:mod:`repro.analysis.replay`) uses to confirm that both
+    threads of a witness really write the same cell.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, record_lanes: bool = False) -> None:
         self.reads: Dict[str, set] = {}
         self.writes: Dict[str, set] = {}
+        self.record_lanes = record_lanes
+        #: ``{array: {flat_cell_index: {lane_id, ...}}}`` (only populated
+        #: when ``record_lanes`` is set).
+        self.writers: Dict[str, Dict[int, set]] = {}
+        self.readers: Dict[str, Dict[int, set]] = {}
 
-    def record_read(self, array: str, flat_indices) -> None:
+    @staticmethod
+    def _record_lanes(per_cell: Dict[int, set], flat_indices, lane_ids) -> None:
+        cells = np.asarray(flat_indices).ravel().tolist()
+        lanes = np.asarray(lane_ids).ravel().tolist()
+        for cell, lane in zip(cells, lanes):
+            per_cell.setdefault(int(cell), set()).add(int(lane))
+
+    def record_read(self, array: str, flat_indices, lane_ids=None) -> None:
         self.reads.setdefault(array, set()).update(np.unique(flat_indices).tolist())
+        if self.record_lanes and lane_ids is not None:
+            self._record_lanes(self.readers.setdefault(array, {}), flat_indices, lane_ids)
 
-    def record_write(self, array: str, flat_indices) -> None:
+    def record_write(self, array: str, flat_indices, lane_ids=None) -> None:
         self.writes.setdefault(array, set()).update(np.unique(flat_indices).tolist())
+        if self.record_lanes and lane_ids is not None:
+            self._record_lanes(self.writers.setdefault(array, {}), flat_indices, lane_ids)
 
 
 class _Lanes:
@@ -219,7 +242,7 @@ def _load(expr: Load, lanes: _Lanes, frame: _Frame, mask):
             flat = np.ravel_multi_index(
                 tuple(np.broadcast_to(i, (lanes.n,)) for i in idx), arr.shape
             )
-            lanes.trace.record_read(expr.array, flat)
+            lanes.trace.record_read(expr.array, flat, np.arange(lanes.n))
         return arr[idx]
     safe = []
     for d, idx_expr in enumerate(expr.indices):
@@ -234,7 +257,7 @@ def _load(expr: Load, lanes: _Lanes, frame: _Frame, mask):
         safe.append(np.where(mask, idx_b, 0))
     if lanes.trace is not None and np.any(mask):
         flat = np.ravel_multi_index(tuple(s[mask] for s in safe), arr.shape)
-        lanes.trace.record_read(expr.array, flat)
+        lanes.trace.record_read(expr.array, flat, np.nonzero(mask)[0])
     values = arr[tuple(safe)]
     # Inactive lanes read element 0; callers only consume them under `mask`.
     return values
@@ -252,7 +275,7 @@ def _store(stmt: Store, lanes: _Lanes, frame: _Frame, mask) -> None:
             flat = np.ravel_multi_index(
                 tuple(np.broadcast_to(i, (lanes.n,)) for i in idx), arr.shape
             )
-            lanes.trace.record_write(stmt.array, flat)
+            lanes.trace.record_write(stmt.array, flat, np.arange(lanes.n))
         arr[idx] = value_b
         return
     if not np.any(mask):
@@ -271,7 +294,7 @@ def _store(stmt: Store, lanes: _Lanes, frame: _Frame, mask) -> None:
         idx_full.append(idx_b[mask])
     if lanes.trace is not None:
         flat = np.ravel_multi_index(tuple(idx_full), arr.shape)
-        lanes.trace.record_write(stmt.array, flat)
+        lanes.trace.record_write(stmt.array, flat, np.nonzero(mask)[0])
     arr[tuple(idx_full)] = value_b[mask]
 
 

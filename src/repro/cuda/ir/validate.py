@@ -33,6 +33,13 @@ __all__ = ["validate_kernel"]
 
 def validate_kernel(kernel: Kernel) -> None:
     """Raise :class:`ValidationError` if the kernel IR is malformed."""
+    seen: Set[str] = set()
+    for p in kernel.params:
+        if p.name in seen:
+            raise ValidationError(
+                f"kernel {kernel.name!r}: duplicate parameter name {p.name!r}"
+            )
+        seen.add(p.name)
     arrays = {p.name: p for p in kernel.array_params}
     scalars: Set[str] = {p.name for p in kernel.scalar_params}
     part = kernel.partition_param
@@ -68,6 +75,11 @@ def _check_expr(kernel: Kernel, expr: Expr, locals_: Set[str], arrays, scalars) 
                 )
         elif isinstance(node, Load):
             if node.array not in arrays:
+                if node.array in scalars:
+                    raise ValidationError(
+                        f"kernel {kernel.name!r}: load from scalar parameter "
+                        f"{node.array!r} (not an array; reference it directly)"
+                    )
                 raise ValidationError(
                     f"kernel {kernel.name!r}: load from unknown array {node.array!r}"
                 )
@@ -118,6 +130,11 @@ def _check_body(kernel: Kernel, body: Body, locals_: Set[str], arrays, scalars) 
             _check_expr(kernel, stmt.value, locals_, arrays, scalars)
         elif isinstance(stmt, Store):
             if stmt.array not in arrays:
+                if stmt.array in scalars:
+                    raise ValidationError(
+                        f"kernel {kernel.name!r}: store to scalar parameter "
+                        f"{stmt.array!r} (not an array)"
+                    )
                 raise ValidationError(
                     f"kernel {kernel.name!r}: store to unknown array {stmt.array!r}"
                 )

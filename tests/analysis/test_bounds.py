@@ -1,0 +1,95 @@
+"""Bounds-prover tests: safe kernels, witness extraction, undecidable cases."""
+
+from repro.analysis import Severity, lint_kernels
+from repro.cuda.dtypes import f32
+from repro.cuda.ir.builder import KernelBuilder
+
+GRID, BLOCK = (4,), (16,)
+N = 64
+
+
+def _lint(kernel, grid=GRID, block=BLOCK):
+    return lint_kernels([kernel], grid=grid, block=block, passes=["bounds"])
+
+
+def _codes(report):
+    return sorted(d.code for d in report.diagnostics)
+
+
+class TestSafeKernels:
+    def test_exact_fit_is_clean(self):
+        kb = KernelBuilder("fit")
+        src = kb.array("src", f32, (N,))
+        dst = kb.array("dst", f32, (N,))
+        gi = kb.global_id("x")
+        dst[gi,] = src[gi,]
+        assert _codes(_lint(kb.finish())) == []
+
+    def test_guard_makes_overhang_safe(self):
+        # 64 threads, extent 40, guarded — no finding.
+        kb = KernelBuilder("guarded")
+        dst = kb.array("dst", f32, (40,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < 40):
+            dst[gi,] = 1.0
+        assert _codes(_lint(kb.finish())) == []
+
+
+class TestViolations:
+    def test_oob_write_with_witness(self):
+        kb = KernelBuilder("oobw")
+        dst = kb.array("dst", f32, (N,))
+        gi = kb.global_id("x")
+        dst[gi + 1,] = 1.0  # last thread writes index 64, extent 64
+        report = _lint(kb.finish())
+        assert _codes(report) == ["RP301"]
+        d = report.diagnostics[0]
+        assert d.severity == Severity.ERROR
+        w = d.witness
+        assert w["index"] == N and w["extent"] == N and w["dim"] == 0
+        # The witness thread really evaluates the subscript to 64.
+        g = w["thread"]["block"][2] * BLOCK[0] + w["thread"]["thread"][2]
+        assert g + 1 == N
+
+    def test_negative_index_read(self):
+        kb = KernelBuilder("oobr")
+        src = kb.array("src", f32, (N,))
+        dst = kb.array("dst", f32, (N,))
+        gi = kb.global_id("x")
+        dst[gi,] = src[gi - 1,]  # thread 0 reads index -1
+        report = _lint(kb.finish())
+        assert "RP302" in _codes(report)
+        (d,) = [d for d in report.diagnostics if d.code == "RP302"]
+        assert d.witness["index"] == -1
+        assert d.witness["thread"] == {"block": [0, 0, 0], "thread": [0, 0, 0]}
+
+    def test_missing_guard_overhang(self):
+        # extent 40 < 64 threads and no guard: overhanging threads trip it.
+        kb = KernelBuilder("nogap")
+        dst = kb.array("dst", f32, (40,))
+        gi = kb.global_id("x")
+        dst[gi,] = 1.0
+        report = _lint(kb.finish())
+        assert _codes(report) == ["RP301"]
+        assert report.diagnostics[0].witness["index"] == 40
+
+    def test_2d_violation_names_the_dimension(self):
+        kb = KernelBuilder("two")
+        a = kb.array("a", f32, (8, 8))
+        gy, gx = kb.global_id("y"), kb.global_id("x")
+        with kb.if_((gy < 8) & (gx < 8)):
+            a[gy + 1, gx] = 1.0  # rows overflow, columns are fine
+        report = _lint(kb.finish(), grid=(1, 1), block=(8, 8))
+        assert _codes(report) == ["RP301"]
+        assert report.diagnostics[0].witness["dim"] == 0
+
+
+class TestUndecidable:
+    def test_non_affine_subscript_is_advice(self):
+        kb = KernelBuilder("sq")
+        dst = kb.array("dst", f32, (N * N,))
+        gi = kb.global_id("x")
+        dst[gi * gi,] = 1.0
+        report = _lint(kb.finish())
+        assert _codes(report) == ["RP303"]
+        assert report.diagnostics[0].severity == Severity.ADVICE

@@ -1,0 +1,156 @@
+"""Unit tests for diagnostics, the code registry and the pass framework."""
+
+import pytest
+
+from repro.analysis import (
+    Diagnostic,
+    LintReport,
+    PassManager,
+    REGISTRY,
+    Severity,
+    code_info,
+    make_diagnostic,
+    registered_passes,
+)
+from repro.analysis.passes import _REGISTRY, AnalysisPass, register_pass
+from repro.errors import LintError
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ADVICE < Severity.WARNING < Severity.ERROR
+
+    def test_labels_round_trip(self):
+        for sev in Severity:
+            assert Severity.from_label(sev.label) is sev
+
+    def test_unknown_label(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.from_label("fatal")
+
+
+class TestCodeRegistry:
+    def test_codes_match_keys_and_groups(self):
+        for code, info in REGISTRY.items():
+            assert info.code == code
+            assert code.startswith("RP") and code[2:].isdigit()
+            assert info.title and info.hint
+
+    def test_known_defaults(self):
+        assert code_info("RP101").severity == Severity.ERROR
+        assert code_info("RP102").severity == Severity.WARNING
+        assert code_info("RP204").severity == Severity.ADVICE
+        assert code_info("RP401").severity == Severity.WARNING
+
+    def test_unknown_code(self):
+        with pytest.raises(KeyError):
+            code_info("RP999")
+
+
+class TestDiagnostic:
+    def test_make_fills_defaults_from_registry(self):
+        d = make_diagnostic("RP301", "oops", kernel="k", array="a")
+        assert d.title == code_info("RP301").title
+        assert d.severity == Severity.ERROR
+        assert d.hint == code_info("RP301").hint
+
+    def test_severity_override(self):
+        d = make_diagnostic("RP101", "m", kernel="k", severity=Severity.WARNING)
+        assert d.severity == Severity.WARNING
+
+    def test_format_and_location(self):
+        d = make_diagnostic("RP302", "bad read", kernel="k", array="src")
+        assert d.location() == "k/src"
+        line = d.format()
+        assert "RP302" in line and "k/src" in line and "bad read" in line
+
+    def test_to_dict_field_set(self):
+        d = make_diagnostic("RP103", "m", kernel="k", pass_name="races")
+        doc = d.to_dict()
+        assert set(doc) == {
+            "code", "title", "severity", "kernel", "array",
+            "message", "hint", "witness", "pass",
+        }
+        assert doc["severity"] == "advice" and doc["pass"] == "races"
+
+
+class TestLintReport:
+    def _report(self, *sevs):
+        rep = LintReport(kernels=["k"])
+        for i, s in enumerate(sevs):
+            rep.diagnostics.append(
+                make_diagnostic("RP103", f"m{i}", kernel="k", severity=s)
+            )
+        return rep
+
+    def test_counts_and_max(self):
+        rep = self._report(Severity.ERROR, Severity.ADVICE, Severity.ADVICE)
+        assert rep.count(Severity.ERROR) == 1
+        assert rep.count(Severity.ADVICE) == 2
+        assert rep.max_severity() == Severity.ERROR
+        assert LintReport().max_severity() is None
+
+    def test_failed_thresholds(self):
+        rep = self._report(Severity.WARNING)
+        assert rep.failed(Severity.WARNING)
+        assert rep.failed(Severity.ADVICE)
+        assert not rep.failed(Severity.ERROR)
+        assert not rep.failed(None)
+
+    def test_sorted_most_severe_first(self):
+        rep = self._report(Severity.ADVICE, Severity.ERROR, Severity.WARNING)
+        sevs = [d.severity for d in rep.sorted()]
+        assert sevs == sorted(sevs, reverse=True)
+
+    def test_extend_merges_kernels_once(self):
+        a = self._report(Severity.ADVICE)
+        b = self._report(Severity.ERROR)
+        a.extend(b)
+        assert a.kernels == ["k"] and len(a.diagnostics) == 2
+
+
+class TestPassManager:
+    def test_builtin_passes_registered(self):
+        names = set(registered_passes())
+        assert {"races", "bounds", "partitionability"} <= names
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(LintError, match="unknown analysis pass"):
+            PassManager(["no-such-pass"])
+
+    def test_failing_pass_becomes_rp501(self):
+        from repro.compiler.access_analysis import analyze_kernel
+        from repro.analysis.passes import LaunchContext
+        from repro.cuda.dim3 import Dim3
+        from repro.cuda.dtypes import f32
+        from repro.cuda.ir.builder import KernelBuilder
+
+        class Exploding(AnalysisPass):
+            name = "exploding-test-pass"
+
+            def run(self, info, launch):
+                raise RuntimeError("kaboom")
+
+        register_pass(Exploding)
+        try:
+            kb = KernelBuilder("k")
+            dst = kb.array("dst", f32, (8,))
+            dst[kb.global_id("x"),] = 1.0
+            info = analyze_kernel(kb.finish())
+            launch = LaunchContext(grid=Dim3(x=1), block=Dim3(x=8))
+            report = PassManager(["exploding-test-pass"]).run([info], launch)
+        finally:
+            _REGISTRY.pop("exploding-test-pass", None)
+        assert [d.code for d in report.diagnostics] == ["RP501"]
+        assert "kaboom" in report.diagnostics[0].message
+        assert report.diagnostics[0].severity == Severity.ERROR
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(AnalysisPass):
+            name = "races"  # already taken by the builtin race detector
+
+            def run(self, info, launch):  # pragma: no cover
+                return []
+
+        with pytest.raises(LintError, match="duplicate analysis pass"):
+            register_pass(Dup)

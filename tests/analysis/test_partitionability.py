@@ -1,0 +1,72 @@
+"""Partitionability-lint tests and agreement with the compiler pipeline."""
+
+from repro.analysis import Severity, lint_kernels
+from repro.compiler.pipeline import compile_app
+from repro.cuda.dtypes import f32
+from repro.cuda.ir.builder import KernelBuilder
+
+N = 64
+
+
+def _lint(kernel, grid=(4,), block=(16,)):
+    return lint_kernels([kernel], grid=grid, block=block, passes=["partitionability"])
+
+
+def _clean_kernel():
+    kb = KernelBuilder("clean")
+    src = kb.array("src", f32, (N,))
+    dst = kb.array("dst", f32, (N,))
+    gi = kb.global_id("x")
+    dst[gi,] = src[gi,] + 1.0
+    return kb.finish()
+
+
+def _non_affine_kernel():
+    kb = KernelBuilder("sq")
+    dst = kb.array("dst", f32, (N * N,))
+    gi = kb.global_id("x")
+    dst[gi * gi,] = 1.0
+    return kb.finish()
+
+
+class TestVerdicts:
+    def test_clean_kernel_has_no_errors(self):
+        report = _lint(_clean_kernel())
+        assert report.max_severity() in (None, Severity.ADVICE)
+
+    def test_unmodellable_write_is_rp202_plus_fallback(self):
+        report = _lint(_non_affine_kernel())
+        codes = sorted(d.code for d in report.diagnostics)
+        assert codes == ["RP202", "RP401"]
+        (rej,) = [d for d in report.diagnostics if d.code == "RP202"]
+        assert rej.severity == Severity.ERROR
+        (fb,) = [d for d in report.diagnostics if d.code == "RP401"]
+        assert fb.severity == Severity.WARNING and "single GPU" in fb.message
+
+    def test_unit_axis_advice_vs_violation(self):
+        # A kernel indexing only along x leaves y/z unit-extent requirements.
+        kernel = _clean_kernel()
+        ok = _lint(kernel, grid=(4,), block=(16,))
+        advice = [d for d in ok.diagnostics if d.code == "RP204"]
+        assert advice and all(d.severity == Severity.ADVICE for d in advice)
+        assert all("satisfied" in d.message for d in advice)
+        # Launching with grid extent 2 along y violates the requirement.
+        bad = _lint(kernel, grid=(4, 2), block=(16,))
+        violated = [
+            d for d in bad.diagnostics
+            if d.code == "RP204" and d.severity == Severity.ERROR
+        ]
+        assert len(violated) == 1 and "VIOLATED" in violated[0].message
+
+
+class TestPipelineAgreement:
+    def test_reject_reason_carries_the_same_code(self):
+        kernel = _non_affine_kernel()
+        app = compile_app([kernel])
+        ck = app.kernel(kernel.name)
+        assert not ck.partitionable
+        assert ck.model.reject_reason.startswith("RP202")
+        report = _lint(kernel)
+        (rej,) = [d for d in report.diagnostics if d.code == "RP202"]
+        # Same underlying reason text (the pipeline adds code/kernel prefixes).
+        assert rej.message in ck.model.reject_reason

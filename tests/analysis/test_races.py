@@ -1,0 +1,137 @@
+"""Race-detector tests: witnesses, replay confirmation, clean kernels."""
+
+import pytest
+
+from repro.analysis import Severity, lint_kernels
+from repro.cuda.dtypes import f32
+from repro.cuda.ir.builder import KernelBuilder
+
+GRID, BLOCK = (4,), (16,)
+N = 64  # grid * block threads along x
+
+
+def _lint(kernel, *, replay=True, passes=("races",), grid=GRID, block=BLOCK):
+    return lint_kernels([kernel], grid=grid, block=block, replay=replay, passes=list(passes))
+
+
+def _same_cell_kernel():
+    kb = KernelBuilder("racy")
+    dst = kb.array("dst", f32, (N,))
+    dst[0,] = 1.0  # every thread stores to cell 0
+    return kb.finish()
+
+
+def _cross_block_kernel():
+    kb = KernelBuilder("crossblock")
+    dst = kb.array("dst", f32, (N,))
+    dst[kb.threadIdx.x,] = 1.0  # same threadIdx in different blocks collide
+    return kb.finish()
+
+
+def _injective_kernel():
+    kb = KernelBuilder("clean")
+    src = kb.array("src", f32, (N,))
+    dst = kb.array("dst", f32, (N,))
+    gi = kb.global_id("x")
+    dst[gi,] = src[gi,] + 1.0
+    return kb.finish()
+
+
+class TestWriteWriteRaces:
+    def test_same_cell_race_found_and_confirmed(self):
+        report = _lint(_same_cell_kernel())
+        races = [d for d in report.diagnostics if d.code == "RP101"]
+        assert len(races) == 1
+        d = races[0]
+        assert d.severity == Severity.ERROR
+        assert d.array == "dst"
+        assert "confirmed by interpreter replay" in d.message
+        w = d.witness
+        assert w["cell"] == [0]
+        assert w["confirmed"] is True
+        assert w["thread_a"] != w["thread_b"]
+
+    def test_witness_is_lexmin(self):
+        # Enumeration is lexicographic, so the first witness pair is the two
+        # lexically smallest distinct threads.
+        w = _lint(_same_cell_kernel()).diagnostics[0].witness
+        assert w["thread_a"] == {"block": [0, 0, 0], "thread": [0, 0, 0]}
+        assert w["thread_b"] == {"block": [0, 0, 0], "thread": [0, 0, 1]}
+
+    def test_cross_block_witness_confirmed_by_partition_replay(self):
+        report = _lint(_cross_block_kernel())
+        (d,) = [d for d in report.diagnostics if d.code == "RP101"]
+        w = d.witness
+        assert w["confirmed"] is True
+        # The two threads live in different blocks, so the two-partition
+        # replay applies and must also see both halves write the cell.
+        assert w["thread_a"]["block"] != w["thread_b"]["block"]
+        assert w["partition_replay"] is True
+
+    def test_no_replay_leaves_witness_unconfirmed(self):
+        report = _lint(_same_cell_kernel(), replay=False)
+        (d,) = [d for d in report.diagnostics if d.code == "RP101"]
+        assert d.witness["confirmed"] is None
+        assert "replay" not in d.message
+
+    def test_injective_kernel_is_race_free(self):
+        report = _lint(_injective_kernel())
+        assert [d for d in report.diagnostics if d.code in ("RP101", "RP102")] == []
+
+
+class TestReadWriteRaces:
+    def test_neighbour_read_is_rw_race(self):
+        kb = KernelBuilder("shift")
+        dst = kb.array("dst", f32, (N + 1,))
+        gi = kb.global_id("x")
+        dst[gi,] = dst[gi + 1,]  # thread i reads the cell thread i+1 writes
+        report = _lint(kb.finish())
+        rw = [d for d in report.diagnostics if d.code == "RP102"]
+        assert len(rw) == 1
+        d = rw[0]
+        assert d.severity == Severity.WARNING
+        assert d.witness["confirmed"] is True
+        assert "write/read" in d.message
+
+    def test_private_read_is_not_a_race(self):
+        kb = KernelBuilder("private")
+        dst = kb.array("dst", f32, (N,))
+        gi = kb.global_id("x")
+        dst[gi,] = dst[gi,] * 2.0  # each thread touches only its own cell
+        report = _lint(kb.finish())
+        assert [d for d in report.diagnostics if d.code in ("RP101", "RP102")] == []
+
+
+class TestNonAffineWrites:
+    def test_non_affine_subscript_reported_as_skipped(self):
+        kb = KernelBuilder("nonaffine")
+        dst = kb.array("dst", f32, (N * N,))
+        gi = kb.global_id("x")
+        dst[gi * gi,] = 1.0
+        report = _lint(kb.finish())
+        codes = [d.code for d in report.diagnostics]
+        assert codes == ["RP103"]
+        assert report.diagnostics[0].severity == Severity.ADVICE
+
+
+class TestGuards:
+    def test_guard_removes_the_race(self):
+        # Only thread (0,0,0) of block (0,0,0) writes: a single writer cannot
+        # race with itself.
+        kb = KernelBuilder("guarded")
+        dst = kb.array("dst", f32, (N,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < 1):
+            dst[0,] = 1.0
+        report = _lint(kb.finish())
+        assert [d for d in report.diagnostics if d.code == "RP101"] == []
+
+    def test_two_guarded_writers_still_race(self):
+        kb = KernelBuilder("two_writers")
+        dst = kb.array("dst", f32, (N,))
+        gi = kb.global_id("x")
+        with kb.if_(gi < 2):
+            dst[0,] = 1.0
+        report = _lint(kb.finish())
+        (d,) = [d for d in report.diagnostics if d.code == "RP101"]
+        assert d.witness["confirmed"] is True

@@ -1,0 +1,77 @@
+"""Renderer tests: text output, the JSON schema and its validator."""
+
+import json
+
+import pytest
+
+from repro.analysis import lint_kernels, render_json, render_text, validate_report_json
+from repro.cuda.dtypes import f32
+from repro.cuda.ir.builder import KernelBuilder
+from repro.errors import LintError
+
+
+def _report():
+    kb = KernelBuilder("racy")
+    dst = kb.array("dst", f32, (64,))
+    dst[0,] = 1.0
+    return lint_kernels([kb.finish()], grid=(4,), block=(16,))
+
+
+def _doc():
+    return json.loads(render_json(_report()))
+
+
+class TestTextRenderer:
+    def test_findings_and_summary(self):
+        report = _report()
+        text = render_text(report)
+        assert "RP101" in text
+        assert "witness:" in text and "hint:" in text
+        last = text.splitlines()[-1]
+        assert last.startswith("1 kernel(s):") and "error(s)" in last
+
+    def test_clean_report_renders_summary_only(self):
+        kb = KernelBuilder("noop")
+        dst = kb.array("dst", f32, (64,))
+        dst[kb.global_id("x"),] = 1.0
+        report = lint_kernels([kb.finish()], grid=(4,), block=(16,), passes=["races", "bounds"])
+        assert render_text(report) == "1 kernel(s): 0 error(s), 0 warning(s), 0 advice"
+
+
+class TestJsonSchema:
+    def test_rendered_report_validates(self):
+        doc = _doc()
+        validate_report_json(doc)  # must not raise
+        assert doc["version"] == 1 and doc["tool"] == "repro-lint"
+        assert doc["summary"]["errors"] >= 1
+        codes = [d["code"] for d in doc["diagnostics"]]
+        assert "RP101" in codes
+
+    def test_diagnostics_sorted_most_severe_first(self):
+        order = {"error": 0, "warning": 1, "advice": 2}
+        ranks = [order[d["severity"]] for d in _doc()["diagnostics"]]
+        assert ranks == sorted(ranks)
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda d: d.update(version=99), "version"),
+            (lambda d: d.update(tool="other"), "tool"),
+            (lambda d: d.pop("summary"), "summary"),
+            (lambda d: d["summary"].update(errors="1"), "summary.errors"),
+            (lambda d: d["diagnostics"][0].update(code="RP999"), "not registered"),
+            (lambda d: d["diagnostics"][0].update(severity="fatal"), "invalid"),
+            (lambda d: d["diagnostics"][0].pop("message"), "message"),
+            (lambda d: d["diagnostics"][0].update(witness="str"), "witness"),
+            (lambda d: d["diagnostics"].pop(), "does not match"),
+        ],
+    )
+    def test_invalid_documents_rejected(self, mutate, match):
+        doc = _doc()
+        mutate(doc)
+        with pytest.raises(LintError, match=match):
+            validate_report_json(doc)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(LintError, match="JSON object"):
+            validate_report_json([1, 2])

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cuda.dtypes import f32, i64
+from repro.cuda.dtypes import boolean, f32, i64
 from repro.cuda.ir.builder import KernelBuilder
 from repro.cuda.ir.exprs import Const, Load, LocalRef, Param
 from repro.cuda.ir.kernel import ArrayParam, Kernel, ScalarParam
@@ -114,4 +114,62 @@ class TestValidator:
         a = ArrayParam("a", f32, (LocalRef("x", i64),))
         k = self._kernel([], [a])
         with pytest.raises(ValidationError, match="extent"):
+            validate_kernel(k)
+
+
+class TestValidatorGaps:
+    """Gaps closed alongside the static-analysis layer: duplicate parameter
+    names, ``Let`` rebinding across scopes, and loads/stores that name a
+    scalar parameter as if it were an array."""
+
+    @staticmethod
+    def _forged(params, body=()):
+        # Bypass the Kernel constructor (which also rejects duplicates) so
+        # validate_kernel's own check is exercised.
+        k = object.__new__(Kernel)
+        object.__setattr__(k, "name", "k")
+        object.__setattr__(k, "params", tuple(params))
+        object.__setattr__(k, "body", tuple(body))
+        return k
+
+    def test_constructor_rejects_duplicate_params(self):
+        with pytest.raises(ValidationError, match="duplicate parameter"):
+            Kernel("k", (ScalarParam("n", i64), ScalarParam("n", i64)), ())
+
+    def test_validator_rejects_duplicate_params(self):
+        k = self._forged([ScalarParam("n", i64), ScalarParam("n", i64)])
+        with pytest.raises(ValidationError, match="duplicate parameter name 'n'"):
+            validate_kernel(k)
+
+    def test_validator_rejects_scalar_array_name_clash(self):
+        a = ArrayParam("n", f32, (Const(4, i64),))
+        k = self._forged([ScalarParam("n", i64), a])
+        with pytest.raises(ValidationError, match="duplicate parameter name 'n'"):
+            validate_kernel(k)
+
+    def test_let_rebinding_inside_branch(self):
+        body = [
+            Let("x", Const(1, i64)),
+            If(Const(True, boolean), (Let("x", Const(2, i64)),), ()),
+        ]
+        k = Kernel("k", (), tuple(body))
+        with pytest.raises(ValidationError, match="redefined"):
+            validate_kernel(k)
+
+    def test_store_to_scalar_parameter(self):
+        k = Kernel(
+            "k",
+            (ScalarParam("n", i64),),
+            (Store("n", (Const(0, i64),), Const(0.0, f32)),),
+        )
+        with pytest.raises(ValidationError, match="store to scalar parameter 'n'"):
+            validate_kernel(k)
+
+    def test_load_from_scalar_parameter(self):
+        k = Kernel(
+            "k",
+            (ScalarParam("n", i64),),
+            (Let("x", Load("n", (Const(0, i64),), f32)),),
+        )
+        with pytest.raises(ValidationError, match="load from scalar parameter 'n'"):
             validate_kernel(k)

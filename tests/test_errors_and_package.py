@@ -9,7 +9,12 @@ class TestHierarchy:
     def test_all_derive_from_repro_error(self):
         for name in E.__all__:
             exc = getattr(E, name)
+            if not isinstance(exc, type):
+                continue  # helper functions (exit_code_for, format_with_code)
             assert issubclass(exc, E.ReproError), name
+
+    def test_analysis_family(self):
+        assert issubclass(E.LintError, E.AnalysisError)
 
     def test_polyhedral_family(self):
         for exc in (E.NonAffineError, E.SpaceMismatchError, E.ParseError):
