@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""The async launch scheduler, demonstrated (see docs/scheduler.md).
+
+Runs the paper's Hotspot stencil on the calibrated K80 node model under all
+three launch-scheduler policies:
+
+* ``sequential``  — the paper-faithful Figure 4 barrier orchestration,
+* ``overlap``     — per-launch task DAG: each kernel partition waits only
+                    for the halo transfers feeding *its own* read set, so
+                    the copy engines pipeline transfers against compute,
+* ``overlap+p2p`` — additionally routes device-to-device halo copies over
+                    direct peer DMA instead of staging through host memory.
+
+Three things to observe in the output:
+
+1. the host-visible results are **bitwise identical** under every policy
+   (the scheduler only re-orders device work);
+2. the simulated time drops monotonically: sequential >= overlap >=
+   overlap+p2p;
+3. under ``overlap`` the ``TRANSFERS`` busy time is unchanged (same bytes
+   move) — the hidden/exposed split shows part of it slipping behind
+   kernel execution instead of sitting on the critical path; ``+p2p``
+   then shrinks the busy time itself by skipping the host staging hop.
+   (At Table 1's medium sizes, where kernels are long enough to hide
+   behind, ~96-98 % of the traffic hides — see docs/scheduler.md.)
+
+Run:  python examples/overlap_demo.py
+"""
+
+import numpy as np
+
+from repro.compiler import compile_app
+from repro.harness.calibration import K80_NODE_SPEC
+from repro.runtime import MultiGpuApi, RuntimeConfig
+from repro.sched import SCHEDULES, build_launch_plan
+from repro.sim.engine import SimMachine
+from repro.sim.trace import Category
+from repro.workloads.common import ProblemConfig
+from repro.workloads.hotspot import HotspotWorkload
+
+N = 1024
+ITERS = 10
+GPUS = 8
+
+
+def run(schedule: str):
+    cfg = ProblemConfig("hotspot", "demo", N, ITERS)
+    workload = HotspotWorkload(cfg)
+    app = compile_app(workload.build_kernels())
+    machine = SimMachine(K80_NODE_SPEC.with_gpus(GPUS))
+    api = MultiGpuApi(
+        app, RuntimeConfig(n_gpus=GPUS, schedule=schedule), machine=machine
+    )
+    result = workload.run(api, workload.make_inputs(seed=7))
+    return result, api
+
+
+def main():
+    print(f"Hotspot {N}x{N}, {ITERS} iterations, {GPUS} simulated GPUs\n")
+
+    results = {}
+    print(f"{'schedule':<14} {'time [s]':>10} {'transfers':>10} {'hidden':>8} {'exposed':>9}")
+    for schedule in SCHEDULES:
+        result, api = run(schedule)
+        results[schedule] = result
+        trace = api.machine.trace
+        x = trace.transfer_exposure()
+        print(
+            f"{schedule:<14} {api.elapsed():>10.4f}"
+            f" {trace.busy_time(Category.TRANSFERS):>10.4f}"
+            f" {x['hidden']:>8.4f} {x['exposed']:>9.4f}"
+        )
+
+    ref = results["sequential"]
+    for schedule in SCHEDULES[1:]:
+        for key in ref:
+            assert np.array_equal(ref[key], results[schedule][key]), schedule
+    print("\nall schedules produced bitwise-identical results")
+
+    # Peek at the task DAG of one launch: rebuild the plan the scheduler
+    # compiles for the first iteration (after the initial H2D scatter).
+    cfg = ProblemConfig("hotspot", "demo", N, ITERS)
+    workload = HotspotWorkload(cfg)
+    app = compile_app(workload.build_kernels())
+    api = MultiGpuApi(app, RuntimeConfig(n_gpus=GPUS))
+    import repro.cuda.api as cuda_api
+
+    nbytes = N * N * 4
+    a, b = api.cudaMalloc(nbytes), api.cudaMalloc(nbytes)
+    api.cudaMemcpy(a, np.zeros((N, N), np.float32), nbytes, cuda_api.MemcpyKind.HostToDevice)
+    api.cudaMemset(b, 0, nbytes)
+    grid, block = workload.launch_config()
+    plan = build_launch_plan(api, app.kernel("hotspot"), grid, block, [a, b])
+    plan.validate()
+    print(
+        f"\nfirst launch DAG: {len(plan.kernels)} kernel partitions, "
+        f"{len(plan.transfers)} halo transfers, {len(plan.edges())} edges"
+    )
+    for k in plan.kernels[:3]:
+        deps = len(k.transfer_deps)
+        print(f"  gpu{k.gpu}: kernel node {k.node} waits on {deps} transfer(s)")
+    print("  ... (each partition depends only on copies into its own device)")
+
+
+if __name__ == "__main__":
+    main()

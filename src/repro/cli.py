@@ -9,7 +9,12 @@ Commands
 ``run``       run a workload functionally on N simulated GPUs and check the
               result bitwise against the single-GPU reference.
 ``bench``     regenerate the paper's evaluation tables on the simulated
-              K80 node (figure6 | figure7 | figure8 | table1 | overhead).
+              K80 node (figure6 | figure7 | figure8 | table1 | overhead |
+              schedules).
+
+``run`` and ``bench`` accept ``--schedule {sequential,overlap,overlap+p2p}``
+to pick the launch-scheduler policy (see docs/scheduler.md); ``bench
+schedules`` runs all three side by side.
 ``machine``   show the calibrated machine model.
 
 Exit codes: 0 success; 1 lint findings at/above the ``--fail-on`` threshold
@@ -105,8 +110,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"running {workload.cfg} on the single-GPU reference ...")
     reference = workload.run(CudaApi(), inputs)
     app = compile_app(workload.build_kernels())
-    print(f"running on {args.gpus} simulated GPUs ...")
-    api = MultiGpuApi(app, RuntimeConfig(n_gpus=args.gpus))
+    print(f"running on {args.gpus} simulated GPUs ({args.schedule} schedule) ...")
+    api = MultiGpuApi(app, RuntimeConfig(n_gpus=args.gpus, schedule=args.schedule))
     result = workload.run(api, inputs)
     for key in reference:
         if not np.array_equal(reference[key], result[key]):
@@ -135,8 +140,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         return 0
     counts = tuple(args.gpu_counts) if args.gpu_counts else GPU_COUNTS
+    if args.experiment == "schedules":
+        pts = ex.schedule_comparison(
+            workloads=tuple(args.workloads or ["hotspot"]),
+            gpu_counts=counts if args.gpu_counts else (1, 4, 16),
+            size=args.sizes[0] if args.sizes else "medium",
+        )
+        headers = ["Workload", "GPUs", "Schedule", "Time [s]", "Speedup", "Hidden"]
+        rows = [
+            (p.workload, p.n_gpus, p.schedule, f"{p.time:.4f}", f"{p.speedup:.2f}", f"{p.hidden_fraction:.1%}")
+            for p in pts
+        ]
+        if args.json:
+            import json
+
+            payload = [
+                {
+                    "workload": p.workload,
+                    "size": p.size_label,
+                    "n_gpus": p.n_gpus,
+                    "schedule": p.schedule,
+                    "time": p.time,
+                    "reference": p.reference,
+                    "speedup": p.speedup,
+                    "hidden_transfer_time": p.hidden_transfer_time,
+                    "exposed_transfer_time": p.exposed_transfer_time,
+                }
+                for p in pts
+            ]
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+            print(f"wrote {args.json}")
+        print(format_table(headers, rows, title="Schedule comparison"))
+        return 0
     if args.experiment == "figure6":
-        pts = ex.figure6(gpu_counts=counts, sizes=tuple(args.sizes))
+        pts = ex.figure6(gpu_counts=counts, sizes=tuple(args.sizes), schedule=args.schedule)
         rows = [(p.workload, p.size_label, p.n_gpus, f"{p.time:.3f}", f"{p.speedup:.2f}") for p in pts]
         headers = ["Workload", "Size", "GPUs", "Time [s]", "Speedup"]
         if args.csv:
@@ -147,7 +185,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"wrote {args.csv}")
         print(format_table(headers, rows, title="Figure 6"))
     elif args.experiment == "figure7":
-        rows = ex.figure7(gpu_counts=counts)
+        rows = ex.figure7(gpu_counts=counts, schedule=args.schedule)
         print(
             format_table(
                 ["Workload", "GPUs", "Application", "Transfers", "Patterns"],
@@ -246,21 +284,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=_cmd_lint)
 
+    from repro.sched.policy import SCHEDULES
+
     p = sub.add_parser("run", help="functional multi-GPU run with bitwise check")
     p.add_argument("workload", choices=sorted(ALL_WORKLOADS))
     p.add_argument("--gpus", type=int, default=4)
     p.add_argument("--size", type=int, default=None)
     p.add_argument("--iterations", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--schedule",
+        choices=list(SCHEDULES),
+        default="sequential",
+        help="launch-scheduler policy (default: sequential, the paper's Figure 4)",
+    )
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("bench", help="regenerate a paper table/figure (simulated)")
     p.add_argument(
-        "experiment", choices=["figure6", "figure7", "figure8", "table1", "overhead"]
+        "experiment",
+        choices=["figure6", "figure7", "figure8", "table1", "overhead", "schedules"],
     )
     p.add_argument("--gpu-counts", type=int, nargs="*", default=None)
     p.add_argument("--sizes", nargs="*", default=["small", "medium", "large"])
     p.add_argument("--csv", default=None, help="also write the rows as CSV (figure6)")
+    p.add_argument(
+        "--schedule",
+        choices=list(SCHEDULES),
+        default=None,
+        help="launch-scheduler policy for figure6/figure7 (default: sequential)",
+    )
+    p.add_argument(
+        "--workloads", nargs="*", default=None, help="workloads for the schedules experiment"
+    )
+    p.add_argument("--json", default=None, help="also write the rows as JSON (schedules)")
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("machine", help="show the calibrated machine model")

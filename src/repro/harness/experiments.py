@@ -9,7 +9,7 @@ separately by the functional test suite.
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 from repro.compiler.costmodel import KernelCostModel
@@ -27,11 +27,13 @@ from repro.workloads import ALL_WORKLOADS
 __all__ = [
     "SpeedupPoint",
     "BreakdownRow",
+    "SchedulePoint",
     "run_timed",
     "reference_time",
     "figure6",
     "figure7",
     "figure8",
+    "schedule_comparison",
     "single_gpu_overhead",
     "compile_time_ratio",
     "table1_rows",
@@ -105,17 +107,19 @@ def run_timed(
     spec: MachineSpec = K80_NODE_SPEC,
     *,
     config: Optional[RuntimeConfig] = None,
+    schedule: Optional[str] = None,
 ) -> Tuple[float, MultiGpuApi]:
-    """Simulated runtime of the partitioned application on ``n_gpus``."""
+    """Simulated runtime of the partitioned application on ``n_gpus``.
+
+    ``schedule`` selects the launch-scheduler policy (overriding whatever
+    ``config`` carries); all other ``config`` fields are preserved.
+    """
     if config is None:
         config = RuntimeConfig(n_gpus=n_gpus)
     else:
-        config = RuntimeConfig(
-            n_gpus=n_gpus,
-            transfers_enabled=config.transfers_enabled,
-            tracking_enabled=config.tracking_enabled,
-            validate_unit_axes=config.validate_unit_axes,
-        )
+        config = replace(config, n_gpus=n_gpus)
+    if schedule is not None:
+        config = replace(config, schedule=schedule)
 
     def run_once(c: ProblemConfig):
         workload = ALL_WORKLOADS[c.workload](c)
@@ -151,6 +155,7 @@ def figure6(
     sizes: Sequence[str] = ("small", "medium", "large"),
     gpu_counts: Sequence[int] = GPU_COUNTS,
     spec: MachineSpec = K80_NODE_SPEC,
+    schedule: Optional[str] = None,
 ) -> List[SpeedupPoint]:
     """Speedup of every workload/size over 1..16 GPUs (paper Figure 6)."""
     points: List[SpeedupPoint] = []
@@ -159,7 +164,7 @@ def figure6(
             cfg = next(c for c in table1_configs(name) if c.size_label == size)
             ref = reference_time(cfg, spec)
             for g in gpu_counts:
-                elapsed, _ = run_timed(cfg, g, spec)
+                elapsed, _ = run_timed(cfg, g, spec, schedule=schedule)
                 points.append(SpeedupPoint(name, size, g, elapsed, ref))
     return points
 
@@ -191,9 +196,14 @@ class BreakdownRow:
 
 
 def measure_breakdown(
-    cfg: ProblemConfig, n_gpus: int, spec: MachineSpec = K80_NODE_SPEC
+    cfg: ProblemConfig,
+    n_gpus: int,
+    spec: MachineSpec = K80_NODE_SPEC,
+    schedule: Optional[str] = None,
 ) -> BreakdownRow:
     base = RuntimeConfig(n_gpus=n_gpus)
+    if schedule is not None:
+        base = replace(base, schedule=schedule)
     alpha, _ = run_timed(cfg, n_gpus, spec, config=base.alpha())
     beta, _ = run_timed(cfg, n_gpus, spec, config=base.beta())
     gamma, _ = run_timed(cfg, n_gpus, spec, config=base.gamma())
@@ -205,14 +215,86 @@ def figure7(
     gpu_counts: Sequence[int] = (2, 4, 6, 8, 10, 12, 14, 16),
     spec: MachineSpec = K80_NODE_SPEC,
     size: str = "medium",
+    schedule: Optional[str] = None,
 ) -> List[BreakdownRow]:
     """Relative Application/Transfers/Patterns times (paper Figure 7)."""
     rows: List[BreakdownRow] = []
     for name in workloads:
         cfg = next(c for c in table1_configs(name) if c.size_label == size)
         for g in gpu_counts:
-            rows.append(measure_breakdown(cfg, g, spec))
+            rows.append(measure_breakdown(cfg, g, spec, schedule=schedule))
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Schedule comparison: sequential vs overlap vs overlap+p2p (what-if study)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SchedulePoint:
+    """One (workload, gpu count, schedule) sample of the what-if study."""
+
+    workload: str
+    size_label: str
+    n_gpus: int
+    schedule: str
+    time: float
+    reference: float
+    #: Coherence-transfer busy time overlapped with kernel execution vs
+    #: left on the critical path (seconds on the *sampled* — not
+    #: extrapolated — run; use the ratio, not the absolute values).
+    hidden_transfer_time: float
+    exposed_transfer_time: float
+
+    @property
+    def speedup(self) -> float:
+        return self.reference / self.time
+
+    @property
+    def hidden_fraction(self) -> float:
+        total = self.hidden_transfer_time + self.exposed_transfer_time
+        return self.hidden_transfer_time / total if total > 0 else 0.0
+
+
+def schedule_comparison(
+    workloads: Sequence[str] = ("hotspot",),
+    gpu_counts: Sequence[int] = (1, 4, 16),
+    spec: MachineSpec = K80_NODE_SPEC,
+    size: str = "medium",
+    schedules: Optional[Sequence[str]] = None,
+) -> List[SchedulePoint]:
+    """Run every workload under each launch-scheduler policy.
+
+    This replaces the old analytical what-if P2P model: the ``overlap`` and
+    ``overlap+p2p`` rows come from actually executing the task-DAG scheduler
+    on the simulated machine, not from subtracting estimated staging costs.
+    """
+    from repro.sched.policy import SCHEDULES
+
+    if schedules is None:
+        schedules = SCHEDULES
+    points: List[SchedulePoint] = []
+    for name in workloads:
+        cfg = next(c for c in table1_configs(name) if c.size_label == size)
+        ref = reference_time(cfg, spec)
+        for g in gpu_counts:
+            for sched in schedules:
+                elapsed, api = run_timed(cfg, g, spec, schedule=sched)
+                exposure = api.machine.trace.transfer_exposure()
+                points.append(
+                    SchedulePoint(
+                        name,
+                        size,
+                        g,
+                        sched,
+                        elapsed,
+                        ref,
+                        exposure["hidden"],
+                        exposure["exposed"],
+                    )
+                )
+    return points
 
 
 # ---------------------------------------------------------------------------

@@ -30,7 +30,9 @@ from repro.runtime.config import RuntimeConfig
 from repro.runtime.launch import launch_fallback, launch_partitioned
 from repro.runtime.memcpy import d2h_gather, h2d_scatter
 from repro.runtime.vbuffer import VirtualBuffer
-from repro.sim.engine import SimMachine
+from repro.sched.executor import DataflowLog
+from repro.sched.policy import select_policy
+from repro.sim.engine import SimMachine, SimStream
 from repro.sim.topology import MachineSpec
 from repro.sim.trace import Category
 
@@ -81,6 +83,11 @@ class MultiGpuApi:
         self.stats = RunStats()
         self._vb_ids = itertools.count(1)
         self._live_buffers: Dict[int, VirtualBuffer] = {}
+        #: Launch-scheduler policy (sequential | overlap | overlap+p2p).
+        self.policy = select_policy(config.schedule)
+        #: Per-(buffer, device) completion events for cross-launch ordering.
+        self.dataflow = DataflowLog()
+        self._default_stream: Optional[SimStream] = None
 
     # -- internals ----------------------------------------------------------------
 
@@ -126,24 +133,66 @@ class MultiGpuApi:
                 vb.bytes_on(dev_id)[lo:hi] = value & 0xFF
             if self.machine:
                 duration = (hi - lo) / self.machine.spec.mem_bw_per_gpu
-                self.machine.launch_kernel(dev_id, duration, label="memset")
+                end = self.machine.launch_kernel(dev_id, duration, label="memset")
+                if self.policy.overlap:
+                    self.dataflow.note_write(vb.vb_id, dev_id, end)
             if self.config.tracking_enabled:
                 self.host_pattern_cost(self.spec.tracker_op_cost if self.spec else 0.0)
                 vb.tracker.update(lo, hi, dev_id)
+
+    # -- streams ------------------------------------------------------------------------
+
+    def cudaStreamCreate(self) -> Optional[SimStream]:
+        """A new in-order copy stream (None in machine-less functional runs)."""
+        return self.machine.create_stream() if self.machine else None
+
+    @property
+    def default_stream(self) -> Optional[SimStream]:
+        if self._default_stream is None and self.machine is not None:
+            self._default_stream = self.machine.create_stream("stream0")
+        return self._default_stream
+
+    def cudaStreamSynchronize(self, stream: Optional[SimStream] = None) -> None:
+        """Host blocks until every operation enqueued on ``stream`` completed.
+
+        With no argument, waits for the default stream — the completion
+        point of all ``cudaMemcpyAsync`` calls issued without an explicit
+        stream.
+        """
+        if self.machine is None:
+            return
+        target = stream if stream is not None else self.default_stream
+        self.machine.wait_until(target.avail, label="stream-sync")
 
     # -- memcpy (§8.2) -------------------------------------------------------------------
 
     def cudaMemcpy(self, dst, src, nbytes: int, kind: MemcpyKind) -> None:
         self._memcpy(dst, src, nbytes, kind, synchronous=True)
 
-    def cudaMemcpyAsync(self, dst, src, nbytes: int, kind: MemcpyKind) -> None:
-        self._memcpy(dst, src, nbytes, kind, synchronous=False)
+    def cudaMemcpyAsync(
+        self, dst, src, nbytes: int, kind: MemcpyKind, stream: Optional[SimStream] = None
+    ) -> None:
+        """Asynchronous memcpy with real enqueue semantics.
 
-    def _memcpy(self, dst, src, nbytes, kind, *, synchronous) -> None:
+        The translated copies are enqueued on ``stream`` (default stream if
+        omitted): the call returns immediately, and the copies' completion
+        events are recorded on the stream so ``cudaStreamSynchronize``
+        provides the CUDA-style completion point. Under the ``sequential``
+        policy the copies themselves are issued exactly as before
+        (barrier-coupled DMA); the overlap policies gate them on dataflow
+        events instead.
+        """
+        events = self._memcpy(dst, src, nbytes, kind, synchronous=False)
+        if self.machine is not None:
+            target = stream if stream is not None else self.default_stream
+            for end in events:
+                target.record(end)
+
+    def _memcpy(self, dst, src, nbytes, kind, *, synchronous) -> List[float]:
         if kind is MemcpyKind.HostToDevice:
-            h2d_scatter(self, dst, src, nbytes, synchronous=synchronous)
+            return h2d_scatter(self, dst, src, nbytes, synchronous=synchronous)
         elif kind is MemcpyKind.DeviceToHost:
-            d2h_gather(self, src, dst, nbytes, synchronous=synchronous)
+            return d2h_gather(self, src, dst, nbytes, synchronous=synchronous)
         elif kind is MemcpyKind.DeviceToDevice:
             raise UnsupportedMemcpyError(
                 "device-to-device memcopies are not supported (paper §8.2)"
@@ -151,6 +200,7 @@ class MultiGpuApi:
         elif kind is MemcpyKind.HostToHost:
             if self.functional:
                 host_bytes(dst)[:nbytes] = host_bytes(src)[:nbytes]
+            return []
         else:
             raise UnsupportedMemcpyError(f"unknown memcpy kind {kind!r}")
 

@@ -39,6 +39,12 @@ class RuntimeConfig:
     #: Host-to-device distribution pattern (§8.2; "currently, this pattern
     #: is a linear distribution among all GPUs").
     h2d_distribution: str = "linear"
+    #: Launch-scheduler policy: ``sequential`` (paper-faithful Figure 4
+    #: barrier orchestration), ``overlap`` (per-launch task DAG, copy
+    #: engines overlap compute), or ``overlap+p2p`` (additionally routes
+    #: device-to-device copies over direct peer DMA). All policies are
+    #: bitwise-equivalent functionally; they only reschedule device work.
+    schedule: str = "sequential"
     #: Debug audit (functional mode only): execute each partition with the
     #: instrumented interpreter and verify the scanned write set equals the
     #: cells the kernel actually wrote. Catches compiler bugs at the launch
@@ -51,6 +57,12 @@ class RuntimeConfig:
         if self.h2d_distribution != "linear":
             raise RuntimeApiError(
                 f"unsupported H2D distribution {self.h2d_distribution!r}"
+            )
+        from repro.sched.policy import SCHEDULES
+
+        if self.schedule not in SCHEDULES:
+            raise RuntimeApiError(
+                f"unknown schedule {self.schedule!r} (choose from {', '.join(SCHEDULES)})"
             )
 
     @property

@@ -3,12 +3,19 @@
 Replaces a single-GPU launch with four tasks:
 
 1. partition the execution grid for the available GPUs,
-2. synchronize all buffers that are read from (first loop; via the
-   generated enumerators, §8.3), followed by a device barrier,
+2. synchronize all buffers that are read from (via the generated
+   enumerators, §8.3),
 3. launch each partition of the kernel on its GPU asynchronously
-   (second loop; partition-local grid per Equation 10),
-4. update the buffer trackers for all writes (third loop; runs on the host
+   (partition-local grid per Equation 10),
+4. update the buffer trackers for all writes (runs on the host
    concurrently with the asynchronous kernels).
+
+The orchestration itself is delegated to the launch scheduler
+(``repro.sched``): the launch is first compiled into a per-launch task DAG
+(one node per segment transfer / kernel partition / tracker update, edges
+from the enumerated read/write sets) and then issued under the configured
+policy — ``sequential`` reproduces the paper's barrier-structured loops
+exactly, ``overlap``/``overlap+p2p`` pipeline transfers against compute.
 
 Kernels the compiler rejected for partitioning fall back to single-GPU
 execution on device 0 (whole read buffers synchronized there first).
@@ -24,7 +31,6 @@ from repro.cuda.dim3 import Dim3
 from repro.cuda.exec.interpreter import run_kernel
 from repro.cuda.ir.kernel import ArrayParam, ScalarParam, partition_field_name
 from repro.errors import PartitioningError, RuntimeApiError
-from repro.runtime.sync import buffer_synchronize, buffer_update
 from repro.runtime.vbuffer import VirtualBuffer
 from repro.sim.trace import Category
 
@@ -89,91 +95,14 @@ def launch_partitioned(
             if not ok:
                 launch_fallback(api, ck, grid, block, args)
                 return
-    read_enums = api.app.enumerators.for_kernel(kernel.name, "read")
-    write_enums = api.app.enumerators.for_kernel(kernel.name, "write")
 
-    # ---- first loop: synchronize read buffers (Figure 4 lines 2-8) ----
-    if api.config.tracking_enabled:
-        for gpu_idx, part in enumerate(parts):
-            if part.is_empty:
-                continue
-            gpu = api.devices[gpu_idx].device_id
-            if api.spec:
-                api.host_pattern_cost(api.spec.partition_setup_cost)
-            for enum in read_enums:
-                vb = by_name[enum.array]
-                param = kernel.param(enum.array)
-                buffer_synchronize(
-                    api,
-                    vb,
-                    enum,
-                    part,
-                    block,
-                    grid,
-                    scalars,
-                    shapes[enum.array],
-                    param.dtype.size,
-                    gpu,
-                )
-        if api.machine:
-            api.machine.synchronize()  # all_devs_synchronize()
+    # Compile the launch into its task DAG and issue it under the
+    # configured policy (repro.sched).
+    from repro.sched.executor import execute_plan
+    from repro.sched.graph import build_launch_plan
 
-    # ---- second loop: launch the partitions (Figure 4 lines 10-19) ----
-    for gpu_idx, part in enumerate(parts):
-        if part.is_empty:
-            continue
-        gpu = api.devices[gpu_idx].device_id
-        if api.spec:
-            api.host_pattern_cost(api.spec.partition_setup_cost)
-        new_grid = part.grid()
-        if api.functional:
-            bound = _bind_functional_args(api, ck, by_name, shapes, gpu)
-            for f, value in zip(
-                ("min_z", "max_z", "min_y", "max_y", "min_x", "max_x"), part.as_tuple()
-            ):
-                bound[partition_field_name("partition", f)] = value
-            trace = None
-            if api.config.debug_validate_writes:
-                from repro.cuda.exec.interpreter import AccessTrace
-
-                trace = AccessTrace()
-            run_kernel(ck.partitioned, new_grid, block, bound, trace=trace)
-            if trace is not None:
-                _audit_write_scan(api, ck, trace, part, block, grid, scalars, shapes)
-        if api.machine:
-            duration = 0.0
-            if api.kernel_cost is not None:
-                # Cost the *original* kernel: the partition clone only adds
-                # loop-invariant offset arithmetic that any real backend
-                # hoists (the paper measures a median 2.1 % single-GPU
-                # slowdown, i.e. the clone itself is not slower).
-                duration = api.kernel_cost(ck.kernel, part.n_blocks, block, scalars)
-            api.machine.launch_kernel(gpu, duration, label=ck.partitioned.name)
-        api.stats.partition_launches += 1
-
-    # ---- third loop: update write trackers (Figure 4 lines 21-26) ----
-    if api.config.tracking_enabled:
-        for gpu_idx, part in enumerate(parts):
-            if part.is_empty:
-                continue
-            gpu = api.devices[gpu_idx].device_id
-            if api.spec:
-                api.host_pattern_cost(api.spec.partition_setup_cost)
-            for enum in write_enums:
-                vb = by_name[enum.array]
-                param = kernel.param(enum.array)
-                buffer_update(
-                    api,
-                    vb,
-                    enum,
-                    part,
-                    block,
-                    grid,
-                    scalars,
-                    shapes[enum.array],
-                    param.dtype.size,
-                    gpu,
-                )
+    plan = build_launch_plan(api, ck, grid, block, args)
+    execute_plan(api, plan, api.policy)
 
 
 def _audit_write_scan(api, ck, trace, part, block, grid, scalars, shapes) -> None:
@@ -251,7 +180,15 @@ def launch_fallback(
         duration = 0.0
         if api.kernel_cost is not None:
             duration = api.kernel_cost(kernel, grid.volume, block, scalars)
-        api.machine.launch_kernel(gpu, duration, label=kernel.name)
+        end = api.machine.launch_kernel(gpu, duration, label=kernel.name)
+        if api.policy.overlap:
+            # The fallback conservatively reads and writes every array on
+            # device 0; later DAG-scheduled copies must order behind it.
+            for p in kernel.array_params:
+                vb = by_name[p.name]
+                if isinstance(vb, VirtualBuffer):
+                    api.dataflow.note_read(vb.vb_id, gpu, end)
+                    api.dataflow.note_write(vb.vb_id, gpu, end)
     api.stats.fallback_launches += 1
 
     if api.config.tracking_enabled:

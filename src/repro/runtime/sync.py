@@ -24,7 +24,7 @@ from repro.sim.trace import Category
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.api import MultiGpuApi
 
-__all__ = ["byte_ranges", "buffer_synchronize", "buffer_update"]
+__all__ = ["byte_ranges", "merge_stale_segments", "buffer_synchronize", "buffer_update"]
 
 
 def byte_ranges(
@@ -39,6 +39,24 @@ def byte_ranges(
     """Flat element ranges of one enumerator, converted to byte ranges."""
     ranges, emitted = enum.element_ranges(partition, block, grid, scalars, shape)
     return [(lo * elem_size, hi * elem_size) for lo, hi in ranges], emitted
+
+
+def merge_stale_segments(segments, gpu: int):
+    """Tracker segments not already on ``gpu``, coalesced into copies.
+
+    Adjacent stale segments from the same owner merge into one transfer;
+    this is the list of copies both the sequential loop and the DAG
+    builder issue for one partition's read set.
+    """
+    merged = []
+    for seg in segments:
+        if seg.owner == gpu:
+            continue
+        if merged and merged[-1].owner == seg.owner and merged[-1].end == seg.start:
+            merged[-1] = type(seg)(merged[-1].start, seg.end, seg.owner)
+        else:
+            merged.append(seg)
+    return merged
 
 
 def buffer_synchronize(
@@ -67,15 +85,7 @@ def buffer_synchronize(
             + api.spec.per_range_cost * emitted
             + api.spec.tracker_op_cost * max(len(ranges), len(segments))
         )
-    stale = [seg for seg in segments if seg.owner != gpu]
-    # Adjacent stale segments from the same owner coalesce into one copy.
-    merged = []
-    for seg in stale:
-        if merged and merged[-1].owner == seg.owner and merged[-1].end == seg.start:
-            merged[-1] = type(seg)(merged[-1].start, seg.end, seg.owner)
-        else:
-            merged.append(seg)
-    for seg in merged:
+    for seg in merge_stale_segments(segments, gpu):
         api.stats.sync_transfers += 1
         api.stats.sync_bytes += seg.nbytes
         if api.config.transfers_enabled:

@@ -1,0 +1,62 @@
+"""Scheduling policies for the kernel-launch replacement.
+
+Three policies share one launch plan (the task DAG) and differ only in how
+device work is issued onto the simulated machine:
+
+=============== ======== ============ ===========================================
+policy          barrier  copy engines device-to-device route
+=============== ======== ============ ===========================================
+``sequential``  yes      no           staged through host memory (paper-faithful)
+``overlap``     no       yes          staged through host memory
+``overlap+p2p`` no       yes          direct peer DMA
+=============== ======== ============ ===========================================
+
+All three are *functionally* identical — the DAG may only reorder, never
+drop, the paper's dependencies — so every policy produces bitwise-equal
+buffers and identical final tracker state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import RuntimeApiError
+
+__all__ = ["SchedulePolicy", "SCHEDULES", "select_policy"]
+
+
+@dataclass(frozen=True)
+class SchedulePolicy:
+    """How one launch plan is issued onto the machine."""
+
+    name: str
+    #: Global device barrier between the transfer and kernel phases
+    #: (Figure 4's ``all_devs_synchronize``).
+    barrier: bool
+    #: Issue transfers on the copy engines, gated by dataflow events, and
+    #: gate each kernel partition on the transfers feeding its read set.
+    overlap: bool
+    #: Route device-to-device copies over direct peer DMA instead of
+    #: staging them through host memory.
+    p2p: bool
+
+
+_POLICIES: Dict[str, SchedulePolicy] = {
+    "sequential": SchedulePolicy("sequential", barrier=True, overlap=False, p2p=False),
+    "overlap": SchedulePolicy("overlap", barrier=False, overlap=True, p2p=False),
+    "overlap+p2p": SchedulePolicy("overlap+p2p", barrier=False, overlap=True, p2p=True),
+}
+
+#: Valid ``RuntimeConfig.schedule`` values, in documentation order.
+SCHEDULES: Tuple[str, ...] = ("sequential", "overlap", "overlap+p2p")
+
+
+def select_policy(name: str) -> SchedulePolicy:
+    """The policy registered under ``name``."""
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise RuntimeApiError(
+            f"unknown schedule {name!r} (choose from {', '.join(SCHEDULES)})"
+        ) from None

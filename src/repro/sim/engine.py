@@ -17,7 +17,17 @@ byte time.
 This is the standard list-scheduling abstraction for BSP-style
 orchestration; the paper's generated host code (Figure 4) is itself
 barrier-structured (synchronize reads -> barrier -> launch -> update
-trackers), so queue-accurate modelling of device streams is not needed.
+trackers), so ``transfer``/``launch_kernel``/``synchronize`` reproduce
+exactly that barrier discipline.
+
+The async launch scheduler (``repro.sched``) instead issues *event-driven*
+work: ``stream_transfer`` starts a copy as soon as its explicit dependency
+events have fired (copy engines do not wait for compute queues), and
+``launch_kernel`` accepts dependency events so a kernel partition starts
+when *its* feeding transfers complete rather than at a global barrier.
+Both return their completion time, which is the event currency the
+scheduler threads through the DAG. :class:`SimStream` models an in-order
+CUDA stream on top of these events for the runtime's async memcpy path.
 """
 
 from __future__ import annotations
@@ -30,7 +40,33 @@ from repro.errors import SimulationError
 from repro.sim.topology import MachineSpec
 from repro.sim.trace import Category, Trace
 
-__all__ = ["SimMachine", "Category"]
+__all__ = ["SimMachine", "SimStream", "Category"]
+
+
+class SimStream:
+    """An in-order queue of asynchronous operations on the simulated machine.
+
+    The stream itself holds no resources — lanes and compute queues do — it
+    only remembers the completion time of the last operation enqueued on it,
+    which is what a ``cudaStreamSynchronize`` replacement waits for.
+    """
+
+    __slots__ = ("machine", "name", "_cursor")
+
+    def __init__(self, machine: "SimMachine", name: str = "stream") -> None:
+        self.machine = machine
+        self.name = name
+        self._cursor = 0.0
+
+    def record(self, event: float) -> float:
+        """Enqueue-order completion point: streams preserve issue order."""
+        self._cursor = max(self._cursor, event)
+        return self._cursor
+
+    @property
+    def avail(self) -> float:
+        """Completion time of the last operation enqueued on this stream."""
+        return self._cursor
 
 
 class _Lane:
@@ -100,16 +136,31 @@ class SimMachine:
 
     # -- device work -------------------------------------------------------------
 
-    def launch_kernel(self, dev: int, duration: float, label: str = "") -> None:
-        """Asynchronously enqueue a kernel of the given modelled duration."""
+    def launch_kernel(
+        self,
+        dev: int,
+        duration: float,
+        label: str = "",
+        *,
+        deps: Sequence[float] = (),
+    ) -> float:
+        """Asynchronously enqueue a kernel of the given modelled duration.
+
+        ``deps`` are completion events the kernel must wait for (the DAG
+        scheduler passes the end times of the transfers feeding this
+        partition's read set). Returns the kernel's completion event.
+        """
         self._check_dev(dev)
         if duration < 0:
             raise SimulationError("negative kernel duration")
         self.host_compute(self.spec.issue_overhead, Category.HOST, f"issue:{label}")
-        start = max(self.host_time, self._dev_avail[dev])
+        start = max(self.host_time, self._dev_avail[dev], *deps) if deps else max(
+            self.host_time, self._dev_avail[dev]
+        )
         end = start + duration
         self._dev_avail[dev] = end
         self.trace.record(f"gpu{dev}", start, end, Category.APPLICATION, label)
+        return end
 
     def transfer(
         self,
@@ -120,8 +171,60 @@ class SimMachine:
         category: Category = Category.TRANSFERS,
         label: str = "",
         synchronous: bool = False,
-    ) -> None:
-        """Copy ``nbytes`` between endpoints (device id or ``HOST``)."""
+    ) -> float:
+        """Copy ``nbytes`` between endpoints (device id or ``HOST``).
+
+        Barrier-era semantics (Figure 4's host orchestration): the copy may
+        not start before the involved devices' compute queues have drained.
+        Returns the completion event.
+        """
+        earliest = self.host_time
+        if src != HOST and 0 <= src < self.spec.n_gpus:
+            earliest = max(earliest, self._dev_avail[src])
+        if dst != HOST and 0 <= dst < self.spec.n_gpus:
+            earliest = max(earliest, self._dev_avail[dst])
+        end = self._schedule_copy(
+            src, dst, nbytes, earliest, category=category, label=label, p2p=None
+        )
+        if synchronous:
+            self.host_time = max(self.host_time, end)
+        return end
+
+    def stream_transfer(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        *,
+        deps: Sequence[float] = (),
+        category: Category = Category.TRANSFERS,
+        label: str = "",
+        p2p: Optional[bool] = None,
+    ) -> float:
+        """Dependency-scheduled copy on the DMA engines.
+
+        Unlike :meth:`transfer`, the copy does *not* wait for the involved
+        compute queues — copy engines genuinely overlap compute — only for
+        the explicit ``deps`` events (plus free gaps on its lanes and, for
+        staged routes, the host bus). ``p2p`` overrides the machine-wide
+        peer-access flag for this copy. Returns the completion event.
+        """
+        earliest = max(self.host_time, *deps) if deps else self.host_time
+        return self._schedule_copy(
+            src, dst, nbytes, earliest, category=category, label=label, p2p=p2p
+        )
+
+    def _schedule_copy(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        earliest: float,
+        *,
+        category: Category,
+        label: str,
+        p2p: Optional[bool],
+    ) -> float:
         if nbytes < 0:
             raise SimulationError("negative transfer size")
         if src != HOST:
@@ -129,27 +232,24 @@ class SimMachine:
         if dst != HOST:
             self._check_dev(dst)
         self.host_compute(self.spec.issue_overhead, Category.HOST, f"issue:{label}")
+        earliest = max(earliest, self.host_time)
         if nbytes == 0:
-            return
-        duration = self.spec.transfer_time(src, dst, nbytes)
+            return self.host_time
+        duration = self.spec.transfer_time(src, dst, nbytes, p2p=p2p)
 
         # Bus occupancy: aggregate host-memory bandwidth consumed, plus the
-        # per-copy staging setup for device-to-device traffic.
-        staged = src != HOST and dst != HOST and not self.spec.p2p_enabled
-        bus_bytes = nbytes * (self.spec.staging_factor if staged else 1.0)
-        bus_time = bus_bytes / self.spec.host_bus_bw
-        if staged:
-            bus_time += self.spec.staging_latency
+        # per-copy staging setup for device-to-device traffic. Direct P2P
+        # copies never touch host memory and skip the bus entirely.
+        route = self.spec.route(src, dst, p2p=p2p)
+        bus_time = nbytes * route.bus_factor / self.spec.host_bus_bw + route.extra_latency
 
         lanes: List[Tuple[_Lane, float]] = []
-        earliest = self.host_time
         if src != HOST:
             lanes.append((self._lanes[src], duration))
-            earliest = max(earliest, self._dev_avail[src])
         if dst != HOST:
             lanes.append((self._lanes[dst], duration))
-            earliest = max(earliest, self._dev_avail[dst])
-        lanes.append((self._bus, bus_time))
+        if bus_time > 0:
+            lanes.append((self._bus, bus_time))
 
         # First-fit over all involved resources (per-resource durations):
         # iterate to a common start where each has a large-enough gap.
@@ -169,8 +269,7 @@ class SimMachine:
             f"lane{src}" if src != HOST else (f"lane{dst}" if dst != HOST else "bus")
         )
         self.trace.record(resource, start, end, category, label)
-        if synchronous:
-            self.host_time = max(self.host_time, end)
+        return end
 
     # -- synchronization ------------------------------------------------------------
 
@@ -190,6 +289,22 @@ class SimMachine:
         """Host waits for one device's compute queue and lane."""
         self._check_dev(dev)
         self.host_time = max(self.host_time, self._dev_avail[dev], self._lanes[dev].avail)
+
+    def wait_until(self, event: float, label: str = "event-sync", *, charge: bool = True) -> None:
+        """Host blocks until ``event`` fires (stream/event synchronization).
+
+        ``charge=False`` skips the synchronization-call overhead — used where
+        the barrier-era code path advanced the host clock without charging
+        one (synchronous :meth:`transfer`), so the event-driven path never
+        pays host overhead its baseline did not.
+        """
+        if charge:
+            self.host_compute(self.spec.sync_overhead, Category.HOST, label)
+        self.host_time = max(self.host_time, event)
+
+    def create_stream(self, name: str = "stream") -> SimStream:
+        """A new in-order stream (see :class:`SimStream`)."""
+        return SimStream(self, name)
 
     def elapsed(self) -> float:
         """Total makespan so far (host and all resources drained)."""

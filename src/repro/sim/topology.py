@@ -11,11 +11,32 @@ host overheads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.errors import CalibrationError
 
-__all__ = ["MachineSpec"]
+__all__ = ["Route", "MachineSpec"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """How one copy travels through the machine.
+
+    ``host`` endpoints and direct peer-to-peer copies bypass staging; a
+    device-to-device copy without P2P is staged through host memory, which
+    inflates its byte count on the lanes (``lane_factor``), occupies the
+    shared host bus for ``bus_factor`` times the payload, and pays the
+    two-hop staging setup latency.
+    """
+
+    kind: str  # "host" | "p2p" | "staged"
+    lane_factor: float
+    bus_factor: float
+    extra_latency: float
+
+    @property
+    def staged(self) -> bool:
+        return self.kind == "staged"
 
 
 @dataclass(frozen=True)
@@ -87,13 +108,27 @@ class MachineSpec:
         """The same machine limited/extended to ``n`` GPUs."""
         return replace(self, n_gpus=n)
 
-    def transfer_time(self, src: int, dst: int, nbytes: int) -> float:
-        """Modelled duration of one copy between endpoints.
+    def route(self, src: int, dst: int, *, p2p: Optional[bool] = None) -> Route:
+        """The route one copy takes between two endpoints.
 
         ``src``/``dst`` are device ids, or ``HOST`` (-1) for host memory.
+        ``p2p`` overrides the machine-wide ``p2p_enabled`` flag for this copy
+        (the scheduler's ``overlap+p2p`` policy enables peer access the way
+        ``cudaDeviceEnablePeerAccess`` would, without recalibrating the spec).
+        """
+        if src < 0 or dst < 0:
+            return Route("host", 1.0, 1.0, 0.0)
+        use_p2p = self.p2p_enabled if p2p is None else p2p
+        if use_p2p:
+            # Direct DMA between the peers: the bytes never cross host
+            # memory, so the staging bus is not occupied at all.
+            return Route("p2p", 1.0, 0.0, 0.0)
+        return Route("staged", self.staging_factor, self.staging_factor, self.staging_latency)
+
+    def transfer_time(self, src: int, dst: int, nbytes: int, *, p2p: Optional[bool] = None) -> float:
+        """Modelled duration of one copy between endpoints.
+
         Device-to-device copies without P2P pay the staging factor.
         """
-        effective = float(nbytes)
-        if src >= 0 and dst >= 0 and not self.p2p_enabled:
-            effective *= self.staging_factor
-        return self.pcie_latency + effective / self.pcie_bw
+        r = self.route(src, dst, p2p=p2p)
+        return self.pcie_latency + float(nbytes) * r.lane_factor / self.pcie_bw

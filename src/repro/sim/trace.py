@@ -7,11 +7,20 @@ category matching the paper's Figure 7 terminology:
 * ``TRANSFERS`` — data movement for buffer synchronization and memcopies,
 * ``PATTERNS`` — host-side dependency resolution (enumerators, tracker),
 * ``HOST`` — other host work (issue overheads, synchronization calls).
+
+The async launch scheduler additionally splits ``TRANSFERS`` time into two
+*sub-categories* computed from the recorded intervals: **hidden** transfer
+time (wall-clock during which some kernel was executing concurrently, i.e.
+the copy engines genuinely overlapped compute) and **exposed** transfer
+time (no kernel was running — the interconnect was on the critical path).
+``hidden + exposed == busy_time(TRANSFERS)`` always holds, so the paper's
+α/β/γ accounting identities are unaffected by the refinement.
 """
 
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -75,5 +84,51 @@ class Trace:
             out[iv.resource] = out.get(iv.resource, 0.0) + iv.duration
         return out
 
+    def transfer_exposure(self) -> Dict[str, float]:
+        """Split TRANSFERS busy time into overlap-hidden vs exposed.
+
+        A transfer second is *hidden* when at least one kernel
+        (``APPLICATION`` interval on a ``gpu*`` resource) runs concurrently,
+        and *exposed* otherwise. ``hidden + exposed`` equals
+        ``busy_time(TRANSFERS)`` exactly.
+        """
+        compute = _union(
+            (iv.start, iv.end)
+            for iv in self.intervals
+            if iv.category is Category.APPLICATION and iv.resource.startswith("gpu")
+        )
+        hidden = 0.0
+        total = 0.0
+        for iv in self.intervals:
+            if iv.category is not Category.TRANSFERS:
+                continue
+            total += iv.duration
+            hidden += _overlap(iv.start, iv.end, compute)
+        return {"hidden": hidden, "exposed": total - hidden}
+
     def __len__(self) -> int:
         return len(self.intervals)
+
+
+def _union(intervals) -> List[tuple]:
+    """Sorted disjoint union of (start, end) intervals."""
+    merged: List[tuple] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _overlap(start: float, end: float, union: List[tuple]) -> float:
+    """Measure of ``[start, end]`` covered by a sorted disjoint union."""
+    lo = bisect_right(union, (start, float("inf"))) - 1
+    covered = 0.0
+    for i in range(max(lo, 0), len(union)):
+        a, b = union[i]
+        if a >= end:
+            break
+        covered += max(0.0, min(end, b) - max(start, a))
+    return covered

@@ -91,3 +91,38 @@ class TestAsyncTiming:
         api.cudaMemcpyAsync(vb, None, int(4e9), MemcpyKind.HostToDevice)
         # Four 1 GB chunks on four independent lanes: ~1 s, not 4 s.
         assert machine.elapsed() == pytest.approx(1.0, rel=0.05)
+
+    def _multi_api(self, schedule):
+        spec = MachineSpec(
+            n_gpus=2, pcie_bw=1e9, pcie_latency=0.0, issue_overhead=0.0,
+            sync_overhead=0.0, host_bus_bw=1e12,
+        )
+        machine = SimMachine(spec)
+        api = MultiGpuApi(
+            compile_app([]),
+            RuntimeConfig(n_gpus=2, schedule=schedule),
+            machine=machine,
+            functional=False,
+        )
+        return api, machine
+
+    @pytest.mark.parametrize("schedule", ["sequential", "overlap", "overlap+p2p"])
+    def test_stream_synchronize_is_the_completion_point(self, schedule):
+        api, machine = self._multi_api(schedule)
+        vb = api.cudaMalloc(int(2e9))
+        stream = api.cudaStreamCreate()
+        api.cudaMemcpyAsync(vb, None, int(2e9), MemcpyKind.HostToDevice, stream=stream)
+        assert machine.now < 1e-4  # enqueue returns immediately (host bookkeeping only)
+        api.cudaStreamSynchronize(stream)
+        assert machine.now == pytest.approx(1.0, rel=1e-3)  # two 1 GB chunks, two lanes
+
+    @pytest.mark.parametrize("schedule", ["sequential", "overlap"])
+    def test_default_stream_collects_unassigned_copies(self, schedule):
+        api, machine = self._multi_api(schedule)
+        vb = api.cudaMalloc(int(2e9))
+        api.cudaMemcpyAsync(vb, None, int(2e9), MemcpyKind.HostToDevice)
+        other = api.cudaStreamCreate()
+        api.cudaStreamSynchronize(other)  # empty stream: no wait
+        assert machine.now < 1e-4
+        api.cudaStreamSynchronize()  # default stream: the copies' completion
+        assert machine.now == pytest.approx(1.0, rel=1e-3)

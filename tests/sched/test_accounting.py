@@ -1,0 +1,74 @@
+"""Timing-accounting invariants of the scheduled simulation.
+
+The paper's α/β/γ overhead methodology (§9.2) subtracts whole-run times, so
+it only works if the scheduler preserves the accounting identities:
+
+* α ≥ β ≥ γ (disabling work never makes the run slower),
+* the derived Application/Transfers/Patterns fractions sum to one,
+* β and γ runs record zero TRANSFERS busy time, and γ drops the
+  enumerator/tracker PATTERNS work down to the bare partition setup,
+* the overlap refinement ``hidden + exposed == busy_time(TRANSFERS)``.
+
+Plus the scheduler's own ordering guarantee: overlap is never slower than
+sequential, and overlap+p2p never slower than overlap.
+"""
+
+import pytest
+
+from repro.harness.experiments import measure_breakdown, run_timed
+from repro.runtime.config import RuntimeConfig
+from repro.sched.policy import SCHEDULES
+from repro.sim.trace import Category
+from repro.workloads.common import table1_configs
+
+CFG = next(c for c in table1_configs("hotspot") if c.size_label == "small")
+N_GPUS = 4
+
+
+@pytest.mark.parametrize("schedule", SCHEDULES)
+def test_alpha_beta_gamma_identities(schedule):
+    row = measure_breakdown(CFG, N_GPUS, schedule=schedule)
+    assert row.alpha >= row.beta >= row.gamma > 0
+    assert row.t_application + row.t_transfers + row.t_patterns == pytest.approx(1.0)
+    assert row.t_transfers >= 0 and row.t_patterns >= 0
+
+
+@pytest.mark.parametrize("schedule", SCHEDULES)
+def test_disabled_categories_record_no_time(schedule):
+    base = RuntimeConfig(n_gpus=N_GPUS, schedule=schedule)
+    _, beta_api = run_timed(CFG, N_GPUS, config=base.beta())
+    assert beta_api.machine.trace.busy_time(Category.TRANSFERS) == 0.0
+    _, gamma_api = run_timed(CFG, N_GPUS, config=base.gamma())
+    assert gamma_api.machine.trace.busy_time(Category.TRANSFERS) == 0.0
+    # γ keeps only the per-partition setup charge (the launch replacement
+    # itself); all enumerator/tracker-query work must be gone.
+    beta_patterns = beta_api.machine.trace.busy_time(Category.PATTERNS)
+    gamma_patterns = gamma_api.machine.trace.busy_time(Category.PATTERNS)
+    assert 0.0 < gamma_patterns < beta_patterns
+
+
+@pytest.mark.parametrize("schedule", SCHEDULES)
+def test_exposure_partitions_transfer_time(schedule):
+    _, api = run_timed(CFG, N_GPUS, schedule=schedule)
+    trace = api.machine.trace
+    exposure = trace.transfer_exposure()
+    assert exposure["hidden"] >= 0 and exposure["exposed"] >= 0
+    assert exposure["hidden"] + exposure["exposed"] == pytest.approx(
+        trace.busy_time(Category.TRANSFERS)
+    )
+
+
+def test_overlap_never_slower():
+    times = {s: run_timed(CFG, N_GPUS, schedule=s)[0] for s in SCHEDULES}
+    eps = 1e-9
+    assert times["overlap"] <= times["sequential"] + eps
+    assert times["overlap+p2p"] <= times["overlap"] + eps
+    # With real coherence traffic the DAG schedule hides most of it.
+    _, seq_api = run_timed(CFG, N_GPUS, schedule="sequential")
+    _, ovl_api = run_timed(CFG, N_GPUS, schedule="overlap")
+    seq_x = seq_api.machine.trace.transfer_exposure()
+    ovl_x = ovl_api.machine.trace.transfer_exposure()
+    assert seq_x["hidden"] + seq_x["exposed"] > 0
+    seq_frac = seq_x["hidden"] / (seq_x["hidden"] + seq_x["exposed"])
+    ovl_frac = ovl_x["hidden"] / (ovl_x["hidden"] + ovl_x["exposed"])
+    assert ovl_frac > seq_frac

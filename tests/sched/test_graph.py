@@ -1,0 +1,108 @@
+"""Structure of the per-launch task DAG (repro.sched.graph)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_app
+from repro.cuda.api import MemcpyKind
+from repro.runtime.api import MultiGpuApi
+from repro.runtime.config import RuntimeConfig
+from repro.sched.graph import build_launch_plan
+from repro.sched.policy import select_policy
+from repro.workloads.hotspot import BLOCK, build_hotspot_kernel
+
+N = 64
+N_GPUS = 4
+
+
+def _prepared_api(**cfg):
+    """An api with a hotspot buffer pair scattered across the devices."""
+    kernel = build_hotspot_kernel(N)
+    app = compile_app([kernel])
+    api = MultiGpuApi(app, RuntimeConfig(n_gpus=N_GPUS, **cfg))
+    a = api.cudaMalloc(N * N * 4)
+    b = api.cudaMalloc(N * N * 4)
+    data = np.random.default_rng(0).random((N, N)).astype(np.float32)
+    api.cudaMemcpy(a, data, N * N * 4, MemcpyKind.HostToDevice)
+    return api, app.kernel(kernel.name), a, b
+
+
+def _grid():
+    from repro.cuda.dim3 import Dim3
+
+    return Dim3(x=(N + BLOCK.x - 1) // BLOCK.x, y=(N + BLOCK.y - 1) // BLOCK.y)
+
+
+def test_plan_structure_and_validation():
+    api, ck, a, b = _prepared_api()
+    plan = build_launch_plan(api, ck, _grid(), BLOCK, [a, b])
+    plan.validate()
+
+    # One kernel task per non-empty partition, each on its own device.
+    assert len(plan.kernels) == N_GPUS
+    assert sorted(k.gpu for k in plan.kernels) == sorted(
+        d.device_id for d in api.devices
+    )
+
+    # The linear H2D scatter misaligns with the stencil's row bands, so the
+    # boundary partitions need halo transfers; each transfer lands on the
+    # device of the kernel that depends on it.
+    transfers = {t.node: t for t in plan.transfers}
+    assert transfers, "expected halo transfers after a linear scatter"
+    for k in plan.kernels:
+        for dep in k.transfer_deps:
+            assert transfers[dep].gpu == k.gpu
+            assert dep < k.node  # topological numbering
+
+    # Every transfer belongs to exactly one kernel's read set.
+    claimed = [dep for k in plan.kernels for dep in k.transfer_deps]
+    assert sorted(claimed) == sorted(transfers)
+
+    # Writes cover the full output array: one WriteUpdate per partition.
+    assert [len(ups) for ups in plan.updates] == [1] * N_GPUS
+    assert all(ups[0].array == "temp_out" for ups in plan.updates)
+
+
+def test_plan_build_is_pure():
+    """Building the plan must not move data, charge time, or touch trackers."""
+    api, ck, a, b = _prepared_api()
+    segs_before = [(s.start, s.end, s.owner) for s in a.tracker.query(0, a.nbytes)]
+    stats_before = vars(api.stats).copy()
+    build_launch_plan(api, ck, _grid(), BLOCK, [a, b])
+    assert [(s.start, s.end, s.owner) for s in a.tracker.query(0, a.nbytes)] == segs_before
+    assert vars(api.stats) == stats_before
+
+
+def test_plan_skips_reads_when_tracking_disabled():
+    """γ configuration: no enumerator scans, no transfers, bare kernel tasks."""
+    api, ck, a, b = _prepared_api(tracking_enabled=False, transfers_enabled=False)
+    plan = build_launch_plan(api, ck, _grid(), BLOCK, [a, b])
+    assert plan.transfers == []
+    assert all(not syncs for syncs in plan.reads)
+    assert all(not ups for ups in plan.updates)
+    assert len(plan.kernels) == N_GPUS
+
+
+def test_validate_rejects_cross_device_edge():
+    api, ck, a, b = _prepared_api()
+    plan = build_launch_plan(api, ck, _grid(), BLOCK, [a, b])
+    bad = next(k for k in plan.kernels if k.transfer_deps)
+    victim = {t.node: t for t in plan.transfers}[bad.transfer_deps[0]]
+    victim.gpu = victim.gpu + 1  # corrupt: transfer lands on the wrong device
+    with pytest.raises(AssertionError, match="depends on transfer into"):
+        plan.validate()
+
+
+def test_policy_table():
+    seq = select_policy("sequential")
+    assert seq.barrier and not seq.overlap and not seq.p2p
+    ovl = select_policy("overlap")
+    assert not ovl.barrier and ovl.overlap and not ovl.p2p
+    p2p = select_policy("overlap+p2p")
+    assert not p2p.barrier and p2p.overlap and p2p.p2p
+    from repro.errors import RuntimeApiError
+
+    with pytest.raises(RuntimeApiError):
+        select_policy("eager")
+    with pytest.raises(RuntimeApiError):
+        RuntimeConfig(schedule="eager")
