@@ -1,0 +1,115 @@
+"""Cluster-scaling experiment: equal total GPUs across node/GPU shapes.
+
+Not a paper figure — the paper's testbed is a single 16-GPU node; its
+outlook (§10) points at scaling beyond one machine. This experiment holds
+the total GPU count at 16 and reshapes the cluster (1x16, 2x8, 4x4): the
+grid is split hierarchically (node intervals first, then per-GPU ranges),
+so only partition seams at node boundaries exchange halos across the
+simulated NIC/fabric tier, and the trace accounting splits the exposed
+transfer time into intra-node vs inter-node buckets.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.experiments import cluster_scaling
+from repro.harness.report import format_table
+
+WORKLOADS = ("hotspot", "nbody", "matmul")
+SHAPES = ((1, 16), (2, 8), (4, 4))
+SCHEDULES = ("sequential", "overlap", "overlap+p2p")
+
+
+def _sweep():
+    return cluster_scaling(
+        workloads=WORKLOADS, shapes=SHAPES, size="medium", schedules=SCHEDULES
+    )
+
+
+def test_cluster_scaling(benchmark, write_report):
+    pts = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    text = format_table(
+        [
+            "Workload",
+            "Shape",
+            "Schedule",
+            "Time [s]",
+            "Speedup",
+            "Intra exposed [s]",
+            "Inter exposed [s]",
+            "Inter copies",
+        ],
+        [
+            (
+                p.workload,
+                f"{p.n_nodes}x{p.gpus_per_node}",
+                p.schedule,
+                f"{p.time:.3f}",
+                f"{p.speedup:.2f}",
+                f"{p.intra_exposed:.5f}",
+                f"{p.inter_exposed:.5f}",
+                p.inter_node_transfers,
+            )
+            for p in pts
+        ],
+        title="Cluster scaling at 16 total GPUs (medium problems)",
+    )
+    write_report("cluster_scaling.txt", text)
+    write_report(
+        "cluster_scaling.json",
+        json.dumps(
+            [
+                {
+                    "workload": p.workload,
+                    "size": p.size_label,
+                    "n_nodes": p.n_nodes,
+                    "gpus_per_node": p.gpus_per_node,
+                    "schedule": p.schedule,
+                    "time": p.time,
+                    "reference": p.reference,
+                    "speedup": p.speedup,
+                    "intra_hidden": p.intra_hidden,
+                    "intra_exposed": p.intra_exposed,
+                    "inter_hidden": p.inter_hidden,
+                    "inter_exposed": p.inter_exposed,
+                    "inter_node_transfers": p.inter_node_transfers,
+                    "inter_node_bytes": p.inter_node_bytes,
+                    "transfers_busy": p.transfers_busy,
+                }
+                for p in pts
+            ],
+            indent=2,
+        ),
+    )
+
+    by = {(p.workload, p.n_nodes, p.schedule): p for p in pts}
+    for w in WORKLOADS:
+        for sched in SCHEDULES:
+            flat = by[(w, 1, sched)]
+            # A 1-node cluster has no network: every transfer is intra-node.
+            assert flat.inter_node_transfers == 0, (w, sched)
+            assert flat.inter_hidden == 0 and flat.inter_exposed == 0, (w, sched)
+            for n_nodes, gpus_per_node in SHAPES[1:]:
+                p = by[(w, n_nodes, sched)]
+                # The acceptance sanity: at equal total GPUs a multi-node
+                # shape never reports *less* inter-node exposed time than
+                # the network-free 1-node shape.
+                assert p.inter_exposed >= flat.inter_exposed, (w, n_nodes, sched)
+            # More node seams -> at least as many cross-node halo copies.
+            assert (
+                by[(w, 4, sched)].inter_node_transfers
+                >= by[(w, 2, sched)].inter_node_transfers
+            ), (w, sched)
+
+    for p in pts:
+        # The exposure tiers partition busy_time(TRANSFERS) exactly.
+        assert p.exposure_identity_error <= 1e-9 * max(1.0, p.transfers_busy), (
+            p.workload,
+            p.n_nodes,
+            p.schedule,
+        )
+        # Stencil/pairwise halos are a sliver of the data: the network tier
+        # must see strictly fewer bytes than the whole coherence traffic.
+        if p.n_nodes > 1 and p.inter_node_transfers:
+            assert p.inter_node_bytes > 0

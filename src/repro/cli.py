@@ -10,11 +10,14 @@ Commands
               result bitwise against the single-GPU reference.
 ``bench``     regenerate the paper's evaluation tables on the simulated
               K80 node (figure6 | figure7 | figure8 | table1 | overhead |
-              schedules).
+              schedules | cluster).
 
-``run`` and ``bench`` accept ``--schedule {sequential,overlap,overlap+p2p}``
-to pick the launch-scheduler policy (see docs/scheduler.md); ``bench
-schedules`` runs all three side by side.
+``run`` and ``bench`` accept ``--schedule
+{sequential,overlap,overlap+p2p,auto}`` to pick the launch-scheduler policy
+(see docs/scheduler.md); ``bench schedules`` runs the three concrete
+policies side by side. ``bench cluster --nodes N --gpus-per-node G`` runs
+the multi-node scaling study (see docs/cluster.md) and self-checks 1-node
+equivalence plus the exposure accounting identity.
 ``machine``   show the calibrated machine model.
 
 Exit codes: 0 success; 1 lint findings at/above the ``--fail-on`` threshold
@@ -127,9 +130,162 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_cluster_one_node_equivalence(workloads, total, schedules) -> List[str]:
+    """Functional check: a 1-node cluster must match the single-node path.
+
+    Runs each workload bitwise on (a) the plain multi-GPU runtime and
+    (b) a 1 x ``total`` cluster machine, under every schedule, and returns
+    a list of human-readable failures (empty when equivalent).
+    """
+    from repro.cluster.engine import ClusterSimMachine
+    from repro.harness.calibration import k80_cluster
+
+    failures: List[str] = []
+    for name in workloads:
+        workload = ALL_WORKLOADS[name](functional_config(name))
+        inputs = workload.make_inputs(seed=0)
+        app = compile_app(workload.build_kernels())
+        for schedule in schedules:
+            cfg = RuntimeConfig(n_gpus=total, schedule=schedule)
+            reference = workload.run(MultiGpuApi(app, cfg), inputs)
+            machine = ClusterSimMachine(k80_cluster(1, total))
+            got = workload.run(MultiGpuApi(app, cfg, machine=machine), inputs)
+            for key in reference:
+                if not np.array_equal(reference[key], got[key]):
+                    failures.append(
+                        f"1-node equivalence: {name} output {key!r} differs "
+                        f"under schedule {schedule!r}"
+                    )
+    return failures
+
+
+def _cmd_bench_cluster(args: argparse.Namespace) -> int:
+    from repro.harness import experiments as ex
+    from repro.harness.calibration import K80_CLUSTER_SPEC
+    from repro.sched.policy import SCHEDULES
+
+    nodes = args.nodes
+    gpn = args.gpus_per_node
+    total = nodes * gpn
+    workloads = tuple(args.workloads or ["hotspot"])
+    size = args.sizes[0] if args.sizes else "medium"
+    schedules = (args.schedule,) if args.schedule else tuple(SCHEDULES)
+    # Hold total GPUs constant: the 1-node shape is the network-free
+    # baseline the clustered shape is judged against.
+    shapes = ((1, total), (nodes, gpn)) if nodes > 1 else ((1, total),)
+
+    print(
+        f"cluster bench: {nodes} node(s) x {gpn} GPU(s), "
+        f"workloads {', '.join(workloads)}, schedules {', '.join(schedules)}"
+    )
+    points = ex.cluster_scaling(
+        workloads=workloads, shapes=shapes, size=size, schedules=schedules
+    )
+
+    headers = [
+        "Workload",
+        "Shape",
+        "Schedule",
+        "Time [s]",
+        "Speedup",
+        "Intra exposed [s]",
+        "Inter exposed [s]",
+        "Inter copies",
+    ]
+    rows = [
+        (
+            p.workload,
+            f"{p.n_nodes}x{p.gpus_per_node}",
+            p.schedule,
+            f"{p.time:.4f}",
+            f"{p.speedup:.2f}",
+            f"{p.intra_exposed:.5f}",
+            f"{p.inter_exposed:.5f}",
+            p.inter_node_transfers,
+        )
+        for p in points
+    ]
+    table = format_table(headers, rows, title=f"Cluster scaling ({size} problems)")
+    print(table)
+
+    failures = _check_cluster_one_node_equivalence(workloads, total, schedules)
+    for p in points:
+        tol = 1e-9 * max(1.0, p.transfers_busy)
+        if p.exposure_identity_error > tol:
+            failures.append(
+                f"accounting identity: {p.workload} {p.n_nodes}x{p.gpus_per_node} "
+                f"{p.schedule}: tier split drifts from busy_time(TRANSFERS) "
+                f"by {p.exposure_identity_error:.3e}s"
+            )
+        if p.n_nodes == 1 and (p.inter_exposed > 0 or p.inter_node_transfers > 0):
+            failures.append(
+                f"1-node run reports inter-node traffic: {p.workload} "
+                f"{p.schedule} ({p.inter_node_transfers} copies, "
+                f"{p.inter_exposed:.3e}s exposed)"
+            )
+    baseline = {
+        (p.workload, p.schedule): p.inter_exposed for p in points if p.n_nodes == 1
+    }
+    for p in points:
+        if p.n_nodes == 1:
+            continue
+        ref = baseline.get((p.workload, p.schedule))
+        if ref is not None and p.inter_exposed < ref:
+            failures.append(
+                f"sanity: {p.workload} {p.schedule}: {p.n_nodes}x{p.gpus_per_node} "
+                f"reports less inter-node exposed time ({p.inter_exposed:.3e}s) "
+                f"than 1x{total} ({ref:.3e}s)"
+            )
+
+    if args.json:
+        import json
+
+        path = (
+            args.json
+            if isinstance(args.json, str)
+            else "benchmarks/results/cluster_scaling.json"
+        )
+        payload = {
+            "nodes": nodes,
+            "gpus_per_node": gpn,
+            "size": size,
+            "points": [
+                {
+                    "workload": p.workload,
+                    "shape": f"{p.n_nodes}x{p.gpus_per_node}",
+                    "schedule": p.schedule,
+                    "time": p.time,
+                    "reference": p.reference,
+                    "speedup": p.speedup,
+                    "intra_hidden": p.intra_hidden,
+                    "intra_exposed": p.intra_exposed,
+                    "inter_hidden": p.inter_hidden,
+                    "inter_exposed": p.inter_exposed,
+                    "inter_node_transfers": p.inter_node_transfers,
+                    "inter_node_bytes": p.inter_node_bytes,
+                    "transfers_busy": p.transfers_busy,
+                }
+                for p in points
+            ],
+            "failures": failures,
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {path}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("checks passed: 1-node equivalence, accounting identity, tier sanity")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness import experiments as ex
 
+    if args.experiment == "cluster":
+        return _cmd_bench_cluster(args)
     if args.experiment == "table1":
         print(
             format_table(
@@ -154,6 +310,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.json:
             import json
 
+            json_path = (
+                args.json
+                if isinstance(args.json, str)
+                else "benchmarks/results/schedule_comparison.json"
+            )
             payload = [
                 {
                     "workload": p.workload,
@@ -168,9 +329,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 }
                 for p in pts
             ]
-            with open(args.json, "w") as fh:
+            with open(json_path, "w") as fh:
                 json.dump(payload, fh, indent=2)
-            print(f"wrote {args.json}")
+            print(f"wrote {json_path}")
         print(format_table(headers, rows, title="Schedule comparison"))
         return 0
     if args.experiment == "figure6":
@@ -294,7 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--schedule",
-        choices=list(SCHEDULES),
+        choices=list(SCHEDULES) + ["auto"],
         default="sequential",
         help="launch-scheduler policy (default: sequential, the paper's Figure 4)",
     )
@@ -303,21 +464,47 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="regenerate a paper table/figure (simulated)")
     p.add_argument(
         "experiment",
-        choices=["figure6", "figure7", "figure8", "table1", "overhead", "schedules"],
+        choices=[
+            "figure6",
+            "figure7",
+            "figure8",
+            "table1",
+            "overhead",
+            "schedules",
+            "cluster",
+        ],
     )
     p.add_argument("--gpu-counts", type=int, nargs="*", default=None)
     p.add_argument("--sizes", nargs="*", default=["small", "medium", "large"])
     p.add_argument("--csv", default=None, help="also write the rows as CSV (figure6)")
     p.add_argument(
         "--schedule",
-        choices=list(SCHEDULES),
+        choices=list(SCHEDULES) + ["auto"],
         default=None,
-        help="launch-scheduler policy for figure6/figure7 (default: sequential)",
+        help="launch-scheduler policy for figure6/figure7/cluster "
+        "(default: sequential; cluster runs all three)",
     )
     p.add_argument(
-        "--workloads", nargs="*", default=None, help="workloads for the schedules experiment"
+        "--workloads",
+        nargs="*",
+        default=None,
+        help="workloads for the schedules/cluster experiments",
     )
-    p.add_argument("--json", default=None, help="also write the rows as JSON (schedules)")
+    p.add_argument(
+        "--json",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="also write the rows as JSON (schedules/cluster); bare flag "
+        "uses a default path under benchmarks/results/",
+    )
+    p.add_argument(
+        "--nodes", type=int, default=2, help="cluster experiment: node count"
+    )
+    p.add_argument(
+        "--gpus-per-node", type=int, default=4, help="cluster experiment: GPUs per node"
+    )
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("machine", help="show the calibrated machine model")

@@ -1,0 +1,75 @@
+"""Hierarchical two-level grid partitioning for cluster runs.
+
+The single-node pipeline splits the thread grid into ``n_gpus`` balanced
+contiguous block ranges along the strategy's axis. On a cluster the same
+axis is split *twice*: first into ``n_nodes`` node intervals, then each
+node interval into ``gpus_per_node`` per-GPU ranges. Both levels use the
+same balanced ``divmod`` rule the flat split uses, so
+
+* partitions stay contiguous along the axis — neighbouring GPUs of one
+  node share intra-node halos, and only the two GPUs at each node-interval
+  seam exchange data across the network;
+* a 1-node cluster degenerates to *exactly* the flat split (the node level
+  is the identity interval), which is what makes the cluster path bitwise
+  equivalent to the single-node scheduler.
+
+The result is ordered by global device id — index ``i`` of the returned
+list is global GPU ``i`` = (node ``i // G``, local ``i % G``) — matching
+what :func:`repro.sched.graph.build_launch_plan` expects.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cluster.topology import ClusterSpec
+from repro.compiler.strategy import Partition, PartitionStrategy
+from repro.cuda.dim3 import Dim3
+
+__all__ = ["balanced_intervals", "node_intervals", "hierarchical_partitions"]
+
+
+def balanced_intervals(start: int, stop: int, k: int) -> List[Tuple[int, int]]:
+    """Split ``[start, stop)`` into ``k`` balanced contiguous intervals.
+
+    The same ``divmod`` rule as the flat split: the first ``extent % k``
+    intervals get one extra element; trailing intervals may be empty when
+    the range is shorter than ``k``.
+    """
+    base, extra = divmod(stop - start, k)
+    out: List[Tuple[int, int]] = []
+    lo = start
+    for i in range(k):
+        hi = lo + base + (1 if i < extra else 0)
+        out.append((lo, hi))
+        lo = hi
+    return out
+
+
+def node_intervals(
+    strategy: PartitionStrategy, grid: Dim3, cluster: ClusterSpec
+) -> List[Tuple[int, int]]:
+    """The top-level per-node block intervals along the split axis."""
+    return balanced_intervals(0, grid.axis(strategy.axis), cluster.n_nodes)
+
+
+def hierarchical_partitions(
+    strategy: PartitionStrategy, grid: Dim3, cluster: ClusterSpec
+) -> List[Partition]:
+    """Two-level split of ``grid`` over the cluster, in global-device order.
+
+    Equals ``strategy.partitions(grid, G)`` exactly when ``n_nodes == 1``.
+    """
+    axis = strategy.axis
+    full = Partition.whole(grid)
+    out: List[Partition] = []
+    for node_lo, node_hi in node_intervals(strategy, grid, cluster):
+        for r in balanced_intervals(node_lo, node_hi, cluster.gpus_per_node):
+            out.append(
+                Partition(
+                    z=r if axis == "z" else full.z,
+                    y=r if axis == "y" else full.y,
+                    x=r if axis == "x" else full.x,
+                )
+            )
+    return out

@@ -17,9 +17,10 @@ Notable choices:
 
 from __future__ import annotations
 
+from repro.cluster.topology import ClusterSpec
 from repro.sim.topology import MachineSpec
 
-__all__ = ["K80_NODE_SPEC", "GPU_COUNTS"]
+__all__ = ["K80_NODE_SPEC", "K80_CLUSTER_SPEC", "GPU_COUNTS", "k80_cluster"]
 
 #: GPU counts evaluated in Figure 6 of the paper.
 GPU_COUNTS = (1, 2, 4, 6, 8, 10, 12, 14, 16)
@@ -42,3 +43,21 @@ K80_NODE_SPEC = MachineSpec(
     partition_setup_cost=5e-6,
     sync_overhead=100e-6,
 )
+
+#: The K80 node behind the FDR-InfiniBand network tier of that hardware
+#: generation: 56 Gb/s NICs (~6.8 GB/s sustained payload), one rail per
+#: node, a switch that sustains a handful of concurrent streams, and ~30 µs
+#: of per-message latency (wire + host-side rendezvous).
+K80_CLUSTER_SPEC = ClusterSpec(
+    n_nodes=2,
+    node=K80_NODE_SPEC.with_gpus(8),
+    nic_bw=6.8e9,
+    nic_lanes=1,
+    fabric_bw=2.5e10,
+    net_latency=30e-6,
+)
+
+
+def k80_cluster(n_nodes: int, gpus_per_node: int) -> ClusterSpec:
+    """The calibrated K80 cluster reshaped to ``n_nodes`` x ``gpus_per_node``."""
+    return K80_CLUSTER_SPEC.with_shape(n_nodes, gpus_per_node)

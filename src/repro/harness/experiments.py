@@ -12,15 +12,18 @@ import statistics
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
+from repro.cluster.engine import ClusterSimMachine
+from repro.cluster.topology import ClusterSpec
 from repro.compiler.costmodel import KernelCostModel
 from repro.compiler.pipeline import CompiledApp, baseline_compile, compile_app
 from repro.cuda.api import CudaApi
 from repro.cuda.device import Device
-from repro.harness.calibration import GPU_COUNTS, K80_NODE_SPEC
+from repro.harness.calibration import GPU_COUNTS, K80_CLUSTER_SPEC, K80_NODE_SPEC
 from repro.runtime.api import MultiGpuApi
 from repro.runtime.config import RuntimeConfig
 from repro.sim.engine import SimMachine
 from repro.sim.topology import MachineSpec
+from repro.sim.trace import Category
 from repro.workloads.common import ProblemConfig, Workload, table1_configs
 from repro.workloads import ALL_WORKLOADS
 
@@ -28,12 +31,15 @@ __all__ = [
     "SpeedupPoint",
     "BreakdownRow",
     "SchedulePoint",
+    "ClusterPoint",
     "run_timed",
+    "run_timed_cluster",
     "reference_time",
     "figure6",
     "figure7",
     "figure8",
     "schedule_comparison",
+    "cluster_scaling",
     "single_gpu_overhead",
     "compile_time_ratio",
     "table1_rows",
@@ -125,6 +131,39 @@ def run_timed(
         workload = ALL_WORKLOADS[c.workload](c)
         app = _compiled(workload)
         machine = SimMachine(spec.with_gpus(max(n_gpus, 1)))
+        api = MultiGpuApi(app, config, machine=machine, functional=False)
+        workload.run(api, None)
+        return machine.elapsed(), api
+
+    return _extrapolated(cfg, run_once)
+
+
+def run_timed_cluster(
+    cfg: ProblemConfig,
+    cluster: ClusterSpec,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    schedule: Optional[str] = None,
+) -> Tuple[float, MultiGpuApi]:
+    """Simulated runtime of the partitioned application on a cluster.
+
+    Same contract as :func:`run_timed`, but the machine is a
+    :class:`ClusterSimMachine` over ``cluster`` and the runtime spans all
+    ``cluster.total_gpus`` devices (hierarchical partitioning, cross-node
+    halos over the NIC/fabric tier).
+    """
+    n_gpus = cluster.total_gpus
+    if config is None:
+        config = RuntimeConfig(n_gpus=n_gpus)
+    else:
+        config = replace(config, n_gpus=n_gpus)
+    if schedule is not None:
+        config = replace(config, schedule=schedule)
+
+    def run_once(c: ProblemConfig):
+        workload = ALL_WORKLOADS[c.workload](c)
+        app = _compiled(workload)
+        machine = ClusterSimMachine(cluster)
         api = MultiGpuApi(app, config, machine=machine, functional=False)
         workload.run(api, None)
         return machine.elapsed(), api
@@ -292,6 +331,105 @@ def schedule_comparison(
                         ref,
                         exposure["hidden"],
                         exposure["exposed"],
+                    )
+                )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Cluster scaling: equal total GPUs across node/GPU shapes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterPoint:
+    """One (workload, cluster shape, schedule) sample of the scaling study."""
+
+    workload: str
+    size_label: str
+    n_nodes: int
+    gpus_per_node: int
+    schedule: str
+    time: float
+    reference: float
+    #: Coherence-transfer busy time split by interconnect tier (seconds on
+    #: the *sampled* — not extrapolated — run; use ratios, not absolutes).
+    intra_hidden: float
+    intra_exposed: float
+    inter_hidden: float
+    inter_exposed: float
+    #: Sync transfers whose endpoints live on different nodes (sampled run).
+    inter_node_transfers: int
+    inter_node_bytes: int
+    #: Total TRANSFERS busy time of the sampled run — the four exposure
+    #: buckets must sum to exactly this (α/β/γ accounting identity).
+    transfers_busy: float
+
+    @property
+    def total_gpus(self) -> int:
+        return self.n_nodes * self.gpus_per_node
+
+    @property
+    def speedup(self) -> float:
+        return self.reference / self.time
+
+    @property
+    def exposure_identity_error(self) -> float:
+        """Absolute drift of the tier split from ``busy_time(TRANSFERS)``."""
+        split = (
+            self.intra_hidden
+            + self.intra_exposed
+            + self.inter_hidden
+            + self.inter_exposed
+        )
+        return abs(split - self.transfers_busy)
+
+
+def cluster_scaling(
+    workloads: Sequence[str] = ("hotspot", "matmul", "nbody"),
+    shapes: Sequence[Tuple[int, int]] = ((1, 16), (2, 8), (4, 4)),
+    base: ClusterSpec = K80_CLUSTER_SPEC,
+    size: str = "medium",
+    schedules: Optional[Sequence[str]] = None,
+) -> List[ClusterPoint]:
+    """Run every workload over cluster shapes with equal total GPU counts.
+
+    The interesting comparison holds ``n_nodes * gpus_per_node`` constant:
+    a 1xN shape pays zero network traffic (the whole split is intra-node),
+    while NxG shapes push every node-boundary halo over the NIC/fabric tier
+    — the per-shape intra/inter exposure split quantifies exactly what the
+    network costs.
+    """
+    from repro.sched.policy import SCHEDULES
+
+    if schedules is None:
+        schedules = SCHEDULES
+    points: List[ClusterPoint] = []
+    for name in workloads:
+        cfg = next(c for c in table1_configs(name) if c.size_label == size)
+        ref = reference_time(cfg, base.node)
+        for n_nodes, gpus_per_node in shapes:
+            cluster = base.with_shape(n_nodes, gpus_per_node)
+            for sched in schedules:
+                elapsed, api = run_timed_cluster(cfg, cluster, schedule=sched)
+                trace = api.machine.trace
+                tiers = trace.transfer_exposure_by_tier()
+                points.append(
+                    ClusterPoint(
+                        name,
+                        size,
+                        n_nodes,
+                        gpus_per_node,
+                        sched,
+                        elapsed,
+                        ref,
+                        tiers["intra"]["hidden"],
+                        tiers["intra"]["exposed"],
+                        tiers["inter"]["hidden"],
+                        tiers["inter"]["exposed"],
+                        api.stats.inter_node_transfers,
+                        api.stats.inter_node_bytes,
+                        trace.busy_time(Category.TRANSFERS),
                     )
                 )
     return points

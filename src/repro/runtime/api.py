@@ -52,6 +52,12 @@ class RunStats:
     tracker_ops: int = 0
     partition_launches: int = 0
     fallback_launches: int = 0
+    #: Subset of sync transfers whose endpoints live on different cluster
+    #: nodes (always zero on single-node runtimes).
+    inter_node_transfers: int = 0
+    inter_node_bytes: int = 0
+    #: Per-launch decisions of ``schedule="auto"``, keyed by policy name.
+    auto_choices: Dict[str, int] = field(default_factory=dict)
 
 
 class MultiGpuApi:
@@ -77,14 +83,28 @@ class MultiGpuApi:
             raise RuntimeApiError(
                 f"machine has {machine.spec.n_gpus} GPUs, runtime wants {config.n_gpus}"
             )
+        #: The cluster topology when running on a ClusterSimMachine (duck-
+        #: typed off the machine so the runtime has no cluster dependency).
+        self.cluster = getattr(machine, "cluster", None)
+        if self.cluster is not None and self.cluster.total_gpus != config.n_gpus:
+            raise RuntimeApiError(
+                f"cluster has {self.cluster.total_gpus} GPUs "
+                f"({self.cluster.n_nodes}x{self.cluster.gpus_per_node}), "
+                f"runtime wants {config.n_gpus}"
+            )
         if kernel_cost is None and machine is not None:
             kernel_cost = KernelCostModel(machine.spec)
         self.kernel_cost = kernel_cost
         self.stats = RunStats()
         self._vb_ids = itertools.count(1)
         self._live_buffers: Dict[int, VirtualBuffer] = {}
+        #: Adaptive mode: pick a concrete policy per kernel launch from the
+        #: plan's transfer/compute estimate (repro.sched.policy).
+        self.auto_schedule = config.schedule == "auto"
         #: Launch-scheduler policy (sequential | overlap | overlap+p2p).
-        self.policy = select_policy(config.schedule)
+        #: Auto runs the non-launch paths (memcpy, memset, fallback) under
+        #: ``overlap`` so their dataflow events are always recorded.
+        self.policy = select_policy("overlap" if self.auto_schedule else config.schedule)
         #: Per-(buffer, device) completion events for cross-launch ordering.
         self.dataflow = DataflowLog()
         self._default_stream: Optional[SimStream] = None

@@ -19,7 +19,10 @@ from dataclasses import dataclass, replace
 
 from repro.errors import RuntimeApiError
 
-__all__ = ["RuntimeConfig"]
+__all__ = ["H2D_DISTRIBUTIONS", "RuntimeConfig"]
+
+#: Valid ``h2d_distribution`` values, in documentation order.
+H2D_DISTRIBUTIONS = ("linear", "first_touch")
 
 
 @dataclass(frozen=True)
@@ -36,14 +39,20 @@ class RuntimeConfig:
     #: Verify at launch that axes the injectivity proof ignored have unit
     #: extent (see repro.compiler.legality.check_write_access).
     validate_unit_axes: bool = True
-    #: Host-to-device distribution pattern (§8.2; "currently, this pattern
-    #: is a linear distribution among all GPUs").
+    #: Host-to-device distribution pattern (§8.2). ``linear`` is the
+    #: paper's predefined distribution ("currently, this pattern is a
+    #: linear distribution among all GPUs"); ``first_touch`` keeps the data
+    #: host-resident and lets the first kernel's buffer synchronization
+    #: pull exactly each partition's read set — a partition-aligned scatter
+    #: with no redistribution traffic.
     h2d_distribution: str = "linear"
     #: Launch-scheduler policy: ``sequential`` (paper-faithful Figure 4
     #: barrier orchestration), ``overlap`` (per-launch task DAG, copy
-    #: engines overlap compute), or ``overlap+p2p`` (additionally routes
-    #: device-to-device copies over direct peer DMA). All policies are
-    #: bitwise-equivalent functionally; they only reschedule device work.
+    #: engines overlap compute), ``overlap+p2p`` (additionally routes
+    #: device-to-device copies over direct peer DMA), or ``auto`` (pick one
+    #: of the three per launch from the plan's transfer/compute ratio). All
+    #: policies are bitwise-equivalent functionally; they only reschedule
+    #: device work.
     schedule: str = "sequential"
     #: Debug audit (functional mode only): execute each partition with the
     #: instrumented interpreter and verify the scanned write set equals the
@@ -54,15 +63,17 @@ class RuntimeConfig:
     def __post_init__(self) -> None:
         if self.n_gpus < 1:
             raise RuntimeApiError("runtime needs at least one GPU")
-        if self.h2d_distribution != "linear":
+        if self.h2d_distribution not in H2D_DISTRIBUTIONS:
             raise RuntimeApiError(
-                f"unsupported H2D distribution {self.h2d_distribution!r}"
+                f"unsupported H2D distribution {self.h2d_distribution!r} "
+                f"(choose from {', '.join(H2D_DISTRIBUTIONS)})"
             )
         from repro.sched.policy import SCHEDULES
 
-        if self.schedule not in SCHEDULES:
+        if self.schedule != "auto" and self.schedule not in SCHEDULES:
             raise RuntimeApiError(
-                f"unknown schedule {self.schedule!r} (choose from {', '.join(SCHEDULES)})"
+                f"unknown schedule {self.schedule!r} "
+                f"(choose from {', '.join(SCHEDULES)}, auto)"
             )
 
     @property

@@ -75,7 +75,9 @@ def launch_partitioned(
                     f"{grid.axis(axis)}x{block.axis(axis)}"
                 )
 
-    parts = ck.strategy.partitions(grid, api.config.n_gpus)
+    from repro.sched.graph import launch_partitions
+
+    parts = launch_partitions(api, ck, grid)
 
     if ck.model.runtime_coverage:
         # Hybrid static/dynamic exactness: validate that every inexact write
@@ -97,12 +99,21 @@ def launch_partitioned(
                 return
 
     # Compile the launch into its task DAG and issue it under the
-    # configured policy (repro.sched).
+    # configured policy (repro.sched). Under schedule="auto" each launch
+    # picks its own concrete policy from the plan's transfer/compute split.
     from repro.sched.executor import execute_plan
     from repro.sched.graph import build_launch_plan
 
     plan = build_launch_plan(api, ck, grid, block, args)
-    execute_plan(api, plan, api.policy)
+    policy = api.policy
+    if api.auto_schedule:
+        from repro.sched.policy import auto_select_policy
+
+        policy = auto_select_policy(api, plan)
+        api.stats.auto_choices[policy.name] = (
+            api.stats.auto_choices.get(policy.name, 0) + 1
+        )
+    execute_plan(api, plan, policy)
 
 
 def _audit_write_scan(api, ck, trace, part, block, grid, scalars, shapes) -> None:

@@ -10,11 +10,11 @@ byte to the device holding its most recently written copy.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.cuda.device import DevPtr, Device
+from repro.cuda.device import HOST, DevPtr, Device
 from repro.errors import RuntimeApiError
 from repro.runtime.tracker import SegmentTracker
 
@@ -35,6 +35,10 @@ class VirtualBuffer:
         }
         self.tracker = SegmentTracker(nbytes, initial_owner=devices[0].device_id)
         self.freed = False
+        #: Host-resident staging copy, created on first use. The tracker may
+        #: name ``HOST`` as a segment owner (first-touch H2D distribution);
+        #: this array backs those segments until the first kernel pulls them.
+        self._host_mirror: Optional[np.ndarray] = None
 
     def instance(self, device_id: int) -> DevPtr:
         self._check()
@@ -45,9 +49,22 @@ class VirtualBuffer:
                 f"virtual buffer {self.vb_id} has no instance on device {device_id}"
             ) from None
 
-    def bytes_on(self, device_id: int) -> np.ndarray:
-        """Mutable byte view of the instance on one device (functional mode)."""
+    def host_mirror(self) -> np.ndarray:
+        """The host-resident staging copy (lazily allocated)."""
         self._check()
+        if self._host_mirror is None:
+            self._host_mirror = np.zeros(self.nbytes, dtype=np.uint8)
+        return self._host_mirror
+
+    def bytes_on(self, device_id: int) -> np.ndarray:
+        """Mutable byte view of the instance on one device (functional mode).
+
+        ``HOST`` resolves to the host mirror, so transfers sourced from
+        host-owned tracker segments read through the same interface.
+        """
+        self._check()
+        if device_id == HOST:
+            return self.host_mirror()
         return self._devices[device_id].bytes_view(self.instance(device_id))
 
     def typed_on(self, device_id: int, np_dtype: np.dtype, shape) -> np.ndarray:

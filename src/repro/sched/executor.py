@@ -83,6 +83,10 @@ def _issue_transfer(
     """Functional copy plus simulated issue of one stale-segment transfer."""
     api.stats.sync_transfers += 1
     api.stats.sync_bytes += t.nbytes
+    cluster = getattr(api, "cluster", None)
+    if cluster is not None and not cluster.same_node(t.owner, t.gpu):
+        api.stats.inter_node_transfers += 1
+        api.stats.inter_node_bytes += t.nbytes
     if not api.config.transfers_enabled:
         return None
     if api.functional:
@@ -99,12 +103,15 @@ def _issue_transfer(
             label=label,
             p2p=True if policy.p2p else None,
         )
-        api.dataflow.note_read(t.vb.vb_id, t.owner, end)
-        api.dataflow.note_write(t.vb.vb_id, t.gpu, end)
     else:
         end = api.machine.transfer(
             t.owner, t.gpu, t.nbytes, category=Category.TRANSFERS, label=label
         )
+    # Dataflow events are recorded under every policy so that adjacent
+    # launches of an adaptive (auto) run may mix policies soundly: an
+    # overlap launch must see the copies its sequential predecessor issued.
+    api.dataflow.note_read(t.vb.vb_id, t.owner, end)
+    api.dataflow.note_write(t.vb.vb_id, t.gpu, end)
     return end
 
 
@@ -173,11 +180,11 @@ def execute_plan(api: "MultiGpuApi", plan: LaunchPlan, policy: SchedulePolicy) -
             end = machine.launch_kernel(
                 ktask.gpu, duration, label=ck.partitioned.name, deps=deps
             )
-            if policy.overlap:
-                for vb in ktask.reads:
-                    api.dataflow.note_read(vb.vb_id, ktask.gpu, end)
-                for vb in ktask.writes:
-                    api.dataflow.note_write(vb.vb_id, ktask.gpu, end)
+            # Recorded under every policy (see _issue_transfer).
+            for vb in ktask.reads:
+                api.dataflow.note_read(vb.vb_id, ktask.gpu, end)
+            for vb in ktask.writes:
+                api.dataflow.note_write(vb.vb_id, ktask.gpu, end)
         api.stats.partition_launches += 1
 
     # ---- tracker-update phase (Figure 4 lines 21-26) --------------------

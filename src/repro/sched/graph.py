@@ -44,8 +44,26 @@ __all__ = [
     "KernelTask",
     "WriteUpdate",
     "LaunchPlan",
+    "launch_partitions",
     "build_launch_plan",
 ]
+
+
+def launch_partitions(api: "MultiGpuApi", ck: CompiledKernel, grid: Dim3) -> List[Partition]:
+    """The grid partitions one launch uses, in global-device order.
+
+    Cluster-attached runtimes split hierarchically — node intervals first,
+    then per-GPU ranges within each node (``repro.cluster.partition``) — so
+    only partition seams at node boundaries exchange halos across the
+    network. Single-node runtimes use the flat balanced split; a 1-node
+    cluster produces the identical partition list by construction.
+    """
+    cluster = getattr(api, "cluster", None)
+    if cluster is not None:
+        from repro.cluster.partition import hierarchical_partitions
+
+        return hierarchical_partitions(ck.strategy, grid, cluster)
+    return ck.strategy.partitions(grid, api.config.n_gpus)
 
 
 @dataclass
@@ -163,7 +181,7 @@ def build_launch_plan(
     kernel = ck.kernel
     by_name, scalars = split_launch_args(kernel, args)
     shapes = resolve_array_shapes(kernel, scalars)
-    parts = ck.strategy.partitions(grid, api.config.n_gpus)
+    parts = launch_partitions(api, ck, grid)
     read_enums = api.app.enumerators.for_kernel(kernel.name, "read")
     write_enums = api.app.enumerators.for_kernel(kernel.name, "write")
 

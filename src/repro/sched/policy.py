@@ -19,11 +19,24 @@ buffers and identical final tracker state.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Tuple
 
 from repro.errors import RuntimeApiError
 
-__all__ = ["SchedulePolicy", "SCHEDULES", "select_policy"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.api import MultiGpuApi
+    from repro.sched.graph import LaunchPlan
+
+__all__ = [
+    "SchedulePolicy",
+    "SCHEDULES",
+    "select_policy",
+    "AUTO_SEQUENTIAL_MAX_RATIO",
+    "AUTO_P2P_MIN_RATIO",
+    "auto_schedule_name",
+    "estimate_plan_times",
+    "auto_select_policy",
+]
 
 
 @dataclass(frozen=True)
@@ -60,3 +73,66 @@ def select_policy(name: str) -> SchedulePolicy:
         raise RuntimeApiError(
             f"unknown schedule {name!r} (choose from {', '.join(SCHEDULES)})"
         ) from None
+
+
+# -- adaptive per-launch selection (schedule="auto") --------------------------
+
+#: Below this transfer/compute ratio the DAG machinery cannot pay for
+#: itself: the barrier orchestration is already transfer-free in the steady
+#: state, so stay paper-faithful.
+AUTO_SEQUENTIAL_MAX_RATIO = 0.02
+#: Above this ratio transfers dominate the launch; route device-to-device
+#: copies over peer DMA on top of overlapping them.
+AUTO_P2P_MIN_RATIO = 0.5
+
+
+def auto_schedule_name(transfer_time: float, compute_time: float) -> str:
+    """Pick a concrete schedule from one launch's estimated time split.
+
+    Pure decision function (unit-tested boundary): no transfers means
+    nothing to hide (``sequential``); transfer-dominated launches take
+    ``overlap+p2p``; the middle ground overlaps without rerouting.
+    """
+    if transfer_time <= 0:
+        return "sequential"
+    if compute_time <= 0:
+        return "overlap+p2p"
+    ratio = transfer_time / compute_time
+    if ratio <= AUTO_SEQUENTIAL_MAX_RATIO:
+        return "sequential"
+    if ratio >= AUTO_P2P_MIN_RATIO:
+        return "overlap+p2p"
+    return "overlap"
+
+
+def estimate_plan_times(api: "MultiGpuApi", plan: "LaunchPlan") -> Tuple[float, float]:
+    """(transfer seconds, compute seconds) one launch plan would take alone.
+
+    Uncongested estimates from the machine spec and the kernel cost model;
+    cluster-attached runtimes price cross-node segments at the network
+    rate. Machine-less (functional-only) runs fall back to byte counts —
+    only the zero/non-zero distinction matters then.
+    """
+    spec = api.spec
+    if spec is None:
+        return float(sum(t.nbytes for t in plan.transfers)), 0.0
+    cluster = getattr(api, "cluster", None)
+    transfer = 0.0
+    for t in plan.transfers:
+        if cluster is not None and not cluster.same_node(t.owner, t.gpu):
+            transfer += cluster.network_transfer_time(t.nbytes)
+        else:
+            transfer += spec.transfer_time(t.owner, t.gpu, t.nbytes)
+    compute = 0.0
+    if api.kernel_cost is not None:
+        for k in plan.kernels:
+            compute += api.kernel_cost(
+                plan.ck.kernel, k.part.n_blocks, plan.block, plan.scalars
+            )
+    return transfer, compute
+
+
+def auto_select_policy(api: "MultiGpuApi", plan: "LaunchPlan") -> SchedulePolicy:
+    """The concrete policy one launch runs under when ``schedule="auto"``."""
+    transfer, compute = estimate_plan_times(api, plan)
+    return _POLICIES[auto_schedule_name(transfer, compute)]

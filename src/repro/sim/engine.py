@@ -214,6 +214,45 @@ class SimMachine:
             src, dst, nbytes, earliest, category=category, label=label, p2p=p2p
         )
 
+    def _copy_resources(
+        self, src: int, dst: int, nbytes: int, p2p: Optional[bool]
+    ) -> Tuple[float, List[Tuple[_Lane, float]], str]:
+        """Route one copy onto concrete resources.
+
+        Returns ``(duration, [(lane, occupancy), ...], trace_resource)``.
+        Subclasses (the cluster machine) override this to add network hops;
+        occupancies longer than ``duration`` extend the completion time.
+        """
+        return self._local_copy_resources(src, dst, nbytes, p2p, self._bus)
+
+    def _local_copy_resources(
+        self, src: int, dst: int, nbytes: int, p2p: Optional[bool], bus: _Lane
+    ) -> Tuple[float, List[Tuple[_Lane, float]], str]:
+        """Intra-node routing against one host staging bus."""
+        duration = self.spec.transfer_time(src, dst, nbytes, p2p=p2p)
+
+        # Bus occupancy: aggregate host-memory bandwidth consumed, plus the
+        # per-copy staging setup for device-to-device traffic. Direct P2P
+        # copies never touch host memory and skip the bus entirely.
+        route = self.spec.route(src, dst, p2p=p2p)
+        bus_time = nbytes * route.bus_factor / self.spec.host_bus_bw + route.extra_latency
+
+        lanes: List[Tuple[_Lane, float]] = []
+        if src != HOST:
+            lanes.append((self._lanes[src], duration))
+        if dst != HOST:
+            lanes.append((self._lanes[dst], duration))
+        if bus_time > 0:
+            lanes.append((bus, bus_time))
+        resource = (
+            f"lane{src}" if src != HOST else (f"lane{dst}" if dst != HOST else "bus")
+        )
+        return duration, lanes, resource
+
+    def _shared_lanes(self) -> List[_Lane]:
+        """Machine-wide transfer resources a full barrier must drain."""
+        return [self._bus]
+
     def _schedule_copy(
         self,
         src: int,
@@ -235,21 +274,7 @@ class SimMachine:
         earliest = max(earliest, self.host_time)
         if nbytes == 0:
             return self.host_time
-        duration = self.spec.transfer_time(src, dst, nbytes, p2p=p2p)
-
-        # Bus occupancy: aggregate host-memory bandwidth consumed, plus the
-        # per-copy staging setup for device-to-device traffic. Direct P2P
-        # copies never touch host memory and skip the bus entirely.
-        route = self.spec.route(src, dst, p2p=p2p)
-        bus_time = nbytes * route.bus_factor / self.spec.host_bus_bw + route.extra_latency
-
-        lanes: List[Tuple[_Lane, float]] = []
-        if src != HOST:
-            lanes.append((self._lanes[src], duration))
-        if dst != HOST:
-            lanes.append((self._lanes[dst], duration))
-        if bus_time > 0:
-            lanes.append((self._bus, bus_time))
+        duration, lanes, resource = self._copy_resources(src, dst, nbytes, p2p)
 
         # First-fit over all involved resources (per-resource durations):
         # iterate to a common start where each has a large-enough gap.
@@ -264,10 +289,7 @@ class SimMachine:
         end = start + duration
         for lane, dur in lanes:
             lane.reserve(start, start + dur)
-        end = max(end, start + bus_time)
-        resource = (
-            f"lane{src}" if src != HOST else (f"lane{dst}" if dst != HOST else "bus")
-        )
+            end = max(end, start + dur)
         self.trace.record(resource, start, end, category, label)
         return end
 
@@ -282,7 +304,8 @@ class SimMachine:
             self._check_dev(d)
             t = max(t, self._dev_avail[d], self._lanes[d].avail)
         if devices is None:
-            t = max(t, self._bus.avail)
+            for lane in self._shared_lanes():
+                t = max(t, lane.avail)
         self.host_time = t
 
     def wait_device(self, dev: int) -> None:
@@ -308,7 +331,9 @@ class SimMachine:
 
     def elapsed(self) -> float:
         """Total makespan so far (host and all resources drained)."""
-        t = max(self.host_time, self._bus.avail)
+        t = self.host_time
+        for lane in self._shared_lanes():
+            t = max(t, lane.avail)
         for v in self._dev_avail:
             t = max(t, v)
         for lane in self._lanes:

@@ -27,16 +27,27 @@ class Route:
     inflates its byte count on the lanes (``lane_factor``), occupies the
     shared host bus for ``bus_factor`` times the payload, and pays the
     two-hop staging setup latency.
+
+    A ``network`` route (cluster topologies, :mod:`repro.cluster`) adds a
+    network hop: device -> host -> NIC -> fabric -> NIC -> host -> device.
+    The payload crosses each endpoint's host bus (``bus_factor`` per side)
+    and the NIC/fabric tier ``net_factor`` times.
     """
 
-    kind: str  # "host" | "p2p" | "staged"
+    kind: str  # "host" | "p2p" | "staged" | "network"
     lane_factor: float
     bus_factor: float
     extra_latency: float
+    #: Byte inflation on the NIC/fabric tier; zero for intra-node routes.
+    net_factor: float = 0.0
 
     @property
     def staged(self) -> bool:
         return self.kind == "staged"
+
+    @property
+    def network(self) -> bool:
+        return self.kind == "network"
 
 
 @dataclass(frozen=True)

@@ -92,19 +92,37 @@ class Trace:
         and *exposed* otherwise. ``hidden + exposed`` equals
         ``busy_time(TRANSFERS)`` exactly.
         """
+        tiers = self.transfer_exposure_by_tier()
+        return {
+            "hidden": tiers["intra"]["hidden"] + tiers["inter"]["hidden"],
+            "exposed": tiers["intra"]["exposed"] + tiers["inter"]["exposed"],
+        }
+
+    def transfer_exposure_by_tier(self) -> Dict[str, Dict[str, float]]:
+        """Hidden/exposed TRANSFERS time, split intra-node vs inter-node.
+
+        Cluster machines record cross-node copies on the ``net`` resource;
+        every other transfer is intra-node. The four buckets partition
+        ``busy_time(TRANSFERS)`` exactly, so the α/β/γ identities carry
+        over to each tier.
+        """
         compute = _union(
             (iv.start, iv.end)
             for iv in self.intervals
             if iv.category is Category.APPLICATION and iv.resource.startswith("gpu")
         )
-        hidden = 0.0
-        total = 0.0
+        tiers = {
+            "intra": {"hidden": 0.0, "exposed": 0.0},
+            "inter": {"hidden": 0.0, "exposed": 0.0},
+        }
         for iv in self.intervals:
             if iv.category is not Category.TRANSFERS:
                 continue
-            total += iv.duration
-            hidden += _overlap(iv.start, iv.end, compute)
-        return {"hidden": hidden, "exposed": total - hidden}
+            bucket = tiers["inter" if iv.resource == "net" else "intra"]
+            hidden = _overlap(iv.start, iv.end, compute)
+            bucket["hidden"] += hidden
+            bucket["exposed"] += iv.duration - hidden
+        return tiers
 
     def __len__(self) -> int:
         return len(self.intervals)

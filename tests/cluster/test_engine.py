@@ -1,0 +1,148 @@
+"""ClusterSimMachine: routing, congestion, and 1-node identity."""
+
+import pytest
+
+from repro.cluster.engine import ClusterSimMachine
+from repro.cluster.topology import ClusterSpec
+from repro.constants import HOST
+from repro.sim.engine import SimMachine
+from repro.sim.topology import MachineSpec
+from repro.sim.trace import Category
+
+MB = 1 << 20
+
+
+def _cluster(n_nodes=2, gpus_per_node=4, **kw) -> ClusterSpec:
+    return ClusterSpec(n_nodes=n_nodes, node=MachineSpec(n_gpus=gpus_per_node), **kw)
+
+
+def _net_intervals(machine):
+    return [iv for iv in machine.trace.intervals if iv.resource == "net"]
+
+
+class TestOneNodeIdentity:
+    def test_copies_time_identically_to_flat_machine(self):
+        spec = MachineSpec(n_gpus=8)
+        flat = SimMachine(spec)
+        clustered = ClusterSimMachine(ClusterSpec(n_nodes=1, node=spec))
+
+        def drive(m):
+            events = [
+                m.transfer(HOST, 0, 4 * MB),
+                m.transfer(0, 5, 2 * MB),
+                m.stream_transfer(3, HOST, MB),
+                m.stream_transfer(1, 2, MB, p2p=True),
+            ]
+            m.launch_kernel(0, 1e-3, deps=[events[0]])
+            m.synchronize()
+            return events, m.elapsed()
+
+        assert drive(flat) == drive(clustered)
+        assert not _net_intervals(clustered)
+
+    def test_one_node_trace_matches_flat_machine(self):
+        spec = MachineSpec(n_gpus=4)
+        flat, clustered = SimMachine(spec), ClusterSimMachine(_cluster(1, 4))
+        for m in (flat, clustered):
+            m.transfer(HOST, 0, MB)
+            m.transfer(0, 3, MB)
+        assert [
+            (iv.resource, iv.start, iv.end) for iv in flat.trace.intervals
+        ] == [(iv.resource, iv.start, iv.end) for iv in clustered.trace.intervals]
+
+
+class TestCrossNodeCopies:
+    def test_cross_node_copy_lands_on_net_resource(self):
+        m = ClusterSimMachine(_cluster(2, 4))
+        m.transfer(0, 4, MB)
+        (iv,) = _net_intervals(m)
+        assert iv.category is Category.TRANSFERS
+        tiers = m.trace.transfer_exposure_by_tier()
+        assert tiers["inter"]["exposed"] == pytest.approx(iv.duration)
+        assert tiers["intra"] == {"hidden": 0.0, "exposed": 0.0}
+
+    def test_cross_node_slower_than_intra_node_p2p(self):
+        # The NIC bottlenecks the pipelined network path below direct
+        # peer-DMA rate.  (Staged intra-node D2D is store-and-forward over
+        # two PCIe legs and can legitimately be *slower* than the pipeline.)
+        intra = ClusterSimMachine(_cluster(2, 4))
+        inter = ClusterSimMachine(_cluster(2, 4))
+        t_intra = intra.stream_transfer(0, 1, 8 * MB, p2p=True)
+        t_inter = inter.stream_transfer(0, 4, 8 * MB)
+        assert t_inter > t_intra
+
+    def test_duration_covers_network_transfer_time(self):
+        c = _cluster(2, 4)
+        m = ClusterSimMachine(c)
+        end = m.transfer(3, 7, 5 * MB)
+        (iv,) = _net_intervals(m)
+        assert end >= iv.start + c.network_transfer_time(5 * MB)
+
+    def test_host_to_remote_node_is_network(self):
+        m = ClusterSimMachine(_cluster(2, 4))
+        m.transfer(HOST, 4, MB)  # head node is 0; GPU 4 lives on node 1
+        assert len(_net_intervals(m)) == 1
+
+    def test_host_to_head_node_is_local(self):
+        m = ClusterSimMachine(_cluster(2, 4))
+        m.transfer(HOST, 0, MB)
+        assert not _net_intervals(m)
+
+
+class TestCongestion:
+    def test_fabric_serializes_concurrent_cross_node_copies(self):
+        c = _cluster(4, 2, fabric_bw=7e9)  # fabric as slow as the NIC
+        serial = ClusterSimMachine(c)
+        e1 = serial.stream_transfer(0, 2, 32 * MB)  # node 0 -> node 1
+        e2 = serial.stream_transfer(4, 6, 32 * MB)  # node 2 -> node 3
+        # Disjoint endpoints, NICs, and buses — only the fabric is shared,
+        # so the copies can't fully overlap.
+        lone = ClusterSimMachine(c)
+        alone = lone.stream_transfer(4, 6, 32 * MB)
+        assert max(e1, e2) > alone
+        fabric_busy = sum(
+            iv.duration for iv in serial.trace.intervals if iv.resource == "net"
+        )
+        assert fabric_busy > 0
+
+    def test_nic_lanes_relieve_nic_contention(self):
+        # Two copies out of node 0 to two different nodes: with one NIC lane
+        # they queue on the source NIC; with two lanes they overlap better.
+        shapes = {}
+        for lanes in (1, 2):
+            # Fat host bus + fat fabric so the source NIC is the only
+            # contended resource.
+            node = MachineSpec(n_gpus=2, host_bus_bw=1e13)
+            c = ClusterSpec(n_nodes=3, node=node, nic_lanes=lanes, fabric_bw=1e12)
+            m = ClusterSimMachine(c)
+            e1 = m.stream_transfer(0, 2, 64 * MB)  # node 0 -> node 1
+            e2 = m.stream_transfer(1, 4, 64 * MB)  # node 0 -> node 2
+            shapes[lanes] = max(e1, e2)
+        assert shapes[2] < shapes[1]
+
+    def test_per_node_buses_do_not_contend(self):
+        # Staged D2D copies on *different* nodes use different buses: the
+        # pair finishes like a single copy. On the same node they share one
+        # bus and PCIe fabric-side lanes, so the pair takes longer.
+        c = _cluster(2, 4)
+        both_nodes = ClusterSimMachine(c)
+        a = both_nodes.stream_transfer(0, 1, 64 * MB)
+        b = both_nodes.stream_transfer(4, 5, 64 * MB)
+        same_node = ClusterSimMachine(c)
+        x = same_node.stream_transfer(0, 1, 64 * MB)
+        y = same_node.stream_transfer(2, 3, 64 * MB)
+        assert max(a, b) < max(x, y)
+
+
+class TestBarriers:
+    def test_synchronize_drains_network_lanes(self):
+        m = ClusterSimMachine(_cluster(2, 4))
+        end = m.stream_transfer(0, 4, 16 * MB)
+        m.synchronize()
+        assert m.host_time >= end
+        assert m.elapsed() >= end
+
+    def test_elapsed_covers_in_flight_cross_node_copy(self):
+        m = ClusterSimMachine(_cluster(2, 4))
+        end = m.stream_transfer(0, 4, 16 * MB)
+        assert m.elapsed() >= end

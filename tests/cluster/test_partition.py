@@ -1,0 +1,92 @@
+"""Hierarchical two-level grid partitioning."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.partition import (
+    balanced_intervals,
+    hierarchical_partitions,
+    node_intervals,
+)
+from repro.cluster.topology import ClusterSpec
+from repro.compiler.strategy import PartitionStrategy
+from repro.cuda.dim3 import Dim3
+from repro.sim.topology import MachineSpec
+
+
+def _cluster(n_nodes, gpus_per_node) -> ClusterSpec:
+    return ClusterSpec(n_nodes=n_nodes, node=MachineSpec(n_gpus=gpus_per_node))
+
+
+@given(extent=st.integers(0, 200), k=st.integers(1, 20))
+def test_balanced_intervals_cover_exactly(extent, k):
+    ivs = balanced_intervals(0, extent, k)
+    assert len(ivs) == k
+    assert ivs[0][0] == 0 and ivs[-1][1] == extent
+    for (a, b), (c, d) in zip(ivs, ivs[1:]):
+        assert b == c and b >= a and d >= c
+    sizes = [b - a for a, b in ivs]
+    assert max(sizes) - min(sizes) <= 1
+    # Larger shares come first (divmod rule).
+    assert sizes == sorted(sizes, reverse=True)
+
+
+@given(
+    extent=st.integers(1, 128),
+    n_nodes=st.integers(1, 5),
+    gpus_per_node=st.integers(1, 6),
+    axis=st.sampled_from(["x", "y", "z"]),
+)
+def test_hierarchical_covers_grid_in_device_order(extent, n_nodes, gpus_per_node, axis):
+    strategy = PartitionStrategy(axis=axis)
+    grid = Dim3(**{axis: extent})
+    cluster = _cluster(n_nodes, gpus_per_node)
+    parts = hierarchical_partitions(strategy, grid, cluster)
+    assert len(parts) == cluster.total_gpus
+    # Contiguous, ordered, and covering the whole extent along the axis.
+    cursor = 0
+    for p in parts:
+        lo, hi = p.range_of(axis)
+        assert lo == cursor and hi >= lo
+        cursor = hi
+    assert cursor == extent
+    # Off-axis ranges are always the full grid.
+    for p in parts:
+        for other in "xyz":
+            if other != axis:
+                assert p.range_of(other) == (0, grid.axis(other))
+
+
+@given(extent=st.integers(1, 128), gpus=st.integers(1, 16))
+def test_one_node_equals_flat_split(extent, gpus):
+    strategy = PartitionStrategy(axis="y")
+    grid = Dim3(x=4, y=extent)
+    flat = strategy.partitions(grid, gpus)
+    hier = hierarchical_partitions(strategy, grid, _cluster(1, gpus))
+    assert hier == flat
+
+
+def test_node_intervals_align_with_partitions():
+    strategy = PartitionStrategy(axis="y")
+    grid = Dim3(x=2, y=29)
+    cluster = _cluster(3, 4)
+    intervals = node_intervals(strategy, grid, cluster)
+    parts = hierarchical_partitions(strategy, grid, cluster)
+    assert len(intervals) == 3
+    for node, (lo, hi) in enumerate(intervals):
+        mine = parts[node * 4 : (node + 1) * 4]
+        assert mine[0].y[0] == lo and mine[-1].y[1] == hi
+        # A node's partitions never leak outside its interval.
+        for p in mine:
+            assert lo <= p.y[0] <= p.y[1] <= hi
+
+
+def test_short_axis_leaves_trailing_empty_partitions():
+    strategy = PartitionStrategy(axis="y")
+    grid = Dim3(x=1, y=3)
+    parts = hierarchical_partitions(strategy, grid, _cluster(2, 4))
+    assert len(parts) == 8
+    non_empty = [p for p in parts if not p.is_empty]
+    assert len(non_empty) == 3
+    # Work lands on the leading GPUs of each node interval.
+    assert sum(p.n_blocks for p in parts) == 3

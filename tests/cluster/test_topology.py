@@ -1,0 +1,110 @@
+"""ClusterSpec: validation, device mapping, and routing."""
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.constants import HOST
+from repro.errors import CalibrationError
+from repro.sim.topology import MachineSpec
+
+
+def _cluster(n_nodes=2, gpus_per_node=4, **kw) -> ClusterSpec:
+    return ClusterSpec(n_nodes=n_nodes, node=MachineSpec(n_gpus=gpus_per_node), **kw)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        c = ClusterSpec()
+        assert c.n_nodes == 2
+        assert c.total_gpus == 2 * c.node.n_gpus
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"n_nodes": 0},
+            {"nic_lanes": 0},
+            {"nic_bw": 0.0},
+            {"fabric_bw": -1.0},
+            {"net_latency": -1e-6},
+            {"head_node": 2},
+            {"head_node": -1},
+        ],
+    )
+    def test_bad_values_rejected(self, kw):
+        with pytest.raises(CalibrationError):
+            ClusterSpec(node=MachineSpec(n_gpus=4), **kw)
+
+    def test_with_shape(self):
+        c = _cluster().with_shape(4, 2)
+        assert (c.n_nodes, c.gpus_per_node, c.total_gpus) == (4, 2, 8)
+        # Node spec fields other than the GPU count are preserved.
+        assert c.node.pcie_bw == _cluster().node.pcie_bw
+
+
+class TestMapping:
+    def test_round_trip(self):
+        c = _cluster(3, 4)
+        for dev in range(c.total_gpus):
+            node, local = c.node_of(dev), c.local_of(dev)
+            assert c.global_device(node, local) == dev
+            assert dev in c.devices_of(node)
+
+    def test_devices_of_is_contiguous(self):
+        c = _cluster(2, 4)
+        assert c.devices_of(0) == (0, 1, 2, 3)
+        assert c.devices_of(1) == (4, 5, 6, 7)
+
+    def test_out_of_range_rejected(self):
+        c = _cluster(2, 4)
+        with pytest.raises(CalibrationError):
+            c.node_of(8)
+        with pytest.raises(CalibrationError):
+            c.global_device(2, 0)
+        with pytest.raises(CalibrationError):
+            c.global_device(0, 4)
+        with pytest.raises(CalibrationError):
+            c.devices_of(2)
+
+    def test_host_lives_on_head_node(self):
+        assert _cluster().endpoint_node(HOST) == 0
+        c = ClusterSpec(n_nodes=2, node=MachineSpec(n_gpus=4), head_node=1)
+        assert c.endpoint_node(HOST) == 1
+        assert c.same_node(HOST, 4) and not c.same_node(HOST, 0)
+
+
+class TestRouting:
+    def test_same_node_delegates_to_node_spec(self):
+        c = _cluster(2, 4)
+        assert c.route(0, 1) == c.node.route(0, 1)
+        assert c.route(4, 5, p2p=True).kind == "p2p"
+        assert c.route(HOST, 0).kind == "host"
+
+    def test_cross_node_is_network(self):
+        c = _cluster(2, 4)
+        r = c.route(0, 4)
+        assert r.kind == "network" and r.network and not r.staged
+        assert r.net_factor == 1.0
+        # No peer DMA across the fabric: the p2p flag changes nothing.
+        assert c.route(0, 4, p2p=True) == r
+        # H2D into a non-head node crosses the network too.
+        assert c.route(HOST, 4).network
+
+    def test_network_transfer_time_monotone_and_latency_bound(self):
+        c = _cluster()
+        base = c.network_transfer_time(0)
+        assert base == pytest.approx(
+            c.node.pcie_latency + c.node.staging_latency + c.net_latency
+        )
+        assert c.network_transfer_time(1 << 20) > base
+        # The slowest pipeline stage bounds the streaming rate.
+        slow = c.network_transfer_time(1 << 24) - base
+        assert slow == pytest.approx((1 << 24) / min(c.node.pcie_bw, c.nic_bw))
+
+    def test_network_slower_than_intra_node_p2p(self):
+        c = _cluster()
+        nbytes = 1 << 22
+        # The NIC (6.8 GB/s) is the narrowest pipe: a cross-node copy is
+        # always slower than a direct peer-DMA copy inside a node.
+        assert c.network_transfer_time(nbytes) > c.node.transfer_time(
+            0, 1, nbytes, p2p=True
+        )
