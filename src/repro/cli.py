@@ -10,14 +10,18 @@ Commands
               result bitwise against the single-GPU reference.
 ``bench``     regenerate the paper's evaluation tables on the simulated
               K80 node (figure6 | figure7 | figure8 | table1 | overhead |
-              schedules | cluster).
+              schedules | cluster | redundancy).
 
 ``run`` and ``bench`` accept ``--schedule
 {sequential,overlap,overlap+p2p,auto}`` to pick the launch-scheduler policy
 (see docs/scheduler.md); ``bench schedules`` runs the three concrete
 policies side by side. ``bench cluster --nodes N --gpus-per-node G`` runs
 the multi-node scaling study (see docs/cluster.md) and self-checks 1-node
-equivalence plus the exposure accounting identity.
+equivalence plus the exposure accounting identity. ``bench redundancy``
+runs the shared-copy coherence study (see docs/coherence.md) and
+self-checks the >=2x steady-state traffic reduction, bitwise equality, and
+— with ``--nodes N`` above 1 — the inter-node byte reduction; ``run
+--shared-copies`` enables the shared-copy trackers on a functional run.
 ``machine``   show the calibrated machine model.
 
 Exit codes: 0 success; 1 lint findings at/above the ``--fail-on`` threshold
@@ -114,7 +118,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     reference = workload.run(CudaApi(), inputs)
     app = compile_app(workload.build_kernels())
     print(f"running on {args.gpus} simulated GPUs ({args.schedule} schedule) ...")
-    api = MultiGpuApi(app, RuntimeConfig(n_gpus=args.gpus, schedule=args.schedule))
+    api = MultiGpuApi(
+        app,
+        RuntimeConfig(
+            n_gpus=args.gpus,
+            schedule=args.schedule,
+            shared_copies=args.shared_copies,
+        ),
+    )
     result = workload.run(api, inputs)
     for key in reference:
         if not np.array_equal(reference[key], result[key]):
@@ -127,6 +138,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{api.stats.enumerator_calls} enumerator calls, "
         f"{api.stats.tracker_ops} tracker ops"
     )
+    if args.shared_copies:
+        print(
+            f"shared copies: {api.stats.redundant_bytes_avoided} redundant "
+            f"bytes avoided, {api.stats.tracker_share_ops} sharer registrations, "
+            f"{api.stats.tracker_invalidate_ops} invalidations"
+        )
     return 0
 
 
@@ -281,11 +298,127 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_redundancy(args: argparse.Namespace) -> int:
+    from repro.harness import experiments as ex
+
+    nodes = args.nodes
+    gpn = args.gpus_per_node
+    shapes = ((1, nodes * gpn), (nodes, gpn)) if nodes > 1 else ((1, gpn),)
+    schedules = (args.schedule,) if args.schedule else ("sequential", "overlap")
+    print(
+        f"redundancy bench: shapes {', '.join(f'{n}x{g}' for n, g in shapes)}, "
+        f"schedules {', '.join(schedules)}, shared copies off vs on"
+    )
+    points = ex.redundancy_study(shapes=shapes, schedules=schedules)
+
+    rows = [
+        (
+            p.kernel,
+            f"{p.n_nodes}x{p.gpus_per_node}",
+            p.schedule,
+            "on" if p.shared_copies else "off",
+            p.steady_bytes,
+            p.total_sync_bytes,
+            p.redundant_bytes_avoided,
+            p.inter_node_bytes,
+        )
+        for p in points
+    ]
+    print(
+        format_table(
+            [
+                "Kernel",
+                "Shape",
+                "Schedule",
+                "Shared",
+                "Steady [B]",
+                "Total sync [B]",
+                "Avoided [B]",
+                "Inter-node [B]",
+            ],
+            rows,
+            title="Redundant transfers: sole-owner vs shared-copy trackers",
+        )
+    )
+
+    failures: List[str] = []
+    by = {(p.kernel, p.n_nodes, p.schedule, p.shared_copies): p for p in points}
+    for n_nodes, _ in shapes:
+        for sched in schedules:
+            off = by[("broadcast", n_nodes, sched, False)]
+            on = by[("broadcast", n_nodes, sched, True)]
+            if on.checksum != off.checksum:
+                failures.append(
+                    f"bitwise: broadcast output differs with shared copies "
+                    f"({n_nodes} node(s), {sched})"
+                )
+            if off.steady_bytes == 0 or on.steady_bytes * 2 > off.steady_bytes:
+                failures.append(
+                    f"reduction: broadcast steady-state {off.steady_bytes} -> "
+                    f"{on.steady_bytes} bytes misses the 2x bar "
+                    f"({n_nodes} node(s), {sched})"
+                )
+            if n_nodes > 1 and on.inter_node_bytes >= off.inter_node_bytes:
+                failures.append(
+                    f"cluster: inter-node bytes did not drop "
+                    f"({off.inter_node_bytes} -> {on.inter_node_bytes}, {sched})"
+                )
+            a_off = by[("aligned", n_nodes, sched, False)]
+            a_on = by[("aligned", n_nodes, sched, True)]
+            if a_on.checksum != a_off.checksum:
+                failures.append(
+                    f"bitwise: aligned output differs with shared copies "
+                    f"({n_nodes} node(s), {sched})"
+                )
+            if a_on.total_sync_bytes > a_off.total_sync_bytes:
+                failures.append(
+                    f"regression: aligned traffic grew "
+                    f"{a_off.total_sync_bytes} -> {a_on.total_sync_bytes} "
+                    f"({n_nodes} node(s), {sched})"
+                )
+
+    if args.json:
+        import json
+
+        path = (
+            args.json
+            if isinstance(args.json, str)
+            else "benchmarks/results/redundant_transfers.json"
+        )
+        payload = [
+            {
+                "kernel": p.kernel,
+                "shared_copies": p.shared_copies,
+                "schedule": p.schedule,
+                "n_nodes": p.n_nodes,
+                "gpus_per_node": p.gpus_per_node,
+                "steady_bytes": p.steady_bytes,
+                "total_sync_bytes": p.total_sync_bytes,
+                "redundant_bytes_avoided": p.redundant_bytes_avoided,
+                "inter_node_bytes": p.inter_node_bytes,
+                "checksum": p.checksum,
+            }
+            for p in points
+        ]
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {path}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("checks passed: >=2x steady-state reduction, bitwise equality, no regression")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness import experiments as ex
 
     if args.experiment == "cluster":
         return _cmd_bench_cluster(args)
+    if args.experiment == "redundancy":
+        return _cmd_bench_redundancy(args)
     if args.experiment == "table1":
         print(
             format_table(
@@ -459,6 +592,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="sequential",
         help="launch-scheduler policy (default: sequential, the paper's Figure 4)",
     )
+    p.add_argument(
+        "--shared-copies",
+        action="store_true",
+        help="enable shared-copy (owner + sharers) coherence tracking",
+    )
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("bench", help="regenerate a paper table/figure (simulated)")
@@ -472,6 +610,7 @@ def build_parser() -> argparse.ArgumentParser:
             "overhead",
             "schedules",
             "cluster",
+            "redundancy",
         ],
     )
     p.add_argument("--gpu-counts", type=int, nargs="*", default=None)

@@ -21,11 +21,11 @@ remote node's GPUs is a halo too.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.cluster.topology import ClusterSpec
 from repro.errors import SimulationError
-from repro.sched.graph import KernelTask, LaunchPlan, TransferTask
+from repro.sched.graph import KernelTask, LaunchPlan, TransferTask, merge_event_ranges
 
 __all__ = ["NodePlan", "GangPlan", "build_gang_plan"]
 
@@ -61,6 +61,22 @@ class GangPlan:
     @property
     def halo_bytes(self) -> int:
         return sum(t.nbytes for t in self.halo_transfers)
+
+    def halo_intervals(self) -> Dict[int, List[Tuple[int, int]]]:
+        """Merged byte intervals per virtual buffer that cross the network.
+
+        The interval-keyed view of the halo exchange: for each buffer, the
+        coalesced ``[lo, hi)`` runs whose copies leave their node. With
+        shared-copy tracking these shrink launch over launch — a segment a
+        remote sharer already holds produces no halo transfer at all.
+        """
+        by_vb: Dict[int, List[Tuple[int, int]]] = {}
+        for t in self.halo_transfers:
+            by_vb.setdefault(t.vb.vb_id, []).append((t.start, t.end))
+        return {
+            vb_id: merge_event_ranges(sorted(ranges))
+            for vb_id, ranges in by_vb.items()
+        }
 
     def validate(self) -> None:
         """Structural invariants (tests): the projection is a partition.

@@ -50,6 +50,17 @@ class RunStats:
     enumerator_calls: int = 0
     ranges_emitted: int = 0
     tracker_ops: int = 0
+    #: Tracker operations by class (host-cost accounting): interval
+    #: queries, ownership updates, sharer registrations, and updates that
+    #: discarded at least one sharer copy. ``tracker_ops`` remains the
+    #: legacy query+update total; share/invalidate are new classes.
+    tracker_query_ops: int = 0
+    tracker_update_ops: int = 0
+    tracker_share_ops: int = 0
+    tracker_invalidate_ops: int = 0
+    #: Bytes NOT re-transferred because the destination already held a
+    #: valid shared copy (zero unless ``RuntimeConfig.shared_copies``).
+    redundant_bytes_avoided: int = 0
     partition_launches: int = 0
     fallback_launches: int = 0
     #: Subset of sync transfers whose endpoints live on different cluster
@@ -105,7 +116,8 @@ class MultiGpuApi:
         #: Auto runs the non-launch paths (memcpy, memset, fallback) under
         #: ``overlap`` so their dataflow events are always recorded.
         self.policy = select_policy("overlap" if self.auto_schedule else config.schedule)
-        #: Per-(buffer, device) completion events for cross-launch ordering.
+        #: Per-(buffer, device, byte interval) completion events for
+        #: cross-launch ordering.
         self.dataflow = DataflowLog()
         self._default_stream: Optional[SimStream] = None
 
@@ -155,10 +167,11 @@ class MultiGpuApi:
                 duration = (hi - lo) / self.machine.spec.mem_bw_per_gpu
                 end = self.machine.launch_kernel(dev_id, duration, label="memset")
                 if self.policy.overlap:
-                    self.dataflow.note_write(vb.vb_id, dev_id, end)
+                    self.dataflow.note_write(vb.vb_id, dev_id, lo, hi, end)
             if self.config.tracking_enabled:
                 self.host_pattern_cost(self.spec.tracker_op_cost if self.spec else 0.0)
-                vb.tracker.update(lo, hi, dev_id)
+                self.stats.tracker_update_ops += 1
+                self.stats.tracker_invalidate_ops += vb.tracker.update(lo, hi, dev_id)
 
     # -- streams ------------------------------------------------------------------------
 

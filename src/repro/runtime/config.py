@@ -46,6 +46,14 @@ class RuntimeConfig:
     #: pull exactly each partition's read set — a partition-aligned scatter
     #: with no redistribution traffic.
     h2d_distribution: str = "linear"
+    #: Shared-copy (owner + sharer set) coherence tracking. When True, each
+    #: synchronization copy registers its destination as a *sharer* of the
+    #: copied segments, so later launches skip data the reader already
+    #: holds (writes invalidate sharers MSI-style); applications with
+    #: widely shared data stop re-broadcasting it every iteration. The
+    #: default False keeps the paper's sole-owner semantics (§8.3) and
+    #: reproduces the pre-sharer traffic and trace exactly.
+    shared_copies: bool = False
     #: Launch-scheduler policy: ``sequential`` (paper-faithful Figure 4
     #: barrier orchestration), ``overlap`` (per-launch task DAG, copy
     #: engines overlap compute), ``overlap+p2p`` (additionally routes

@@ -31,6 +31,7 @@ from repro.cuda.dim3 import Dim3
 from repro.cuda.exec.interpreter import run_kernel
 from repro.cuda.ir.kernel import ArrayParam, ScalarParam, partition_field_name
 from repro.errors import PartitioningError, RuntimeApiError
+from repro.runtime.sync import plan_stale_copies, register_sharer
 from repro.runtime.vbuffer import VirtualBuffer
 from repro.sim.trace import Category
 
@@ -166,9 +167,12 @@ def launch_fallback(
             if api.spec:
                 api.host_pattern_cost(api.spec.tracker_op_cost * max(1, len(segments)))
             api.stats.tracker_ops += 1
-            for seg in segments:
-                if seg.owner == gpu:
-                    continue
+            api.stats.tracker_query_ops += 1
+            copies, avoided = plan_stale_copies(
+                segments, gpu, getattr(api, "cluster", None)
+            )
+            api.stats.redundant_bytes_avoided += avoided
+            for seg in copies:
                 api.stats.sync_transfers += 1
                 api.stats.sync_bytes += seg.nbytes
                 if api.config.transfers_enabled:
@@ -181,6 +185,7 @@ def launch_fallback(
                             seg.owner, gpu, seg.nbytes, category=Category.TRANSFERS,
                             label=f"fallback:{p.name}",
                         )
+                    register_sharer(api, vb, seg.start, seg.end, gpu)
         if api.machine:
             api.machine.synchronize()
 
@@ -198,14 +203,15 @@ def launch_fallback(
             for p in kernel.array_params:
                 vb = by_name[p.name]
                 if isinstance(vb, VirtualBuffer):
-                    api.dataflow.note_read(vb.vb_id, gpu, end)
-                    api.dataflow.note_write(vb.vb_id, gpu, end)
+                    api.dataflow.note_read(vb.vb_id, gpu, 0, vb.nbytes, end)
+                    api.dataflow.note_write(vb.vb_id, gpu, 0, vb.nbytes, end)
     api.stats.fallback_launches += 1
 
     if api.config.tracking_enabled:
         for p in kernel.array_params:
             vb = by_name[p.name]
-            vb.tracker.update(0, vb.nbytes, gpu)
+            api.stats.tracker_invalidate_ops += vb.tracker.update(0, vb.nbytes, gpu)
             api.stats.tracker_ops += 1
+            api.stats.tracker_update_ops += 1
             if api.spec:
                 api.host_pattern_cost(api.spec.tracker_op_cost)

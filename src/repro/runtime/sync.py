@@ -1,30 +1,47 @@
-"""Buffer synchronization and tracker updates (paper §8.3).
+"""Buffer synchronization and tracker updates (paper §8.3, extended).
 
 ``buffer_synchronize`` brings one GPU's instance of a virtual buffer up to
 date for one partition: the partition's *read set* is enumerated with the
 generated code (§6), the tracker is queried for each interval, and every
-segment whose newest copy lives on another device is copied over with an
-asynchronous transfer. The tracker is *not* updated by these copies — it has
-no notion of shared copies, which is why applications with widely shared
-data re-transfer it (§8.3 calls this limitation out explicitly).
+segment without a valid copy on the target is copied over from the
+*nearest* valid copy. With :attr:`~repro.runtime.config.RuntimeConfig.\
+shared_copies` enabled the copy also *registers* the target as a sharer of
+the segment, so the next launch skips it — the remedy for the redundant
+re-broadcast traffic §8.3 calls out. With the flag off the tracker keeps
+the paper's sole-owner behaviour: copies never update ownership and shared
+data is re-transferred every launch.
 
-``buffer_update`` marks one GPU's partition *write set* in the tracker.
+``buffer_update`` marks one GPU's partition *write set* in the tracker,
+invalidating every sharer copy of the written ranges (MSI).
+
+Source selection (:func:`pick_source`) prefers, in order: a valid copy on
+the destination's own cluster node (avoiding the network fabric), the
+owner, then the lowest device id — deterministic, and identical to the
+paper's newest-owner rule whenever no sharers exist.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Mapping, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Mapping, Optional, Sequence, Tuple
 
 from repro.compiler.enumerators import Enumerator
 from repro.compiler.strategy import Partition
 from repro.cuda.dim3 import Dim3
+from repro.runtime.tracker import Segment
 from repro.runtime.vbuffer import VirtualBuffer
 from repro.sim.trace import Category
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.api import MultiGpuApi
 
-__all__ = ["byte_ranges", "merge_stale_segments", "buffer_synchronize", "buffer_update"]
+__all__ = [
+    "byte_ranges",
+    "pick_source",
+    "plan_stale_copies",
+    "merge_stale_segments",
+    "buffer_synchronize",
+    "buffer_update",
+]
 
 
 def byte_ranges(
@@ -41,22 +58,64 @@ def byte_ranges(
     return [(lo * elem_size, hi * elem_size) for lo, hi in ranges], emitted
 
 
-def merge_stale_segments(segments, gpu: int):
-    """Tracker segments not already on ``gpu``, coalesced into copies.
+def pick_source(seg: Segment, gpu: int, cluster=None) -> int:
+    """The valid copy one stale segment is fetched from.
 
-    Adjacent stale segments from the same owner merge into one transfer;
-    this is the list of copies both the sequential loop and the DAG
-    builder issue for one partition's read set.
+    Nearest-copy routing: prefer a holder on ``gpu``'s own cluster node
+    (an intra-node copy never touches the NIC/fabric tier), break ties
+    toward the owner, then toward the lowest device id. Without a cluster
+    every holder is equidistant, so the owner is chosen — exactly the
+    paper's newest-owner rule when the sharer set is empty.
     """
-    merged = []
+    if cluster is None:
+        return seg.owner
+
+    def rank(dev: int) -> Tuple[int, int, int]:
+        return (
+            0 if cluster.same_node(dev, gpu) else 1,
+            0 if dev == seg.owner else 1,
+            dev,
+        )
+
+    return min(seg.holders, key=rank)
+
+
+def plan_stale_copies(
+    segments: Sequence[Segment], gpu: int, cluster=None
+) -> Tuple[List[Segment], int]:
+    """(copies, redundant_bytes_avoided) for one partition's read segments.
+
+    A segment is *stale* when ``gpu`` holds no valid copy; each stale
+    segment is assigned its :func:`pick_source` and adjacent copies from
+    the same source coalesce into one transfer. Segments ``gpu`` already
+    holds as a mere sharer (not owner) are counted as redundant bytes a
+    sole-owner tracker would have re-transferred.
+
+    The returned segments carry the chosen *source* in their ``owner``
+    field — the shape both the sequential loop and the DAG builder issue.
+    """
+    merged: List[Segment] = []
+    avoided = 0
     for seg in segments:
-        if seg.owner == gpu:
+        if gpu in seg.holders:
+            if seg.owner != gpu:
+                avoided += seg.nbytes
             continue
-        if merged and merged[-1].owner == seg.owner and merged[-1].end == seg.start:
-            merged[-1] = type(seg)(merged[-1].start, seg.end, seg.owner)
+        src = pick_source(seg, gpu, cluster)
+        if merged and merged[-1].owner == src and merged[-1].end == seg.start:
+            merged[-1] = Segment(merged[-1].start, seg.end, src)
         else:
-            merged.append(seg)
-    return merged
+            merged.append(Segment(seg.start, seg.end, src))
+    return merged, avoided
+
+
+def merge_stale_segments(segments, gpu: int, cluster=None):
+    """Tracker segments without a valid copy on ``gpu``, coalesced into copies.
+
+    Back-compat wrapper around :func:`plan_stale_copies` (drops the
+    redundant-byte count).
+    """
+    return plan_stale_copies(segments, gpu, cluster)[0]
 
 
 def buffer_synchronize(
@@ -76,6 +135,7 @@ def buffer_synchronize(
     api.stats.enumerator_calls += 1
     api.stats.ranges_emitted += emitted
     api.stats.tracker_ops += len(ranges)
+    api.stats.tracker_query_ops += len(ranges)
     segments = vb.tracker.query_many(ranges)
     if api.spec:
         # One aggregated host interval covering: the enumerator call, the
@@ -85,7 +145,9 @@ def buffer_synchronize(
             + api.spec.per_range_cost * emitted
             + api.spec.tracker_op_cost * max(len(ranges), len(segments))
         )
-    for seg in merge_stale_segments(segments, gpu):
+    copies, avoided = plan_stale_copies(segments, gpu, getattr(api, "cluster", None))
+    api.stats.redundant_bytes_avoided += avoided
+    for seg in copies:
         api.stats.sync_transfers += 1
         api.stats.sync_bytes += seg.nbytes
         if api.config.transfers_enabled:
@@ -101,6 +163,21 @@ def buffer_synchronize(
                     category=Category.TRANSFERS,
                     label=f"sync:{enum.array}",
                 )
+            register_sharer(api, vb, seg.start, seg.end, gpu)
+
+
+def register_sharer(api: "MultiGpuApi", vb: VirtualBuffer, lo: int, hi: int, gpu: int) -> None:
+    """Record ``gpu`` as a valid-copy sharer of ``[lo, hi)`` after a copy.
+
+    No-op unless shared-copy tracking is enabled; charges one tracker
+    operation of the ``share`` class for host-cost accounting.
+    """
+    if not (api.config.shared_copies and api.config.tracking_enabled):
+        return
+    vb.tracker.add_sharer(lo, hi, gpu)
+    api.stats.tracker_share_ops += 1
+    if api.spec:
+        api.host_pattern_cost(api.spec.tracker_op_cost)
 
 
 def buffer_update(
@@ -120,10 +197,11 @@ def buffer_update(
     api.stats.enumerator_calls += 1
     api.stats.ranges_emitted += emitted
     api.stats.tracker_ops += len(ranges)
+    api.stats.tracker_update_ops += len(ranges)
     if api.spec:
         api.host_pattern_cost(
             api.spec.enumerator_call_cost
             + api.spec.per_range_cost * emitted
             + api.spec.tracker_op_cost * len(ranges)
         )
-    vb.tracker.update_many(ranges, gpu)
+    api.stats.tracker_invalidate_ops += vb.tracker.update_many(ranges, gpu)

@@ -71,6 +71,18 @@ class VirtualBuffer:
         self._check()
         return self._devices[device_id].typed_view(self.instance(device_id), np_dtype, shape)
 
+    def coherence_state(self) -> List[tuple]:
+        """Comparable snapshot of the tracker: (start, end, owner, sharers).
+
+        Sharers are sorted tuples so two runs may be compared for exact
+        coherence-state equality regardless of schedule policy. Reading the
+        snapshot does not count as tracker operations.
+        """
+        return [
+            (s.start, s.end, s.owner, tuple(sorted(s.sharers)))
+            for s in self.tracker.segments()
+        ]
+
     def free(self) -> None:
         self._check()
         for dev_id, ptr in self.instances.items():

@@ -19,11 +19,13 @@ The executor walks one :class:`~repro.sched.graph.LaunchPlan` and performs
 
 Cross-launch dependencies are carried by :class:`DataflowLog`: per
 (virtual buffer, device instance) it remembers the last completion events
-that wrote or read that instance. A transfer out of an instance must wait
-for the kernel that produced it (RAW); a transfer into an instance must
-wait for the last reader/writer of that instance (WAR/WAW). This is the
-coarse-but-sound event granularity real CUDA streams would give a runtime
-that records one event per buffer per device.
+that wrote or read each *byte interval* of that instance. A transfer out
+of an instance must wait for the kernel that produced those bytes (RAW); a
+transfer into an instance must wait for the last reader/writer of the
+overwritten bytes (WAR/WAW). Keying events by interval instead of whole
+buffer means non-overlapping writes to the same instance no longer falsely
+serialize — e.g. two partitions' halo copies into disjoint rows of one
+neighbour's buffer proceed concurrently.
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.cuda.exec.interpreter import run_kernel
 from repro.cuda.ir.kernel import partition_field_name
+from repro.runtime.sync import register_sharer
 from repro.sched.graph import LaunchPlan, ReadSync, TransferTask
 from repro.sched.policy import SchedulePolicy
 from repro.sim.trace import Category
@@ -41,40 +44,73 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["DataflowLog", "execute_plan"]
 
+#: Interval lists longer than this collapse to their envelope — sound
+#: (conservative) and keeps per-event queries O(small).
+_MAX_EVENT_INTERVALS = 64
+
+_Key = Tuple[int, int]
+_Event = Tuple[int, int, float]
+
 
 class DataflowLog:
-    """Last read/write completion events per (virtual buffer, device)."""
+    """Last read/write completion events per (buffer, device, byte interval).
+
+    Each table maps ``(vb_id, dev)`` to a short list of
+    ``(lo, hi, event)`` records. Noting an interval drops records it
+    strictly dominates (contained, no later); querying takes the max event
+    over overlapping records. Whole-buffer callers (fallback launches)
+    simply pass the full byte range.
+    """
 
     def __init__(self) -> None:
-        self._write: Dict[Tuple[int, int], float] = {}
-        self._read: Dict[Tuple[int, int], float] = {}
+        self._write: Dict[_Key, List[_Event]] = {}
+        self._read: Dict[_Key, List[_Event]] = {}
 
-    def note_write(self, vb_id: int, dev: int, event: float) -> None:
-        key = (vb_id, dev)
-        if event > self._write.get(key, 0.0):
-            self._write[key] = event
+    @staticmethod
+    def _note(table: Dict[_Key, List[_Event]], key: _Key, lo: int, hi: int, event: float) -> None:
+        if lo >= hi:
+            return
+        records = table.get(key)
+        if records is None:
+            table[key] = [(lo, hi, event)]
+            return
+        kept = [r for r in records if not (lo <= r[0] and r[1] <= hi and r[2] <= event)]
+        kept.append((lo, hi, event))
+        if len(kept) > _MAX_EVENT_INTERVALS:
+            kept = [
+                (min(r[0] for r in kept), max(r[1] for r in kept), max(r[2] for r in kept))
+            ]
+        table[key] = kept
 
-    def note_read(self, vb_id: int, dev: int, event: float) -> None:
-        key = (vb_id, dev)
-        if event > self._read.get(key, 0.0):
-            self._read[key] = event
+    @staticmethod
+    def _query(table: Dict[_Key, List[_Event]], key: _Key, lo: int, hi: int) -> float:
+        records = table.get(key)
+        if not records:
+            return 0.0
+        return max((e for l, h, e in records if l < hi and h > lo), default=0.0)
 
-    def write_event(self, vb_id: int, dev: int) -> float:
-        """Event after which the newest data on this instance is ready (RAW)."""
-        return self._write.get((vb_id, dev), 0.0)
+    def note_write(self, vb_id: int, dev: int, lo: int, hi: int, event: float) -> None:
+        self._note(self._write, (vb_id, dev), lo, hi, event)
 
-    def instance_free(self, vb_id: int, dev: int) -> List[float]:
-        """Events after which the instance may be overwritten (WAR + WAW)."""
+    def note_read(self, vb_id: int, dev: int, lo: int, hi: int, event: float) -> None:
+        self._note(self._read, (vb_id, dev), lo, hi, event)
+
+    def write_event(self, vb_id: int, dev: int, lo: int, hi: int) -> float:
+        """Event after which the newest data in ``[lo, hi)`` is ready (RAW)."""
+        return self._query(self._write, (vb_id, dev), lo, hi)
+
+    def instance_free(self, vb_id: int, dev: int, lo: int, hi: int) -> List[float]:
+        """Events after which ``[lo, hi)`` may be overwritten (WAR + WAW)."""
         return [
-            self._read.get((vb_id, dev), 0.0),
-            self._write.get((vb_id, dev), 0.0),
+            self._query(self._read, (vb_id, dev), lo, hi),
+            self._query(self._write, (vb_id, dev), lo, hi),
         ]
 
     def copy_deps(self, t: TransferTask) -> List[float]:
         """Dependency events of one stale-segment copy."""
-        return [self.write_event(t.vb.vb_id, t.owner)] + self.instance_free(
-            t.vb.vb_id, t.gpu
-        )
+        return [
+            self.write_event(t.vb.vb_id, t.owner, t.start, t.end)
+        ] + self.instance_free(t.vb.vb_id, t.gpu, t.start, t.end)
 
 
 def _issue_transfer(
@@ -110,8 +146,8 @@ def _issue_transfer(
     # Dataflow events are recorded under every policy so that adjacent
     # launches of an adaptive (auto) run may mix policies soundly: an
     # overlap launch must see the copies its sequential predecessor issued.
-    api.dataflow.note_read(t.vb.vb_id, t.owner, end)
-    api.dataflow.note_write(t.vb.vb_id, t.gpu, end)
+    api.dataflow.note_read(t.vb.vb_id, t.owner, t.start, t.end, end)
+    api.dataflow.note_write(t.vb.vb_id, t.gpu, t.start, t.end, end)
     return end
 
 
@@ -120,6 +156,8 @@ def _charge_read_sync(api: "MultiGpuApi", rs: ReadSync) -> None:
     api.stats.enumerator_calls += 1
     api.stats.ranges_emitted += rs.emitted
     api.stats.tracker_ops += len(rs.ranges)
+    api.stats.tracker_query_ops += len(rs.ranges)
+    api.stats.redundant_bytes_avoided += rs.avoided
     if api.spec:
         # One aggregated host interval covering: the enumerator call, the
         # per-emitted-range callback work, and one tracker query per range.
@@ -145,6 +183,8 @@ def execute_plan(api: "MultiGpuApi", plan: LaunchPlan, policy: SchedulePolicy) -
                 _charge_read_sync(api, rs)
                 for t in rs.transfers:
                     end = _issue_transfer(api, policy, t, label=f"sync:{rs.array}")
+                    if api.config.transfers_enabled:
+                        register_sharer(api, t.vb, t.start, t.end, t.gpu)
                     if end is not None:
                         transfer_events[t.node] = end
         if machine and policy.barrier:
@@ -173,18 +213,22 @@ def execute_plan(api: "MultiGpuApi", plan: LaunchPlan, policy: SchedulePolicy) -
                     for n in ktask.transfer_deps
                     if n in transfer_events
                 ]
-                for vb in ktask.reads:
-                    deps.append(api.dataflow.write_event(vb.vb_id, ktask.gpu))
-                for vb in ktask.writes:
-                    deps.extend(api.dataflow.instance_free(vb.vb_id, ktask.gpu))
+                for vb, runs in ktask.reads:
+                    for lo, hi in runs:
+                        deps.append(api.dataflow.write_event(vb.vb_id, ktask.gpu, lo, hi))
+                for vb, runs in ktask.writes:
+                    for lo, hi in runs:
+                        deps.extend(api.dataflow.instance_free(vb.vb_id, ktask.gpu, lo, hi))
             end = machine.launch_kernel(
                 ktask.gpu, duration, label=ck.partitioned.name, deps=deps
             )
             # Recorded under every policy (see _issue_transfer).
-            for vb in ktask.reads:
-                api.dataflow.note_read(vb.vb_id, ktask.gpu, end)
-            for vb in ktask.writes:
-                api.dataflow.note_write(vb.vb_id, ktask.gpu, end)
+            for vb, runs in ktask.reads:
+                for lo, hi in runs:
+                    api.dataflow.note_read(vb.vb_id, ktask.gpu, lo, hi, end)
+            for vb, runs in ktask.writes:
+                for lo, hi in runs:
+                    api.dataflow.note_write(vb.vb_id, ktask.gpu, lo, hi, end)
         api.stats.partition_launches += 1
 
     # ---- tracker-update phase (Figure 4 lines 21-26) --------------------
@@ -199,13 +243,16 @@ def execute_plan(api: "MultiGpuApi", plan: LaunchPlan, policy: SchedulePolicy) -
                 api.stats.enumerator_calls += 1
                 api.stats.ranges_emitted += up.emitted
                 api.stats.tracker_ops += len(up.ranges)
+                api.stats.tracker_update_ops += len(up.ranges)
                 if api.spec:
                     api.host_pattern_cost(
                         api.spec.enumerator_call_cost
                         + api.spec.per_range_cost * up.emitted
                         + api.spec.tracker_op_cost * len(up.ranges)
                     )
-                up.vb.tracker.update_many(up.ranges, up.gpu)
+                api.stats.tracker_invalidate_ops += up.vb.tracker.update_many(
+                    up.ranges, up.gpu
+                )
 
 
 def _run_partition(api: "MultiGpuApi", plan: LaunchPlan, ktask) -> None:

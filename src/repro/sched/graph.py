@@ -32,13 +32,14 @@ from repro.compiler.pipeline import CompiledKernel
 from repro.compiler.strategy import Partition
 from repro.cuda.api import resolve_array_shapes, split_launch_args
 from repro.cuda.dim3 import Dim3
-from repro.runtime.sync import byte_ranges, merge_stale_segments
+from repro.runtime.sync import byte_ranges, plan_stale_copies
 from repro.runtime.vbuffer import VirtualBuffer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.api import MultiGpuApi
 
 __all__ = [
+    "merge_event_ranges",
     "TransferTask",
     "ReadSync",
     "KernelTask",
@@ -66,13 +67,38 @@ def launch_partitions(api: "MultiGpuApi", ck: CompiledKernel, grid: Dim3) -> Lis
     return ck.strategy.partitions(grid, api.config.n_gpus)
 
 
+def merge_event_ranges(
+    ranges: List[Tuple[int, int]], cap: int = 64
+) -> List[Tuple[int, int]]:
+    """Sorted byte ranges compressed into contiguous runs for dataflow events.
+
+    The :class:`~repro.sched.executor.DataflowLog` keys events by byte
+    interval; a stencil's thousands of per-row ranges would make every
+    event query linear in that count. Adjacent/overlapping ranges merge
+    into runs, and more than ``cap`` runs collapse to their envelope — a
+    conservative (sound) over-approximation of the accessed bytes.
+    """
+    runs: List[Tuple[int, int]] = []
+    for lo, hi in ranges:
+        if lo >= hi:
+            continue
+        if runs and lo <= runs[-1][1]:
+            if hi > runs[-1][1]:
+                runs[-1] = (runs[-1][0], hi)
+        else:
+            runs.append((lo, hi))
+    if len(runs) > cap:
+        runs = [(runs[0][0], runs[-1][1])]
+    return runs
+
+
 @dataclass
 class TransferTask:
     """One coalesced stale-segment copy feeding one partition's reads."""
 
     node: int
     gpu: int  # destination device
-    owner: int  # source device (newest copy per the tracker)
+    owner: int  # source device (the nearest valid copy per the tracker)
     vb: VirtualBuffer
     array: str
     start: int  # byte offsets into the virtual buffer
@@ -94,6 +120,9 @@ class ReadSync:
     ranges: List[Tuple[int, int]]  # byte ranges of the partition's read set
     emitted: int  # raw enumerator callback count (host-cost driver)
     n_segments: int  # tracker segments returned by the query
+    #: Bytes a sole-owner tracker would have re-transferred but the sharer
+    #: set proved already valid on the destination (§8.3 redundancy).
+    avoided: int = 0
     transfers: List[TransferTask] = field(default_factory=list)
 
 
@@ -106,8 +135,10 @@ class KernelTask:
     gpu: int
     part: Partition
     transfer_deps: List[int] = field(default_factory=list)  # TransferTask nodes
-    reads: List[VirtualBuffer] = field(default_factory=list)
-    writes: List[VirtualBuffer] = field(default_factory=list)
+    #: (buffer, contiguous byte runs) accessed by this partition — the
+    #: interval-keyed dataflow events the executor records and waits on.
+    reads: List[Tuple[VirtualBuffer, List[Tuple[int, int]]]] = field(default_factory=list)
+    writes: List[Tuple[VirtualBuffer, List[Tuple[int, int]]]] = field(default_factory=list)
 
 
 @dataclass
@@ -195,7 +226,7 @@ def build_launch_plan(
 
         syncs: List[ReadSync] = []
         transfer_nodes: List[int] = []
-        reads_vbs: List[VirtualBuffer] = []
+        reads_vbs: List[Tuple[VirtualBuffer, List[Tuple[int, int]]]] = []
         if api.config.tracking_enabled:
             for enum in read_enums:
                 vb = by_name[enum.array]
@@ -204,8 +235,13 @@ def build_launch_plan(
                     enum, part, block, grid, scalars, shapes[enum.array], param.dtype.size
                 )
                 segments = vb.tracker.query_many(ranges)
-                rs = ReadSync(gpu, enum.array, vb, enum, ranges, emitted, len(segments))
-                for seg in merge_stale_segments(segments, gpu):
+                copies, avoided = plan_stale_copies(
+                    segments, gpu, getattr(api, "cluster", None)
+                )
+                rs = ReadSync(
+                    gpu, enum.array, vb, enum, ranges, emitted, len(segments), avoided
+                )
+                for seg in copies:
                     task = TransferTask(
                         next_node, gpu, seg.owner, vb, enum.array, seg.start, seg.end
                     )
@@ -213,14 +249,13 @@ def build_launch_plan(
                     rs.transfers.append(task)
                     transfer_nodes.append(task.node)
                 syncs.append(rs)
-                reads_vbs.append(vb)
+                reads_vbs.append((vb, merge_event_ranges(ranges)))
         plan.reads.append(syncs)
 
         ktask = KernelTask(next_node, gpu_idx, gpu, part)
         next_node += 1
         ktask.transfer_deps = transfer_nodes
         ktask.reads = reads_vbs
-        ktask.writes = [by_name[e.array] for e in write_enums]
         plan.kernels.append(ktask)
 
         ups: List[WriteUpdate] = []
@@ -232,6 +267,13 @@ def build_launch_plan(
                     enum, part, block, grid, scalars, shapes[enum.array], param.dtype.size
                 )
                 ups.append(WriteUpdate(gpu, enum.array, vb, enum, ranges, emitted))
+                ktask.writes.append((vb, merge_event_ranges(ranges)))
+        else:
+            # γ configuration: no enumerators run; order conservatively on
+            # the whole buffer of every written array.
+            for enum in write_enums:
+                vb = by_name[enum.array]
+                ktask.writes.append((vb, [(0, vb.nbytes)]))
         plan.updates.append(ups)
 
     return plan

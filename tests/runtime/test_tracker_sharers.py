@@ -1,0 +1,192 @@
+"""Shared-copy tracker semantics vs a naive byte-map reference model.
+
+The :class:`~repro.runtime.tracker.SegmentTracker` keeps an owner plus a
+sharer set per coalesced segment; the reference model here keeps one
+``(owner, sharers)`` pair *per byte* in a plain list. Random interleavings
+of writes (``update`` / ``update_many``), synchronization registrations
+(``add_sharer``), and queries must agree byte-for-byte — and with no
+``add_sharer`` calls the tracker must reproduce the paper's sole-owner
+tracker exactly (segments, counts, and all).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.tracker import Segment, SegmentTracker
+
+SIZE = 200
+
+
+class ByteModel:
+    """Naive dict-of-bytes coherence model: one (owner, sharers) per byte."""
+
+    def __init__(self, size, owner=0):
+        self.cells = [(owner, frozenset())] * size
+
+    def update(self, lo, hi, owner):
+        invalidated = 1 if any(self.cells[i][1] for i in range(lo, hi)) else 0
+        for i in range(lo, hi):
+            self.cells[i] = (owner, frozenset())
+        return invalidated
+
+    def update_many(self, ranges, owner):
+        return sum(self.update(lo, hi, owner) for lo, hi in ranges)
+
+    def add_sharer(self, lo, hi, dev):
+        for i in range(lo, hi):
+            o, s = self.cells[i]
+            if dev != o:
+                self.cells[i] = (o, s | {dev})
+
+    def holders(self, i):
+        o, s = self.cells[i]
+        return s | {o}
+
+
+def _flatten(tracker):
+    cells = [None] * tracker.size
+    for s in tracker.segments():
+        cells[s.start : s.end] = [(s.owner, s.sharers)] * s.nbytes
+    return cells
+
+
+# One op: (kind, a, b, device) — kind 0 = update, 1 = add_sharer, 2 = batched
+# update over the subranges of [a, b).
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 2),
+        st.integers(0, SIZE - 1),
+        st.integers(0, SIZE - 1),
+        st.integers(0, 5),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=ops_strategy)
+def test_sharer_tracker_matches_byte_model(ops):
+    """Property: random write/sync interleavings equal the byte map."""
+    tr = SegmentTracker(SIZE, 0)
+    model = ByteModel(SIZE, 0)
+    for kind, a, b, dev in ops:
+        lo, hi = min(a, b), max(a, b)
+        if kind == 0:
+            assert tr.update(lo, hi, dev) == model.update(lo, hi, dev)
+        elif kind == 1:
+            tr.add_sharer(lo, hi, dev)
+            model.add_sharer(lo, hi, dev)
+        else:
+            third = (hi - lo) // 3
+            ranges = [(lo, lo + third), (hi - third, hi)]
+            ranges = [(x, y) for x, y in ranges if x < y]
+            assert tr.update_many(ranges, dev) == model.update_many(ranges, dev)
+        tr.check_invariants()
+    assert _flatten(tr) == model.cells
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=ops_strategy, probe=st.integers(0, SIZE - 1))
+def test_holders_at_matches_byte_model(ops, probe):
+    tr = SegmentTracker(SIZE, 0)
+    model = ByteModel(SIZE, 0)
+    for kind, a, b, dev in ops:
+        lo, hi = min(a, b), max(a, b)
+        if kind == 1:
+            tr.add_sharer(lo, hi, dev)
+            model.add_sharer(lo, hi, dev)
+        else:
+            tr.update(lo, hi, dev)
+            model.update(lo, hi, dev)
+    assert tr.holders_at(probe) == model.holders(probe)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, SIZE - 1), st.integers(0, SIZE - 1), st.integers(0, 5)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_sole_owner_mode_reproduces_legacy_tracker(ops):
+    """Regression gate: without add_sharer the tracker is the paper's (§8.1).
+
+    Segment boundaries, owners, query results, op counts: all must match a
+    tracker driven through the legacy owner-only surface, and no segment
+    may ever grow a sharer or report an invalidation.
+    """
+    tr = SegmentTracker(SIZE, 0)
+    legacy_segments = [(0, SIZE, 0)]  # maintained by brute force
+    n_ops = 0
+    for a, b, owner in ops:
+        lo, hi = min(a, b), max(a, b)
+        assert tr.update(lo, hi, owner) == 0  # nothing shared, ever
+        n_ops += 1 if lo < hi else 0
+        flat = []
+        for s, e, o in legacy_segments:
+            flat.extend([o] * (e - s))
+        flat[lo:hi] = [owner] * (hi - lo)
+        legacy_segments = []
+        for i, o in enumerate(flat):
+            if legacy_segments and legacy_segments[-1][2] == o:
+                legacy_segments[-1] = (legacy_segments[-1][0], i + 1, o)
+            else:
+                legacy_segments.append((i, i + 1, o))
+    assert [(s.start, s.end, s.owner) for s in tr.segments()] == legacy_segments
+    assert all(not s.sharers for s in tr.segments())
+    assert tr.op_counts["share"] == 0 and tr.op_counts["invalidate"] == 0
+    assert tr.op_counts["update"] == n_ops
+    assert tr.op_count == n_ops  # the legacy single counter
+
+
+class TestOpClasses:
+    """Unit tests for the per-class operation accounting."""
+
+    def test_query_classes(self):
+        tr = SegmentTracker(100, 0)
+        tr.query(0, 10)
+        tr.query_many([(0, 10), (20, 30), (40, 50)])
+        assert tr.op_counts["query"] == 4
+        assert tr.op_count == 4
+
+    def test_update_and_invalidate_classes(self):
+        tr = SegmentTracker(100, 0)
+        assert tr.update(0, 50, 1) == 0
+        tr.add_sharer(0, 50, 2)
+        assert tr.op_counts["share"] == 1
+        # The write discards sharer 2's copy: one invalidation.
+        assert tr.update(10, 20, 3) == 1
+        assert tr.op_counts["update"] == 2
+        assert tr.op_counts["invalidate"] == 1
+        # The remaining shared pieces still invalidate later.
+        assert tr.update(0, 100, 0) == 1
+        assert tr.op_counts["invalidate"] == 2
+        assert tr.segments() == [Segment(0, 100, 0)]
+
+    def test_update_many_counts_per_range(self):
+        tr = SegmentTracker(100, 0)
+        tr.add_sharer(0, 30, 1)
+        tr.add_sharer(60, 90, 2)
+        # Three ranges; the middle one overlaps no shared bytes.
+        assert tr.update_many([(10, 20), (40, 50), (65, 70)], 3) == 2
+        assert tr.op_counts["update"] == 3
+        assert tr.op_counts["invalidate"] == 2
+
+    def test_add_sharer_idempotent_and_owner_excluded(self):
+        tr = SegmentTracker(100, 5)
+        tr.add_sharer(0, 100, 5)  # the owner already holds a valid copy
+        assert tr.segments() == [Segment(0, 100, 5)]
+        tr.add_sharer(0, 100, 1)
+        tr.add_sharer(0, 100, 1)
+        assert tr.segments() == [Segment(0, 100, 5, frozenset({1}))]
+        assert tr.holders_at(50) == frozenset({1, 5})
+        tr.check_invariants()
+
+    def test_add_sharer_coalesces_equal_neighbors(self):
+        tr = SegmentTracker(100, 0)
+        tr.add_sharer(0, 50, 1)
+        tr.add_sharer(50, 100, 1)
+        assert tr.segments() == [Segment(0, 100, 0, frozenset({1}))]
+        tr.check_invariants()
