@@ -10,7 +10,7 @@ Commands
               result bitwise against the single-GPU reference.
 ``bench``     regenerate the paper's evaluation tables on the simulated
               K80 node (figure6 | figure7 | figure8 | table1 | overhead |
-              schedules | cluster | redundancy).
+              schedules | cluster | redundancy | pipeline).
 
 ``run`` and ``bench`` accept ``--schedule
 {sequential,overlap,overlap+p2p,auto}`` to pick the launch-scheduler policy
@@ -22,6 +22,13 @@ runs the shared-copy coherence study (see docs/coherence.md) and
 self-checks the >=2x steady-state traffic reduction, bitwise equality, and
 — with ``--nodes N`` above 1 — the inter-node byte reduction; ``run
 --shared-copies`` enables the shared-copy trackers on a functional run.
+``bench pipeline --window N --json PATH`` runs the cross-launch pipelining
+study (fused launch windows, see docs/scheduler.md) and self-checks that
+exposed transfer time never exceeds the window=1 run, that the widest
+window clears the >=25% exposed-transfer reduction and >=1.1x speedup bars
+against the per-launch sequential baseline, and that pipelining is bitwise
+invisible; ``run --pipeline-window N`` fuses N launches per window on a
+functional run.
 ``machine``   show the calibrated machine model.
 
 Exit codes: 0 success; 1 lint findings at/above the ``--fail-on`` threshold
@@ -124,6 +131,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             n_gpus=args.gpus,
             schedule=args.schedule,
             shared_copies=args.shared_copies,
+            pipeline_window=args.pipeline_window,
         ),
     )
     result = workload.run(api, inputs)
@@ -182,7 +190,7 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
     from repro.sched.policy import SCHEDULES
 
     nodes = args.nodes
-    gpn = args.gpus_per_node
+    gpn = args.gpus_per_node or 4
     total = nodes * gpn
     workloads = tuple(args.workloads or ["hotspot"])
     size = args.sizes[0] if args.sizes else "medium"
@@ -298,11 +306,186 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_pipeline_equivalence(workloads, n_gpus, windows) -> List[str]:
+    """Functional check: pipelining must be bitwise-invisible.
+
+    Runs each workload under every (schedule, pipeline window, shared
+    copies) combination and compares outputs bitwise against the
+    per-launch (window=1) run of the same schedule.
+    """
+    from repro.sched.policy import SCHEDULES
+
+    failures: List[str] = []
+    for name in workloads:
+        workload = ALL_WORKLOADS[name](functional_config(name))
+        inputs = workload.make_inputs(seed=0)
+        app = compile_app(workload.build_kernels())
+        for schedule in list(SCHEDULES) + ["auto"]:
+            for shared in (False, True):
+                reference = None
+                for window in sorted({1, *windows}):
+                    cfg = RuntimeConfig(
+                        n_gpus=n_gpus,
+                        schedule=schedule,
+                        shared_copies=shared,
+                        pipeline_window=window,
+                    )
+                    got = workload.run(MultiGpuApi(app, cfg), inputs)
+                    if reference is None:
+                        reference = got
+                        continue
+                    for key in reference:
+                        if not np.array_equal(reference[key], got[key]):
+                            failures.append(
+                                f"pipeline equivalence: {name} output {key!r} "
+                                f"differs at window={window} under "
+                                f"schedule={schedule!r} shared_copies={shared}"
+                            )
+    return failures
+
+
+def _cmd_bench_pipeline(args: argparse.Namespace) -> int:
+    from repro.harness import experiments as ex
+
+    windows = tuple(sorted({1, 2, 4} | ({args.window} if args.window else set())))
+    workloads = tuple(args.workloads or ["hotspot", "nbody"])
+    size = args.sizes[0] if args.sizes else "medium"
+    n_gpus = args.gpu_counts[0] if args.gpu_counts else 16
+    # Default cluster shape matches the flat GPU count (2x8 = 16): the
+    # interesting comparison holds total GPUs constant across topologies.
+    nodes = args.nodes
+    gpn = args.gpus_per_node if args.gpus_per_node else max(1, n_gpus // nodes)
+
+    print(
+        f"pipeline bench: windows {', '.join(map(str, windows))}, "
+        f"workloads {', '.join(workloads)}, flat 1x{n_gpus} + cluster {nodes}x{gpn}"
+    )
+    points = ex.pipeline_study(
+        workloads=workloads,
+        windows=windows,
+        n_gpus=n_gpus,
+        cluster_shape=(nodes, gpn) if nodes > 1 else None,
+        size=size,
+    )
+
+    headers = [
+        "Workload",
+        "Topology",
+        "Schedule",
+        "Window",
+        "Time [s]",
+        "Speedup",
+        "Exposed [ms]",
+        "Hidden",
+        "Flushes",
+        "Batch",
+    ]
+    rows = [
+        (
+            p.workload,
+            f"{p.n_nodes}x{p.gpus_per_node}",
+            p.schedule,
+            p.pipeline_window,
+            f"{p.time:.4f}",
+            f"{p.speedup:.2f}",
+            f"{p.exposed_transfer_time * 1e3:.3f}",
+            f"{p.hidden_fraction:.1%}",
+            p.pipeline_flushes,
+            p.pipeline_max_batch,
+        )
+        for p in points
+    ]
+    print(format_table(headers, rows, title=f"Cross-launch pipelining ({size} problems)"))
+
+    # Self-checks. Keyed per (workload, topology): the sequential window=1
+    # row is the per-launch baseline; overlap+p2p rows carry the windows.
+    failures: List[str] = []
+    eps = 1e-9
+    by_key = {}
+    for p in points:
+        by_key.setdefault((p.workload, p.topology), []).append(p)
+    for (name, topo), group in by_key.items():
+        seq = next(p for p in group if p.schedule == "sequential")
+        p2p = {p.pipeline_window: p for p in group if p.schedule == "overlap+p2p"}
+        w1 = p2p[1]
+        for w, p in sorted(p2p.items()):
+            if p.exposed_transfer_time > w1.exposed_transfer_time + eps:
+                failures.append(
+                    f"regression: {name} {topo} overlap+p2p window={w} exposes "
+                    f"{p.exposed_transfer_time:.3e}s transfer time vs "
+                    f"{w1.exposed_transfer_time:.3e}s at window=1"
+                )
+        wide = p2p[max(p2p)]
+        if wide.exposed_transfer_time > 0.75 * seq.exposed_transfer_time + eps:
+            failures.append(
+                f"headline: {name} {topo} window={wide.pipeline_window} exposed "
+                f"transfer time {wide.exposed_transfer_time:.3e}s is not >=25% "
+                f"below the per-launch sequential baseline "
+                f"{seq.exposed_transfer_time:.3e}s"
+            )
+        if wide.time * 1.1 > seq.time + eps:
+            failures.append(
+                f"headline: {name} {topo} window={wide.pipeline_window} "
+                f"end-to-end {wide.time:.4f}s is not >=1.1x faster than the "
+                f"per-launch sequential baseline {seq.time:.4f}s"
+            )
+    failures += _check_pipeline_equivalence(workloads, min(n_gpus, 4), windows)
+
+    if args.json:
+        import json
+
+        path = (
+            args.json
+            if isinstance(args.json, str)
+            else "benchmarks/results/pipeline.json"
+        )
+        payload = {
+            "windows": list(windows),
+            "size": size,
+            "flat_gpus": n_gpus,
+            "cluster_shape": f"{nodes}x{gpn}",
+            "points": [
+                {
+                    "workload": p.workload,
+                    "topology": p.topology,
+                    "shape": f"{p.n_nodes}x{p.gpus_per_node}",
+                    "schedule": p.schedule,
+                    "pipeline_window": p.pipeline_window,
+                    "time": p.time,
+                    "reference": p.reference,
+                    "speedup": p.speedup,
+                    "hidden_transfer_time": p.hidden_transfer_time,
+                    "exposed_transfer_time": p.exposed_transfer_time,
+                    "pipeline_flushes": p.pipeline_flushes,
+                    "pipeline_max_batch": p.pipeline_max_batch,
+                    "estimate_cache_hits": p.estimate_cache_hits,
+                    "estimate_cache_misses": p.estimate_cache_misses,
+                }
+                for p in points
+            ],
+            "failures": failures,
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {path}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(
+        "checks passed: exposed transfer time never above window=1, "
+        ">=25% exposed reduction and >=1.1x speedup vs sequential baseline, "
+        "bitwise equality across schedule x window x shared-copies"
+    )
+    return 0
+
+
 def _cmd_bench_redundancy(args: argparse.Namespace) -> int:
     from repro.harness import experiments as ex
 
     nodes = args.nodes
-    gpn = args.gpus_per_node
+    gpn = args.gpus_per_node or 4
     shapes = ((1, nodes * gpn), (nodes, gpn)) if nodes > 1 else ((1, gpn),)
     schedules = (args.schedule,) if args.schedule else ("sequential", "overlap")
     print(
@@ -419,6 +602,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_cluster(args)
     if args.experiment == "redundancy":
         return _cmd_bench_redundancy(args)
+    if args.experiment == "pipeline":
+        return _cmd_bench_pipeline(args)
     if args.experiment == "table1":
         print(
             format_table(
@@ -597,6 +782,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable shared-copy (owner + sharers) coherence tracking",
     )
+    p.add_argument(
+        "--pipeline-window",
+        type=int,
+        default=1,
+        help="fuse this many consecutive launches into one scheduling "
+        "window (default 1: per-launch orchestration)",
+    )
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("bench", help="regenerate a paper table/figure (simulated)")
@@ -611,6 +803,7 @@ def build_parser() -> argparse.ArgumentParser:
             "schedules",
             "cluster",
             "redundancy",
+            "pipeline",
         ],
     )
     p.add_argument("--gpu-counts", type=int, nargs="*", default=None)
@@ -639,10 +832,21 @@ def build_parser() -> argparse.ArgumentParser:
         "uses a default path under benchmarks/results/",
     )
     p.add_argument(
-        "--nodes", type=int, default=2, help="cluster experiment: node count"
+        "--nodes", type=int, default=2, help="cluster/pipeline experiment: node count"
     )
     p.add_argument(
-        "--gpus-per-node", type=int, default=4, help="cluster experiment: GPUs per node"
+        "--gpus-per-node",
+        type=int,
+        default=None,
+        help="cluster/pipeline experiment: GPUs per node (default: 4 for "
+        "cluster/redundancy; flat-GPU-count/nodes for pipeline)",
+    )
+    p.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="pipeline experiment: additional pipeline window to measure "
+        "(1, 2 and 4 always run)",
     )
     p.set_defaults(fn=_cmd_bench)
 

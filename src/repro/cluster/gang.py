@@ -27,7 +27,7 @@ from repro.cluster.topology import ClusterSpec
 from repro.errors import SimulationError
 from repro.sched.graph import KernelTask, LaunchPlan, TransferTask, merge_event_ranges
 
-__all__ = ["NodePlan", "GangPlan", "build_gang_plan"]
+__all__ = ["NodePlan", "GangPlan", "build_gang_plan", "transfer_priority_tiers"]
 
 
 @dataclass
@@ -120,6 +120,40 @@ class GangPlan:
                             f"kernel {k.node} depends on transfer {dep} "
                             f"outside node {np_.node}"
                         )
+
+
+def transfer_priority_tiers(plan: LaunchPlan, cluster: ClusterSpec) -> Dict[int, int]:
+    """Issue priority per transfer node id: lower tiers go to the lanes first.
+
+    The pipelined executor drains a fused window's copies halo-first:
+
+    * tier 0 — inter-node halo copies (they occupy the scarce NIC/fabric
+      tier, and a seam partition of the *next* launch blocks on them);
+    * tier 1 — node-seam feeders: intra-node copies whose byte interval
+      overlaps this launch's :meth:`GangPlan.halo_intervals` (the same
+      buffer regions that cross the network — e.g. the intra-node leg of a
+      seam exchange);
+    * tier 2 — interior copies, which only ever feed their own node's
+      partitions and can backfill any remaining lane gaps.
+
+    Within a tier the executor preserves plan order, so a flat machine (or
+    a halo-free launch) degenerates to the legacy issue order exactly.
+    """
+    gang = build_gang_plan(plan, cluster)
+    halo_nodes = {t.node for t in gang.halo_transfers}
+    intervals = gang.halo_intervals()
+    tiers: Dict[int, int] = {}
+    for t in plan.transfers:
+        if t.node in halo_nodes:
+            tiers[t.node] = 0
+        elif any(
+            lo < t.end and hi > t.start
+            for lo, hi in intervals.get(t.vb.vb_id, ())
+        ):
+            tiers[t.node] = 1
+        else:
+            tiers[t.node] = 2
+    return tiers
 
 
 def build_gang_plan(plan: LaunchPlan, cluster: ClusterSpec) -> GangPlan:

@@ -33,6 +33,7 @@ __all__ = [
     "SchedulePoint",
     "ClusterPoint",
     "RedundancyPoint",
+    "PipelinePoint",
     "run_timed",
     "run_timed_cluster",
     "reference_time",
@@ -42,6 +43,7 @@ __all__ = [
     "schedule_comparison",
     "cluster_scaling",
     "redundancy_study",
+    "pipeline_study",
     "single_gpu_overhead",
     "compile_time_ratio",
     "table1_rows",
@@ -135,7 +137,9 @@ def run_timed(
         machine = SimMachine(spec.with_gpus(max(n_gpus, 1)))
         api = MultiGpuApi(app, config, machine=machine, functional=False)
         workload.run(api, None)
-        return machine.elapsed(), api
+        # api.elapsed(), not machine.elapsed(): reading the clock through
+        # the api drains any pipelined launches still buffered.
+        return api.elapsed(), api
 
     return _extrapolated(cfg, run_once)
 
@@ -168,7 +172,7 @@ def run_timed_cluster(
         machine = ClusterSimMachine(cluster)
         api = MultiGpuApi(app, config, machine=machine, functional=False)
         workload.run(api, None)
-        return machine.elapsed(), api
+        return api.elapsed(), api
 
     return _extrapolated(cfg, run_once)
 
@@ -433,6 +437,131 @@ def cluster_scaling(
                         api.stats.inter_node_bytes,
                         trace.busy_time(Category.TRANSFERS),
                     )
+                )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Cross-launch pipelining: fused launch windows vs per-launch orchestration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PipelinePoint:
+    """One (workload, topology, schedule, window) sample of the study."""
+
+    workload: str
+    size_label: str
+    #: "flat" (single node, ``n_nodes`` is 1) or "cluster".
+    topology: str
+    n_nodes: int
+    gpus_per_node: int
+    schedule: str
+    pipeline_window: int
+    time: float
+    reference: float
+    #: Transfer busy time overlapped with kernels vs left on the critical
+    #: path (seconds on the *sampled* — not extrapolated — run).
+    hidden_transfer_time: float
+    exposed_transfer_time: float
+    #: Pipelined-executor counters from the sampled run.
+    pipeline_flushes: int
+    pipeline_max_batch: int
+    estimate_cache_hits: int
+    estimate_cache_misses: int
+
+    @property
+    def total_gpus(self) -> int:
+        return self.n_nodes * self.gpus_per_node
+
+    @property
+    def speedup(self) -> float:
+        return self.reference / self.time
+
+    @property
+    def hidden_fraction(self) -> float:
+        total = self.hidden_transfer_time + self.exposed_transfer_time
+        return self.hidden_transfer_time / total if total > 0 else 0.0
+
+
+def pipeline_study(
+    workloads: Sequence[str] = ("hotspot", "nbody"),
+    windows: Sequence[int] = (1, 2, 4),
+    n_gpus: int = 16,
+    cluster_shape: Optional[Tuple[int, int]] = (2, 4),
+    spec: MachineSpec = K80_NODE_SPEC,
+    base: ClusterSpec = K80_CLUSTER_SPEC,
+    size: str = "medium",
+) -> List[PipelinePoint]:
+    """Fused-window pipelining vs per-launch orchestration.
+
+    For each workload and topology (flat ``n_gpus`` node, and optionally a
+    cluster shape) the study runs:
+
+    * the **baseline**: ``pipeline_window=1`` under the paper-faithful
+      ``sequential`` policy — each launch drains its own barrier-structured
+      schedule before the next is built;
+    * ``overlap+p2p`` at every requested window, including 1, so the
+      incremental benefit of fusing windows is separable from the benefit
+      of DAG scheduling itself.
+    """
+    points: List[PipelinePoint] = []
+
+    def run(cfg, make_config, runner, topology, n_nodes, gpn, sched, window):
+        config = make_config(sched, window)
+        elapsed, api = runner(cfg, config)
+        exposure = api.machine.trace.transfer_exposure()
+        points.append(
+            PipelinePoint(
+                cfg.workload,
+                size,
+                topology,
+                n_nodes,
+                gpn,
+                sched,
+                window,
+                elapsed,
+                ref,
+                exposure["hidden"],
+                exposure["exposed"],
+                api.stats.pipeline_flushes,
+                api.stats.pipeline_max_batch,
+                api.stats.estimate_cache_hits,
+                api.stats.estimate_cache_misses,
+            )
+        )
+
+    for name in workloads:
+        cfg = next(c for c in table1_configs(name) if c.size_label == size)
+        ref = reference_time(cfg, spec)
+
+        def flat_config(sched: str, window: int) -> RuntimeConfig:
+            return RuntimeConfig(n_gpus=n_gpus, schedule=sched, pipeline_window=window)
+
+        def flat_runner(c, config):
+            return run_timed(c, n_gpus, spec, config=config)
+
+        run(cfg, flat_config, flat_runner, "flat", 1, n_gpus, "sequential", 1)
+        for w in windows:
+            run(cfg, flat_config, flat_runner, "flat", 1, n_gpus, "overlap+p2p", w)
+
+        if cluster_shape is not None:
+            n_nodes, gpn = cluster_shape
+            cluster = base.with_shape(n_nodes, gpn)
+
+            def cluster_config(sched: str, window: int) -> RuntimeConfig:
+                return RuntimeConfig(
+                    n_gpus=cluster.total_gpus, schedule=sched, pipeline_window=window
+                )
+
+            def cluster_runner(c, config):
+                return run_timed_cluster(c, cluster, config=config)
+
+            run(cfg, cluster_config, cluster_runner, "cluster", n_nodes, gpn, "sequential", 1)
+            for w in windows:
+                run(
+                    cfg, cluster_config, cluster_runner, "cluster", n_nodes, gpn,
+                    "overlap+p2p", w,
                 )
     return points
 

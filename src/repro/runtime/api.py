@@ -30,7 +30,7 @@ from repro.runtime.config import RuntimeConfig
 from repro.runtime.launch import launch_fallback, launch_partitioned
 from repro.runtime.memcpy import d2h_gather, h2d_scatter
 from repro.runtime.vbuffer import VirtualBuffer
-from repro.sched.executor import DataflowLog
+from repro.sched.executor import DataflowLog, PipelineExecutor
 from repro.sched.policy import select_policy
 from repro.sim.engine import SimMachine, SimStream
 from repro.sim.topology import MachineSpec
@@ -69,6 +69,14 @@ class RunStats:
     inter_node_bytes: int = 0
     #: Per-launch decisions of ``schedule="auto"``, keyed by policy name.
     auto_choices: Dict[str, int] = field(default_factory=dict)
+    #: Launch-plan time-estimate memoization (repro.sched.policy): hits
+    #: mean an identical launch shape was re-estimated from the cache.
+    estimate_cache_hits: int = 0
+    estimate_cache_misses: int = 0
+    #: Pipelined-executor drains: total flushes and the largest number of
+    #: launches fused into one (1 everywhere at ``pipeline_window=1``).
+    pipeline_flushes: int = 0
+    pipeline_max_batch: int = 0
 
 
 class MultiGpuApi:
@@ -120,6 +128,15 @@ class MultiGpuApi:
         #: cross-launch ordering.
         self.dataflow = DataflowLog()
         self._default_stream: Optional[SimStream] = None
+        #: Monotone launch index: tags every simulated op a launch issues
+        #: (trace attribution survives pipelined interleaving).
+        self._launch_counter = itertools.count()
+        self._launch_index: Optional[int] = None
+        #: Launch-plan time-estimate memo (repro.sched.policy fingerprints).
+        self._estimate_cache: Dict[tuple, tuple] = {}
+        #: Rolling-window launch batcher. At ``pipeline_window=1`` every
+        #: submit flushes immediately — per-launch orchestration exactly.
+        self.pipeline = PipelineExecutor(self, config.pipeline_window)
 
     # -- internals ----------------------------------------------------------------
 
@@ -136,12 +153,18 @@ class MultiGpuApi:
 
     def cudaMalloc(self, nbytes: int) -> VirtualBuffer:
         vb = VirtualBuffer(next(self._vb_ids), nbytes, self.devices)
+        # A user peeking at coherence state is a host-visible observation:
+        # drain any pipelined launches first so the observed timing state
+        # matches per-launch orchestration. (Functional/tracker state is
+        # maintained eagerly and is always current regardless.)
+        vb.on_host_query = self.pipeline.flush
         self._live_buffers[vb.vb_id] = vb
         return vb
 
     def cudaFree(self, vb: VirtualBuffer) -> None:
         if not isinstance(vb, VirtualBuffer):
             raise RuntimeApiError(f"cudaFree expects a VirtualBuffer, got {type(vb)}")
+        self.pipeline.flush()
         vb.free()
         self._live_buffers.pop(vb.vb_id, None)
 
@@ -157,6 +180,7 @@ class MultiGpuApi:
             raise RuntimeApiError(f"cudaMemset expects a VirtualBuffer, got {type(vb)}")
         if nbytes > vb.nbytes:
             raise RuntimeApiError(f"memset of {nbytes} bytes into {vb.nbytes}-byte buffer")
+        self.pipeline.flush()
         from repro.runtime.memcpy import linear_chunks
 
         for dev_idx, lo, hi in linear_chunks(nbytes, self.config.n_gpus):
@@ -192,6 +216,7 @@ class MultiGpuApi:
         point of all ``cudaMemcpyAsync`` calls issued without an explicit
         stream.
         """
+        self.pipeline.flush()
         if self.machine is None:
             return
         target = stream if stream is not None else self.default_stream
@@ -222,6 +247,10 @@ class MultiGpuApi:
                 target.record(end)
 
     def _memcpy(self, dst, src, nbytes, kind, *, synchronous) -> List[float]:
+        # Memcopies are host-visible (D2H makes results observable; H2D
+        # orders against in-flight reads of the overwritten buffer): drain
+        # any pipelined launches before issuing the copies.
+        self.pipeline.flush()
         if kind is MemcpyKind.HostToDevice:
             return h2d_scatter(self, dst, src, nbytes, synchronous=synchronous)
         elif kind is MemcpyKind.DeviceToHost:
@@ -242,6 +271,7 @@ class MultiGpuApi:
     def launch(self, kernel: Kernel, grid, block, args: Sequence[object]) -> None:
         grid = Dim3.of(grid)
         block = Dim3.of(block)
+        self._launch_index = next(self._launch_counter)
         ck = self.app.kernel(kernel.name)
         if ck.partitionable and self.config.n_gpus >= 1:
             launch_partitioned(self, ck, grid, block, args)
@@ -256,8 +286,14 @@ class MultiGpuApi:
 
     def cudaDeviceSynchronize(self) -> None:
         """Synchronizes *all* available devices (§8.4)."""
+        self.pipeline.flush()
         if self.machine:
             self.machine.synchronize()
 
     def elapsed(self) -> float:
+        """Simulated wall-clock. Drains the pipeline: reading the clock is
+        a host-side observation, so any buffered launches must be issued
+        first (otherwise an iteration loop timed with ``elapsed()`` would
+        not include its own final window)."""
+        self.pipeline.flush()
         return self.machine.elapsed() if self.machine else 0.0

@@ -62,6 +62,16 @@ class RuntimeConfig:
     #: policies are bitwise-equivalent functionally; they only reschedule
     #: device work.
     schedule: str = "sequential"
+    #: Cross-launch pipelining: fuse up to this many consecutive kernel
+    #: launches into one rolling task DAG. Each launch's functional work
+    #: (buffer copies, kernel interpretation, tracker updates) still happens
+    #: eagerly at submit time, but the *simulated* device issue is deferred
+    #: until the window closes or a host-visible operation (D2H memcpy,
+    #: ``cudaDeviceSynchronize``, user tracker queries) flushes it. On a
+    #: cluster the fused window issues inter-node halo copies before
+    #: intra-node and interior transfers. The default 1 reproduces the
+    #: per-launch orchestration exactly, event for event.
+    pipeline_window: int = 1
     #: Debug audit (functional mode only): execute each partition with the
     #: instrumented interpreter and verify the scanned write set equals the
     #: cells the kernel actually wrote. Catches compiler bugs at the launch
@@ -82,6 +92,10 @@ class RuntimeConfig:
             raise RuntimeApiError(
                 f"unknown schedule {self.schedule!r} "
                 f"(choose from {', '.join(SCHEDULES)}, auto)"
+            )
+        if not isinstance(self.pipeline_window, int) or self.pipeline_window < 1:
+            raise RuntimeApiError(
+                f"pipeline_window must be a positive integer, got {self.pipeline_window!r}"
             )
 
     @property

@@ -99,22 +99,16 @@ def launch_partitioned(
                 launch_fallback(api, ck, grid, block, args)
                 return
 
-    # Compile the launch into its task DAG and issue it under the
-    # configured policy (repro.sched). Under schedule="auto" each launch
-    # picks its own concrete policy from the plan's transfer/compute split.
-    from repro.sched.executor import execute_plan
+    # Compile the launch into its task DAG and hand it to the pipelined
+    # executor (repro.sched): the functional half applies immediately, the
+    # simulated issue drains when the pipeline window closes (immediately
+    # at pipeline_window=1). Under schedule="auto" the concrete policy is
+    # chosen at flush time over the fused window's transfer/compute split
+    # (identical to the per-launch decision for a window of one).
     from repro.sched.graph import build_launch_plan
 
     plan = build_launch_plan(api, ck, grid, block, args)
-    policy = api.policy
-    if api.auto_schedule:
-        from repro.sched.policy import auto_select_policy
-
-        policy = auto_select_policy(api, plan)
-        api.stats.auto_choices[policy.name] = (
-            api.stats.auto_choices.get(policy.name, 0) + 1
-        )
-    execute_plan(api, plan, policy)
+    api.pipeline.submit(plan, None if api.auto_schedule else api.policy)
 
 
 def _audit_write_scan(api, ck, trace, part, block, grid, scalars, shapes) -> None:
@@ -152,10 +146,14 @@ def launch_fallback(
     kernel runs there over the whole grid, and the trackers mark every
     (potentially) written array as owned by device 0.
     """
+    # The fallback issues machine work directly (no launch plan), so any
+    # pipelined launches ahead of it must drain first to keep issue order.
+    api.pipeline.flush()
     kernel = ck.kernel
     by_name, scalars = split_launch_args(kernel, args)
     shapes = resolve_array_shapes(kernel, scalars)
     gpu = api.devices[0].device_id
+    launch_index = getattr(api, "_launch_index", None)
 
     read_names = set(ck.info.reads) | set(ck.info.writes)  # conservative
     if api.config.tracking_enabled:
@@ -183,7 +181,7 @@ def launch_fallback(
                     if api.machine:
                         api.machine.transfer(
                             seg.owner, gpu, seg.nbytes, category=Category.TRANSFERS,
-                            label=f"fallback:{p.name}",
+                            label=f"fallback:{p.name}", launch=launch_index,
                         )
                     register_sharer(api, vb, seg.start, seg.end, gpu)
         if api.machine:
@@ -196,7 +194,9 @@ def launch_fallback(
         duration = 0.0
         if api.kernel_cost is not None:
             duration = api.kernel_cost(kernel, grid.volume, block, scalars)
-        end = api.machine.launch_kernel(gpu, duration, label=kernel.name)
+        end = api.machine.launch_kernel(
+            gpu, duration, label=kernel.name, launch=launch_index
+        )
         if api.policy.overlap:
             # The fallback conservatively reads and writes every array on
             # device 0; later DAG-scheduled copies must order behind it.

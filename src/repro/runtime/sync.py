@@ -166,17 +166,27 @@ def buffer_synchronize(
             register_sharer(api, vb, seg.start, seg.end, gpu)
 
 
-def register_sharer(api: "MultiGpuApi", vb: VirtualBuffer, lo: int, hi: int, gpu: int) -> None:
+def register_sharer(
+    api: "MultiGpuApi",
+    vb: VirtualBuffer,
+    lo: int,
+    hi: int,
+    gpu: int,
+    charge: bool = True,
+) -> None:
     """Record ``gpu`` as a valid-copy sharer of ``[lo, hi)`` after a copy.
 
     No-op unless shared-copy tracking is enabled; charges one tracker
-    operation of the ``share`` class for host-cost accounting.
+    operation of the ``share`` class for host-cost accounting. The
+    pipelined executor passes ``charge=False`` — it registers sharers
+    eagerly at submit time but charges the host cost at flush, next to the
+    copy's simulated issue, preserving ``execute_plan``'s charge order.
     """
     if not (api.config.shared_copies and api.config.tracking_enabled):
         return
     vb.tracker.add_sharer(lo, hi, gpu)
     api.stats.tracker_share_ops += 1
-    if api.spec:
+    if charge and api.spec:
         api.host_pattern_cost(api.spec.tracker_op_cost)
 
 

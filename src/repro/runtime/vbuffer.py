@@ -10,7 +10,7 @@ byte to the device holding its most recently written copy.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -39,6 +39,10 @@ class VirtualBuffer:
         #: name ``HOST`` as a segment owner (first-touch H2D distribution);
         #: this array backs those segments until the first kernel pulls them.
         self._host_mirror: Optional[np.ndarray] = None
+        #: Invoked when the host observes this buffer's coherence state —
+        #: the runtime wires the pipelined executor's flush here so a user
+        #: tracker query is a pipeline drain point.
+        self.on_host_query: Optional[Callable[[], None]] = None
 
     def instance(self, device_id: int) -> DevPtr:
         self._check()
@@ -78,6 +82,8 @@ class VirtualBuffer:
         coherence-state equality regardless of schedule policy. Reading the
         snapshot does not count as tracker operations.
         """
+        if self.on_host_query is not None:
+            self.on_host_query()
         return [
             (s.start, s.end, s.owner, tuple(sorted(s.sharers)))
             for s in self.tracker.segments()

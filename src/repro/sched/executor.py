@@ -30,19 +30,25 @@ neighbour's buffer proceed concurrently.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.cuda.exec.interpreter import run_kernel
 from repro.cuda.ir.kernel import partition_field_name
 from repro.runtime.sync import register_sharer
-from repro.sched.graph import LaunchPlan, ReadSync, TransferTask
+from repro.sched.graph import LaunchPlan, PipelinedPlan, ReadSync, TransferTask
 from repro.sched.policy import SchedulePolicy
 from repro.sim.trace import Category
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.api import MultiGpuApi
 
-__all__ = ["DataflowLog", "execute_plan"]
+__all__ = [
+    "DataflowLog",
+    "execute_plan",
+    "apply_plan_functional",
+    "issue_plan_sim",
+    "PipelineExecutor",
+]
 
 #: Interval lists longer than this collapse to their envelope — sound
 #: (conservative) and keeps per-event queries O(small).
@@ -129,6 +135,7 @@ def _issue_transfer(
         t.vb.bytes_on(t.gpu)[t.start : t.end] = t.vb.bytes_on(t.owner)[t.start : t.end]
     if api.machine is None:
         return None
+    launch = getattr(api, "_launch_index", None)
     if policy.overlap:
         end = api.machine.stream_transfer(
             t.owner,
@@ -138,10 +145,12 @@ def _issue_transfer(
             category=Category.TRANSFERS,
             label=label,
             p2p=True if policy.p2p else None,
+            launch=launch,
         )
     else:
         end = api.machine.transfer(
-            t.owner, t.gpu, t.nbytes, category=Category.TRANSFERS, label=label
+            t.owner, t.gpu, t.nbytes, category=Category.TRANSFERS, label=label,
+            launch=launch,
         )
     # Dataflow events are recorded under every policy so that adjacent
     # launches of an adaptive (auto) run may mix policies soundly: an
@@ -220,7 +229,8 @@ def execute_plan(api: "MultiGpuApi", plan: LaunchPlan, policy: SchedulePolicy) -
                     for lo, hi in runs:
                         deps.extend(api.dataflow.instance_free(vb.vb_id, ktask.gpu, lo, hi))
             end = machine.launch_kernel(
-                ktask.gpu, duration, label=ck.partitioned.name, deps=deps
+                ktask.gpu, duration, label=ck.partitioned.name, deps=deps,
+                launch=getattr(api, "_launch_index", None),
             )
             # Recorded under every policy (see _issue_transfer).
             for vb, runs in ktask.reads:
@@ -253,6 +263,325 @@ def execute_plan(api: "MultiGpuApi", plan: LaunchPlan, policy: SchedulePolicy) -
                 api.stats.tracker_invalidate_ops += up.vb.tracker.update_many(
                     up.ranges, up.gpu
                 )
+
+
+# ---------------------------------------------------------------------------
+# Pipelined execution: eager functional phase + deferred simulated issue
+# ---------------------------------------------------------------------------
+#
+# ``execute_plan`` above interleaves bookkeeping (stats, numpy copies,
+# interpreter runs, tracker mutations) with simulated machine work. None of
+# the bookkeeping touches the machine, so one launch can be split into
+#
+#   apply_plan_functional(api, plan)        # at submit time
+#   issue_plan_sim(api, plan, policy, ...)  # at window flush
+#
+# with a machine-interaction sequence *identical* to ``execute_plan`` — the
+# host charges, issue overheads, barriers and device ops replay in the same
+# order with the same magnitudes. That identity is what makes
+# ``pipeline_window=1`` reproduce the per-launch trace event for event (a
+# property test pins it), while windows > 1 merely delay the whole issue
+# sequence of launches k..k+w-1 until the window closes, letting a fused
+# flush reorder transfer issue halo-first on clusters.
+#
+# Keeping the functional phase eager is essential for correctness: launch
+# k+1's plan is *built* (tracker queries!) at submit time, so launch k's
+# tracker updates and sharer registrations must already be applied — only
+# the simulated clock lags behind.
+
+
+def apply_plan_functional(api: "MultiGpuApi", plan: LaunchPlan) -> None:
+    """The submit-time half of one launch: everything but the machine.
+
+    Performs, in ``execute_plan``'s order, the stats accounting, functional
+    segment copies, sharer registrations, kernel interpretation and tracker
+    updates — and *no* simulated-machine interaction (no host charges, no
+    device ops). Pairs with :func:`issue_plan_sim`.
+    """
+    if api.config.tracking_enabled:
+        for syncs in plan.reads:
+            for rs in syncs:
+                api.stats.enumerator_calls += 1
+                api.stats.ranges_emitted += rs.emitted
+                api.stats.tracker_ops += len(rs.ranges)
+                api.stats.tracker_query_ops += len(rs.ranges)
+                api.stats.redundant_bytes_avoided += rs.avoided
+                for t in rs.transfers:
+                    api.stats.sync_transfers += 1
+                    api.stats.sync_bytes += t.nbytes
+                    cluster = getattr(api, "cluster", None)
+                    if cluster is not None and not cluster.same_node(t.owner, t.gpu):
+                        api.stats.inter_node_transfers += 1
+                        api.stats.inter_node_bytes += t.nbytes
+                    if api.config.transfers_enabled:
+                        if api.functional:
+                            t.vb.bytes_on(t.gpu)[t.start : t.end] = t.vb.bytes_on(
+                                t.owner
+                            )[t.start : t.end]
+                        register_sharer(api, t.vb, t.start, t.end, t.gpu, charge=False)
+
+    for ktask in plan.kernels:
+        if api.functional:
+            _run_partition(api, plan, ktask)
+        api.stats.partition_launches += 1
+
+    if api.config.tracking_enabled:
+        for ups in plan.updates:
+            for up in ups:
+                api.stats.enumerator_calls += 1
+                api.stats.ranges_emitted += up.emitted
+                api.stats.tracker_ops += len(up.ranges)
+                api.stats.tracker_update_ops += len(up.ranges)
+                api.stats.tracker_invalidate_ops += up.vb.tracker.update_many(
+                    up.ranges, up.gpu
+                )
+
+
+def _charge_read_sync_sim(api: "MultiGpuApi", rs: ReadSync) -> None:
+    """Host-cost half of :func:`_charge_read_sync` (stats already counted)."""
+    if api.spec:
+        api.host_pattern_cost(
+            api.spec.enumerator_call_cost
+            + api.spec.per_range_cost * rs.emitted
+            + api.spec.tracker_op_cost * max(len(rs.ranges), rs.n_segments)
+        )
+
+
+def _issue_transfer_sim(
+    api: "MultiGpuApi",
+    policy: SchedulePolicy,
+    t: TransferTask,
+    label: str,
+    events: Dict[int, float],
+    launch: Optional[int],
+) -> None:
+    """Simulated-issue half of :func:`_issue_transfer` (+ sharer host cost)."""
+    if not api.config.transfers_enabled:
+        return
+    if api.machine is not None:
+        if policy.overlap:
+            end = api.machine.stream_transfer(
+                t.owner,
+                t.gpu,
+                t.nbytes,
+                deps=api.dataflow.copy_deps(t),
+                category=Category.TRANSFERS,
+                label=label,
+                p2p=True if policy.p2p else None,
+                launch=launch,
+            )
+        else:
+            end = api.machine.transfer(
+                t.owner, t.gpu, t.nbytes, category=Category.TRANSFERS, label=label,
+                launch=launch,
+            )
+        api.dataflow.note_read(t.vb.vb_id, t.owner, t.start, t.end, end)
+        api.dataflow.note_write(t.vb.vb_id, t.gpu, t.start, t.end, end)
+        events[t.node] = end
+    # The sharer registration itself happened at submit; its tracker-op
+    # host charge belongs here, after the copy's issue, as in execute_plan.
+    if api.config.shared_copies and api.config.tracking_enabled and api.spec:
+        api.host_pattern_cost(api.spec.tracker_op_cost)
+
+
+def issue_plan_sim(
+    api: "MultiGpuApi",
+    plan: LaunchPlan,
+    policy: SchedulePolicy,
+    *,
+    launch: Optional[int] = None,
+    transfer_order: Optional[Sequence[Tuple[ReadSync, TransferTask]]] = None,
+) -> None:
+    """The flush-time half of one launch: simulated host charges + device ops.
+
+    Replays exactly the machine-interaction sequence of :func:`execute_plan`
+    — pattern-cost charges, transfer issues, the sequential barrier, kernel
+    launches, update-phase charges — for a plan whose functional half was
+    already applied by :func:`apply_plan_functional`. ``launch`` tags every
+    device op for per-launch trace attribution.
+
+    ``transfer_order`` overrides the transfer *issue* order (the pipelined
+    executor passes the halo-first tiers on clusters): the per-read-sync
+    pattern charges are then batched ahead of the reordered copies, since
+    every one of them precedes every copy in the fused view. With
+    ``transfer_order=None`` the legacy interleaved order is preserved
+    exactly.
+    """
+    machine = api.machine
+    transfer_events: Dict[int, float] = {}
+
+    if api.config.tracking_enabled:
+        if transfer_order is None:
+            for syncs in plan.reads:
+                if api.spec:
+                    api.host_pattern_cost(api.spec.partition_setup_cost)
+                for rs in syncs:
+                    _charge_read_sync_sim(api, rs)
+                    for t in rs.transfers:
+                        _issue_transfer_sim(
+                            api, policy, t, f"sync:{rs.array}", transfer_events, launch
+                        )
+        else:
+            for syncs in plan.reads:
+                if api.spec:
+                    api.host_pattern_cost(api.spec.partition_setup_cost)
+                for rs in syncs:
+                    _charge_read_sync_sim(api, rs)
+            for rs, t in transfer_order:
+                _issue_transfer_sim(
+                    api, policy, t, f"sync:{rs.array}", transfer_events, launch
+                )
+        if machine and policy.barrier:
+            machine.synchronize()
+
+    ck = plan.ck
+    for ktask in plan.kernels:
+        if api.spec:
+            api.host_pattern_cost(api.spec.partition_setup_cost)
+        if machine:
+            duration = 0.0
+            if api.kernel_cost is not None:
+                duration = api.kernel_cost(
+                    ck.kernel, ktask.part.n_blocks, plan.block, plan.scalars
+                )
+            deps: List[float] = []
+            if policy.overlap:
+                deps = [
+                    transfer_events[n]
+                    for n in ktask.transfer_deps
+                    if n in transfer_events
+                ]
+                for vb, runs in ktask.reads:
+                    for lo, hi in runs:
+                        deps.append(api.dataflow.write_event(vb.vb_id, ktask.gpu, lo, hi))
+                for vb, runs in ktask.writes:
+                    for lo, hi in runs:
+                        deps.extend(api.dataflow.instance_free(vb.vb_id, ktask.gpu, lo, hi))
+            end = machine.launch_kernel(
+                ktask.gpu, duration, label=ck.partitioned.name, deps=deps, launch=launch
+            )
+            for vb, runs in ktask.reads:
+                for lo, hi in runs:
+                    api.dataflow.note_read(vb.vb_id, ktask.gpu, lo, hi, end)
+            for vb, runs in ktask.writes:
+                for lo, hi in runs:
+                    api.dataflow.note_write(vb.vb_id, ktask.gpu, lo, hi, end)
+
+    if api.config.tracking_enabled:
+        for ups in plan.updates:
+            if api.spec:
+                api.host_pattern_cost(api.spec.partition_setup_cost)
+            for up in ups:
+                if api.spec:
+                    api.host_pattern_cost(
+                        api.spec.enumerator_call_cost
+                        + api.spec.per_range_cost * up.emitted
+                        + api.spec.tracker_op_cost * len(up.ranges)
+                    )
+
+
+class PipelineExecutor:
+    """Rolling-window batcher fusing consecutive launches into one DAG drain.
+
+    ``submit`` applies a launch's functional half eagerly and buffers its
+    plan in a :class:`~repro.sched.graph.PipelinedPlan`; once ``window``
+    launches accumulate — or any host-visible operation (D2H memcpy,
+    device/stream synchronize, memset, free, a user tracker query) calls
+    :meth:`flush` — the buffered launches' simulated issue drains in
+    program order. Cross-launch dependencies need no special casing: the
+    :class:`DataflowLog` events recorded while draining launch k are
+    exactly what launch k+1's transfer deps query.
+
+    On clusters each flushed launch's transfers are issued halo-first (see
+    :func:`repro.cluster.gang.transfer_priority_tiers`) when the window is
+    fused (> 1). Under ``schedule="auto"`` the policy decision is deferred
+    to the flush and made once over the *fused* window's transfer/compute
+    estimate, so a transfer-light iteration inside a transfer-heavy window
+    no longer flips the policy back and forth.
+    """
+
+    def __init__(self, api: "MultiGpuApi", window: int) -> None:
+        self.api = api
+        self.window = max(1, int(window))
+        self.pending = PipelinedPlan()
+        self._policies: List[Optional[SchedulePolicy]] = []
+
+    @property
+    def depth(self) -> int:
+        """Number of launches currently buffered."""
+        return len(self.pending)
+
+    def submit(self, plan: LaunchPlan, policy: Optional[SchedulePolicy]) -> None:
+        """Apply one launch's functional half and buffer its simulated issue.
+
+        ``policy=None`` marks an adaptive (``auto``) launch whose concrete
+        policy is chosen at flush time over the fused window.
+        """
+        apply_plan_functional(self.api, plan)
+        self.pending.append(plan, getattr(self.api, "_launch_index", self.depth))
+        self._policies.append(policy)
+        if self.depth >= self.window:
+            self.flush()
+
+    #: Halo-first reordering applies only when the node-crossing copies are
+    #: a *minority* of the plan's transfer bytes. The priority targets seam
+    #: exchanges (a thin halo ahead of a fat interior); when most traffic
+    #: crosses nodes anyway — e.g. an all-to-all broadcast — there is no
+    #: interior worth backfilling and hoisting the whole network leg only
+    #: delays the intra-node copies it was meant to overlap with.
+    HALO_MAJORITY_RATIO = 0.5
+
+    def _transfer_order(self, plan: LaunchPlan):
+        """Halo-first issue order for one plan, or None to keep plan order."""
+        cluster = getattr(self.api, "cluster", None)
+        if cluster is None or self.window <= 1:
+            return None
+        from repro.cluster.gang import transfer_priority_tiers
+
+        tiers = transfer_priority_tiers(plan, cluster)
+        if len(set(tiers.values())) <= 1:
+            return None
+        total = sum(t.nbytes for t in plan.transfers)
+        halo = sum(t.nbytes for t in plan.transfers if tiers[t.node] == 0)
+        if total == 0 or halo >= self.HALO_MAJORITY_RATIO * total:
+            return None
+        pairs = [
+            (rs, t) for syncs in plan.reads for rs in syncs for t in rs.transfers
+        ]
+        # Stable sort: within a tier the legacy plan order is preserved.
+        return sorted(pairs, key=lambda pair: tiers[pair[1].node])
+
+    def flush(self) -> None:
+        """Drain every buffered launch onto the simulated machine, in order."""
+        if not self.pending.plans:
+            return
+        api = self.api
+        plans = self.pending.plans
+        indices = self.pending.launch_indices
+        policies = list(self._policies)
+        if any(p is None for p in policies):
+            from repro.sched.policy import auto_select_policy_window
+
+            fused = auto_select_policy_window(api, plans)
+            for i, p in enumerate(policies):
+                if p is None:
+                    policies[i] = fused
+                    api.stats.auto_choices[fused.name] = (
+                        api.stats.auto_choices.get(fused.name, 0) + 1
+                    )
+        batch = len(plans)
+        for plan, launch_index, policy in zip(plans, indices, policies):
+            issue_plan_sim(
+                api,
+                plan,
+                policy,
+                launch=launch_index,
+                transfer_order=self._transfer_order(plan),
+            )
+        self.pending.clear()
+        self._policies.clear()
+        api.stats.pipeline_flushes += 1
+        api.stats.pipeline_max_batch = max(api.stats.pipeline_max_batch, batch)
 
 
 def _run_partition(api: "MultiGpuApi", plan: LaunchPlan, ktask) -> None:

@@ -143,12 +143,15 @@ class SimMachine:
         label: str = "",
         *,
         deps: Sequence[float] = (),
+        launch: Optional[int] = None,
     ) -> float:
         """Asynchronously enqueue a kernel of the given modelled duration.
 
         ``deps`` are completion events the kernel must wait for (the DAG
         scheduler passes the end times of the transfers feeding this
-        partition's read set). Returns the kernel's completion event.
+        partition's read set); ``launch`` tags the trace interval with the
+        originating kernel-launch index for per-launch attribution.
+        Returns the kernel's completion event.
         """
         self._check_dev(dev)
         if duration < 0:
@@ -159,7 +162,7 @@ class SimMachine:
         )
         end = start + duration
         self._dev_avail[dev] = end
-        self.trace.record(f"gpu{dev}", start, end, Category.APPLICATION, label)
+        self.trace.record(f"gpu{dev}", start, end, Category.APPLICATION, label, launch=launch)
         return end
 
     def transfer(
@@ -171,6 +174,7 @@ class SimMachine:
         category: Category = Category.TRANSFERS,
         label: str = "",
         synchronous: bool = False,
+        launch: Optional[int] = None,
     ) -> float:
         """Copy ``nbytes`` between endpoints (device id or ``HOST``).
 
@@ -184,7 +188,8 @@ class SimMachine:
         if dst != HOST and 0 <= dst < self.spec.n_gpus:
             earliest = max(earliest, self._dev_avail[dst])
         end = self._schedule_copy(
-            src, dst, nbytes, earliest, category=category, label=label, p2p=None
+            src, dst, nbytes, earliest, category=category, label=label, p2p=None,
+            launch=launch,
         )
         if synchronous:
             self.host_time = max(self.host_time, end)
@@ -200,6 +205,7 @@ class SimMachine:
         category: Category = Category.TRANSFERS,
         label: str = "",
         p2p: Optional[bool] = None,
+        launch: Optional[int] = None,
     ) -> float:
         """Dependency-scheduled copy on the DMA engines.
 
@@ -211,7 +217,8 @@ class SimMachine:
         """
         earliest = max(self.host_time, *deps) if deps else self.host_time
         return self._schedule_copy(
-            src, dst, nbytes, earliest, category=category, label=label, p2p=p2p
+            src, dst, nbytes, earliest, category=category, label=label, p2p=p2p,
+            launch=launch,
         )
 
     def _copy_resources(
@@ -263,6 +270,7 @@ class SimMachine:
         category: Category,
         label: str,
         p2p: Optional[bool],
+        launch: Optional[int] = None,
     ) -> float:
         if nbytes < 0:
             raise SimulationError("negative transfer size")
@@ -290,7 +298,7 @@ class SimMachine:
         for lane, dur in lanes:
             lane.reserve(start, start + dur)
             end = max(end, start + dur)
-        self.trace.record(resource, start, end, category, label)
+        self.trace.record(resource, start, end, category, label, launch=launch)
         return end
 
     # -- synchronization ------------------------------------------------------------

@@ -45,6 +45,12 @@ class Interval:
     end: float
     category: Category
     label: str = ""
+    #: Index of the kernel launch that originated this operation, or None
+    #: for work that belongs to no particular launch (memcopies, memsets).
+    #: The pipelined executor interleaves tasks from several launches, so
+    #: attribution must ride on the interval itself rather than be inferred
+    #: from trace order.
+    launch: Optional[int] = None
 
     @property
     def duration(self) -> float:
@@ -58,11 +64,17 @@ class Trace:
         self.intervals: List[Interval] = []
 
     def record(
-        self, resource: str, start: float, end: float, category: Category, label: str = ""
+        self,
+        resource: str,
+        start: float,
+        end: float,
+        category: Category,
+        label: str = "",
+        launch: Optional[int] = None,
     ) -> None:
         if end < start:
             raise ValueError(f"interval ends before it starts: {start} .. {end}")
-        self.intervals.append(Interval(resource, start, end, category, label))
+        self.intervals.append(Interval(resource, start, end, category, label, launch))
 
     def busy_time(self, category: Optional[Category] = None) -> float:
         """Total busy time, optionally restricted to one category."""
@@ -98,30 +110,63 @@ class Trace:
             "exposed": tiers["intra"]["exposed"] + tiers["inter"]["exposed"],
         }
 
+    def _compute_union(self) -> List[tuple]:
+        """Disjoint union of all kernel-execution windows (overlap witness)."""
+        return _union(
+            (iv.start, iv.end)
+            for iv in self.intervals
+            if iv.category is Category.APPLICATION and iv.resource.startswith("gpu")
+        )
+
+    def transfer_exposure_by_launch(self) -> Dict[Optional[int], Dict[str, Dict[str, float]]]:
+        """Per-launch hidden/exposed TRANSFERS time, split intra vs inter.
+
+        Attribution is by each interval's *originating launch index* — not
+        by trace position — so it stays correct when the pipelined executor
+        interleaves tasks from several launches on the copy engines.
+        Transfers that belong to no launch (none today; coherence traffic is
+        always launch-originated) land under the ``None`` key. Summing the
+        four buckets over every key reproduces ``busy_time(TRANSFERS)``
+        exactly: each transfer second lands in exactly one
+        (launch, tier, hidden/exposed) cell.
+        """
+        compute = self._compute_union()
+        out: Dict[Optional[int], Dict[str, Dict[str, float]]] = {}
+        for iv in self.intervals:
+            if iv.category is not Category.TRANSFERS:
+                continue
+            tiers = out.setdefault(
+                iv.launch,
+                {
+                    "intra": {"hidden": 0.0, "exposed": 0.0},
+                    "inter": {"hidden": 0.0, "exposed": 0.0},
+                },
+            )
+            bucket = tiers["inter" if iv.resource == "net" else "intra"]
+            hidden = _overlap(iv.start, iv.end, compute)
+            bucket["hidden"] += hidden
+            bucket["exposed"] += iv.duration - hidden
+        return out
+
     def transfer_exposure_by_tier(self) -> Dict[str, Dict[str, float]]:
         """Hidden/exposed TRANSFERS time, split intra-node vs inter-node.
 
         Cluster machines record cross-node copies on the ``net`` resource;
         every other transfer is intra-node. The four buckets partition
         ``busy_time(TRANSFERS)`` exactly, so the α/β/γ identities carry
-        over to each tier.
+        over to each tier. Computed as the sum over the per-launch
+        attribution (:meth:`transfer_exposure_by_launch`), which makes the
+        partition property hold bucket by bucket even when launches
+        interleave.
         """
-        compute = _union(
-            (iv.start, iv.end)
-            for iv in self.intervals
-            if iv.category is Category.APPLICATION and iv.resource.startswith("gpu")
-        )
         tiers = {
             "intra": {"hidden": 0.0, "exposed": 0.0},
             "inter": {"hidden": 0.0, "exposed": 0.0},
         }
-        for iv in self.intervals:
-            if iv.category is not Category.TRANSFERS:
-                continue
-            bucket = tiers["inter" if iv.resource == "net" else "intra"]
-            hidden = _overlap(iv.start, iv.end, compute)
-            bucket["hidden"] += hidden
-            bucket["exposed"] += iv.duration - hidden
+        for per_launch in self.transfer_exposure_by_launch().values():
+            for tier in ("intra", "inter"):
+                for kind in ("hidden", "exposed"):
+                    tiers[tier][kind] += per_launch[tier][kind]
         return tiers
 
     def __len__(self) -> int:

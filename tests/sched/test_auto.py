@@ -141,3 +141,76 @@ class TestAutoRuns:
         t_auto, auto_api = run_timed(cfg, 4, schedule="auto")
         assert t_auto <= t_seq + 1e-9
         assert sum(auto_api.stats.auto_choices.values()) > 0
+
+
+class TestEstimateCache:
+    """Plan-time estimates are memoized per (kernel, grid, config) shape."""
+
+    def test_pingpong_reestimates_nothing_after_warmup(self):
+        # Ping-pong directions have mirrored transfer shapes; buffer
+        # identity is deliberately excluded from the fingerprint, so the
+        # whole loop converges to at most one slot per parity and every
+        # launch after warm-up is a hit.
+        _, _, api = _run("auto", iterations=5)
+        assert 1 <= api.stats.estimate_cache_misses <= 2
+        assert (
+            api.stats.estimate_cache_hits
+            == 5 - api.stats.estimate_cache_misses
+        )
+        assert sum(api.stats.auto_choices.values()) == 5
+
+    def test_concrete_schedules_never_estimate(self):
+        for schedule in SCHEDULES:
+            _, _, api = _run(schedule, iterations=3)
+            assert api.stats.estimate_cache_hits == 0
+            assert api.stats.estimate_cache_misses == 0
+
+    def test_cached_estimate_is_bit_identical(self):
+        from repro.sched.graph import build_launch_plan
+        from repro.sched.policy import estimate_plan_times, plan_fingerprint
+
+        kernel = _stencil()
+        app = compile_app([kernel])
+        api = MultiGpuApi(
+            app,
+            RuntimeConfig(n_gpus=4, schedule="auto"),
+            machine=SimMachine(K80_NODE_SPEC.with_gpus(4)),
+        )
+        nbytes = N * N * 4
+        a, b = api.cudaMalloc(nbytes), api.cudaMalloc(nbytes)
+        api.cudaMemset(a, 0, nbytes)
+        api.cudaMemset(b, 0, nbytes)
+        ck = app.kernel(kernel.name)
+        plan_ab = build_launch_plan(api, ck, GRID, BLOCK, [a, b])
+        plan_ba = build_launch_plan(api, ck, GRID, BLOCK, [b, a])
+        # Buffer identity does not enter the key: a symmetric stencil's two
+        # ping-pong directions share one cache slot.
+        assert plan_fingerprint(plan_ab) == plan_fingerprint(plan_ba)
+
+        first = estimate_plan_times(api, plan_ab)
+        assert api.stats.estimate_cache_misses == 1
+        again = estimate_plan_times(api, plan_ab)
+        assert api.stats.estimate_cache_hits == 1
+        assert again == first  # bit-identical, not approximately equal
+
+    def test_window_estimate_sums_per_plan(self):
+        from repro.sched.graph import build_launch_plan
+        from repro.sched.policy import estimate_plan_times, estimate_window_times
+
+        kernel = _stencil()
+        app = compile_app([kernel])
+        api = MultiGpuApi(
+            app,
+            RuntimeConfig(n_gpus=4, schedule="auto"),
+            machine=SimMachine(K80_NODE_SPEC.with_gpus(4)),
+        )
+        nbytes = N * N * 4
+        a, b = api.cudaMalloc(nbytes), api.cudaMalloc(nbytes)
+        api.cudaMemset(a, 0, nbytes)
+        api.cudaMemset(b, 0, nbytes)
+        ck = app.kernel(kernel.name)
+        plan = build_launch_plan(api, ck, GRID, BLOCK, [a, b])
+        t1, c1 = estimate_plan_times(api, plan)
+        tw, cw = estimate_window_times(api, [plan, plan, plan])
+        assert tw == pytest.approx(3 * t1)
+        assert cw == pytest.approx(3 * c1)

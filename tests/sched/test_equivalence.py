@@ -68,11 +68,19 @@ def _build_stencil(taps):
     return kb.finish()
 
 
-def _run(app, kernel, schedule, n_gpus, iterations, seed, shared_copies=False):
+def _run(
+    app, kernel, schedule, n_gpus, iterations, seed, shared_copies=False,
+    pipeline_window=1,
+):
     machine = SimMachine(K80_NODE_SPEC.with_gpus(n_gpus))
     api = MultiGpuApi(
         app,
-        RuntimeConfig(n_gpus=n_gpus, schedule=schedule, shared_copies=shared_copies),
+        RuntimeConfig(
+            n_gpus=n_gpus,
+            schedule=schedule,
+            shared_copies=shared_copies,
+            pipeline_window=pipeline_window,
+        ),
         machine=machine,
     )
     nbytes = N * N * 4
@@ -90,7 +98,7 @@ def _run(app, kernel, schedule, n_gpus, iterations, seed, shared_copies=False):
     api.cudaMemcpy(out_a, a, nbytes, MemcpyKind.DeviceToHost)
     api.cudaMemcpy(out_b, b, nbytes, MemcpyKind.DeviceToHost)
     trackers = [vb.coherence_state() for vb in (a, b)]
-    return (out_a, out_b), trackers, api.elapsed(), api.stats
+    return (out_a, out_b), trackers, api.elapsed(), api.stats, machine.trace
 
 
 @settings(max_examples=15, deadline=None)
@@ -105,9 +113,9 @@ def test_schedules_bitwise_equivalent(taps, n_gpus, iterations, seed):
     app = compile_app([kernel])
     results = {s: _run(app, kernel, s, n_gpus, iterations, seed) for s in SCHEDULES}
 
-    (ref_a, ref_b), ref_trackers, _, _ = results["sequential"]
+    (ref_a, ref_b), ref_trackers, _, _, _ = results["sequential"]
     for sched in SCHEDULES[1:]:
-        (got_a, got_b), got_trackers, _, _ = results[sched]
+        (got_a, got_b), got_trackers, _, _, _ = results[sched]
         assert np.array_equal(ref_a, got_a), (sched, taps, n_gpus, iterations)
         assert np.array_equal(ref_b, got_b), (sched, taps, n_gpus, iterations)
         assert got_trackers == ref_trackers, (sched, taps, n_gpus, iterations)
@@ -147,8 +155,8 @@ def test_shared_copies_bitwise_equivalent(taps, n_gpus, iterations, seed):
         for shared in (False, True)
     }
 
-    (ref_a, ref_b), _, _, _ = results[("sequential", False)]
-    for key, ((got_a, got_b), _, _, _) in results.items():
+    (ref_a, ref_b), _, _, _, _ = results[("sequential", False)]
+    for key, ((got_a, got_b), _, _, _, _) in results.items():
         assert np.array_equal(ref_a, got_a), (key, taps, n_gpus, iterations)
         assert np.array_equal(ref_b, got_b), (key, taps, n_gpus, iterations)
 
@@ -170,6 +178,52 @@ def test_shared_copies_bitwise_equivalent(taps, n_gpus, iterations, seed):
     for sched in ALL_POLICIES:
         for state in results[(sched, False)][1]:
             assert all(sharers == () for *_rest, sharers in state), sched
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    taps=taps_strategy,
+    n_gpus=st.sampled_from([2, 4, 8]),
+    window=st.sampled_from([2, 4, 8]),
+    shared=st.booleans(),
+    iterations=st.integers(2, 4),
+    seed=st.integers(0, 9),
+)
+def test_pipelining_functionally_invisible(taps, n_gpus, window, shared, iterations, seed):
+    """pipeline_window x policy x shared copies: one functional behaviour.
+
+    Fusing launch windows may only delay *simulated* issue — buffers,
+    tracker state (including sharer sets) and coherence traffic must be
+    bitwise-identical to per-launch orchestration under every policy. On a
+    flat (single-node) machine there is no transfer-tier reordering either,
+    so the trace itself must replay event for event: same intervals, same
+    resources, same launch attribution — only flush bookkeeping differs.
+    """
+    kernel = _build_stencil(taps)
+    app = compile_app([kernel])
+    for sched in ALL_POLICIES:
+        base = _run(app, kernel, sched, n_gpus, iterations, seed, shared)
+        piped = _run(
+            app, kernel, sched, n_gpus, iterations, seed, shared,
+            pipeline_window=window,
+        )
+        key = (sched, window, shared, taps, n_gpus, iterations)
+        assert np.array_equal(base[0][0], piped[0][0]), key
+        assert np.array_equal(base[0][1], piped[0][1]), key
+        assert base[1] == piped[1], key
+        assert base[3].sync_bytes == piped[3].sync_bytes, key
+        assert base[3].sync_transfers == piped[3].sync_transfers, key
+        assert base[3].tracker_share_ops == piped[3].tracker_share_ops, key
+        assert base[3].tracker_invalidate_ops == piped[3].tracker_invalidate_ops, key
+        if sched != "auto":
+            # Auto may legitimately fuse to a different policy over a
+            # window than it picks launch by launch; concrete policies
+            # must replay the exact event sequence.
+            assert piped[4].intervals == base[4].intervals, key
+            assert piped[2] == base[2], key
+        # Windowing shows up only in the flush bookkeeping.
+        assert piped[3].pipeline_max_batch <= window, key
+        assert piped[3].pipeline_flushes <= base[3].pipeline_flushes, key
 
 
 def _build_broadcast():

@@ -1,0 +1,256 @@
+"""Cross-launch pipelining: fused windows, edge precision, flush points.
+
+Three layers of guarantees:
+
+* :class:`~repro.sched.graph.PipelinedPlan` derives *interval-precise*
+  cross-launch edges — on a 1-halo stencil, launch k+1 depends on another
+  device's launch-k work only through the thin seam transfers, never
+  kernel-to-kernel;
+* ``pipeline_window=1`` replays the legacy per-launch ``execute_plan``
+  trace event for event (the refactor into functional-submit +
+  simulated-flush halves is observationally invisible);
+* every host-visible operation is a flush point, so buffered launches can
+  never leak past an observation of the simulated clock or tracker state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_app
+from repro.cuda.api import MemcpyKind
+from repro.cuda.device import HOST
+from repro.harness.calibration import K80_NODE_SPEC
+from repro.runtime.api import MultiGpuApi
+from repro.runtime.config import RuntimeConfig
+from repro.sched.executor import apply_plan_functional, execute_plan
+from repro.sched.graph import PipelinedPlan, build_launch_plan
+from repro.sched.policy import select_policy
+from repro.sim.engine import SimMachine
+from repro.workloads.hotspot import BLOCK, build_hotspot_kernel
+
+N = 64
+N_GPUS = 4
+NBYTES = N * N * 4
+ROW = N * 4  # bytes per stencil row
+
+
+def _grid():
+    from repro.cuda.dim3 import Dim3
+
+    return Dim3(x=(N + BLOCK.x - 1) // BLOCK.x, y=(N + BLOCK.y - 1) // BLOCK.y)
+
+
+def _prepared_api(**cfg):
+    kernel = build_hotspot_kernel(N)
+    app = compile_app([kernel])
+    api = MultiGpuApi(app, RuntimeConfig(n_gpus=N_GPUS, **cfg))
+    a = api.cudaMalloc(NBYTES)
+    b = api.cudaMalloc(NBYTES)
+    data = np.random.default_rng(0).random((N, N)).astype(np.float32)
+    api.cudaMemcpy(a, data, NBYTES, MemcpyKind.HostToDevice)
+    api.cudaMemset(b, 0, NBYTES)
+    return api, app.kernel(kernel.name), a, b
+
+
+def _two_launch_window(api, ck, a, b):
+    """Plans for two ping-pong launches, functional state applied between."""
+    plan0 = build_launch_plan(api, ck, _grid(), BLOCK, [a, b])
+    apply_plan_functional(api, plan0)
+    plan1 = build_launch_plan(api, ck, _grid(), BLOCK, [b, a])
+    apply_plan_functional(api, plan1)
+    window = PipelinedPlan()
+    window.append(plan0, 0)
+    window.append(plan1, 1)
+    return plan0, plan1, window
+
+
+def test_cross_launch_edges_are_seam_thin():
+    """1-halo stencil: cross-launch coupling is exactly the halo exchange.
+
+    Launch 1's kernels may depend on launch 0 only on their *own* device
+    (the partition they overwrite); every cross-*device* dependency runs
+    through a transfer whose byte interval is a thin seam row, so interior
+    bytes carry zero cross-launch edges to remote work.
+    """
+    api, ck, a, b = _prepared_api()
+    plan0, plan1, window = _two_launch_window(api, ck, a, b)
+    window.validate()
+    edges = window.cross_launch_edges()
+    assert edges, "ping-pong launches must be coupled"
+    assert all(e.src_launch == 0 and e.dst_launch == 1 for e in edges)
+
+    kernel_nodes0 = {k.node: k for k in plan0.kernels}
+    kernel_nodes1 = {k.node: k for k in plan1.kernels}
+    transfer_nodes1 = {t.node: t for t in plan1.transfers}
+    assert transfer_nodes1, "expected halo transfers in the second launch"
+
+    for e in edges:
+        if e.dst_node in kernel_nodes1 and e.src_node in kernel_nodes0:
+            # Kernel-to-kernel coupling never crosses devices: remote
+            # launch-0 results reach a launch-1 kernel only via transfers.
+            assert kernel_nodes0[e.src_node].gpu == kernel_nodes1[e.dst_node].gpu, e
+        if e.dst_node in transfer_nodes1 and e.kind == "raw":
+            t = transfer_nodes1[e.dst_node]
+            # The producing write lives on the transfer's source instance.
+            assert e.dev == t.owner, e
+            # Interval precision: the dependency covers (part of) the
+            # transferred seam bytes, nothing wider.
+            assert t.start <= e.lo < e.hi <= t.end, e
+
+    # Seam thinness: the entire cross-device coupling (the launch-1 halo
+    # transfers) moves at most two rows per internal partition boundary.
+    halo_bytes = sum(t.nbytes for t in plan1.transfers if t.owner != HOST)
+    assert 0 < halo_bytes <= 2 * (N_GPUS - 1) * ROW
+
+
+def test_pipelined_plan_append_rejects_reordered_launches():
+    api, ck, a, b = _prepared_api()
+    plan = build_launch_plan(api, ck, _grid(), BLOCK, [a, b])
+    window = PipelinedPlan()
+    window.append(plan, 5)
+    with pytest.raises(AssertionError):
+        window.append(plan, 5)
+    with pytest.raises(AssertionError):
+        window.append(plan, 3)
+    window.clear()
+    window.append(plan, 0)  # fresh after clear
+    assert len(window) == 1
+
+
+@pytest.mark.parametrize("schedule", ["sequential", "overlap", "overlap+p2p"])
+def test_window_one_matches_legacy_execute_plan(schedule):
+    """The submit/flush split replays ``execute_plan`` event for event."""
+    iterations = 3
+
+    def run_pipelined():
+        machine = SimMachine(K80_NODE_SPEC.with_gpus(N_GPUS))
+        kernel = build_hotspot_kernel(N)
+        app = compile_app([kernel])
+        api = MultiGpuApi(
+            app,
+            RuntimeConfig(n_gpus=N_GPUS, schedule=schedule, pipeline_window=1),
+            machine=machine,
+        )
+        a = api.cudaMalloc(NBYTES)
+        b = api.cudaMalloc(NBYTES)
+        data = np.random.default_rng(1).random((N, N)).astype(np.float32)
+        api.cudaMemcpy(a, data, NBYTES, MemcpyKind.HostToDevice)
+        api.cudaMemset(b, 0, NBYTES)
+        src, dst = a, b
+        for _ in range(iterations):
+            api.launch(kernel, _grid(), BLOCK, [src, dst])
+            src, dst = dst, src
+        return api, machine
+
+    def run_legacy():
+        machine = SimMachine(K80_NODE_SPEC.with_gpus(N_GPUS))
+        kernel = build_hotspot_kernel(N)
+        app = compile_app([kernel])
+        api = MultiGpuApi(
+            app, RuntimeConfig(n_gpus=N_GPUS, schedule=schedule), machine=machine
+        )
+        a = api.cudaMalloc(NBYTES)
+        b = api.cudaMalloc(NBYTES)
+        data = np.random.default_rng(1).random((N, N)).astype(np.float32)
+        api.cudaMemcpy(a, data, NBYTES, MemcpyKind.HostToDevice)
+        api.cudaMemset(b, 0, NBYTES)
+        ck = app.kernel(kernel.name)
+        policy = select_policy(schedule)
+        src, dst = a, b
+        for i in range(iterations):
+            # The pre-pipelining launch path: build the plan, execute it
+            # monolithically, per launch.
+            api._launch_index = next(api._launch_counter)
+            plan = build_launch_plan(api, ck, _grid(), BLOCK, [src, dst])
+            execute_plan(api, plan, policy)
+            src, dst = dst, src
+        return api, machine
+
+    api_p, machine_p = run_pipelined()
+    api_l, machine_l = run_legacy()
+    assert machine_p.trace.intervals == machine_l.trace.intervals
+    assert machine_p.elapsed() == machine_l.elapsed()
+    assert api_p.stats.sync_bytes == api_l.stats.sync_bytes
+    assert api_p.stats.partition_launches == api_l.stats.partition_launches
+
+
+def test_host_visible_ops_flush_the_window():
+    """Every observation point drains buffered launches first."""
+    machine = SimMachine(K80_NODE_SPEC.with_gpus(N_GPUS))
+    kernel = build_hotspot_kernel(N)
+    app = compile_app([kernel])
+    api = MultiGpuApi(
+        app,
+        RuntimeConfig(n_gpus=N_GPUS, schedule="overlap+p2p", pipeline_window=8),
+        machine=machine,
+    )
+    a = api.cudaMalloc(NBYTES)
+    b = api.cudaMalloc(NBYTES)
+    data = np.random.default_rng(2).random((N, N)).astype(np.float32)
+    api.cudaMemcpy(a, data, NBYTES, MemcpyKind.HostToDevice)
+    api.cudaMemset(b, 0, NBYTES)
+
+    api.launch(kernel, _grid(), BLOCK, [a, b])
+    api.launch(kernel, _grid(), BLOCK, [b, a])
+    assert api.pipeline.depth == 2, "window of 8 must buffer both launches"
+    events_before = len(machine.trace)
+
+    # A user tracker query is host-visible: it must drain the window.
+    a.coherence_state()
+    assert api.pipeline.depth == 0
+    assert len(machine.trace) > events_before
+    assert api.stats.pipeline_max_batch == 2
+
+    # D2H memcpy flushes too (and the result reflects both launches).
+    api.launch(kernel, _grid(), BLOCK, [a, b])
+    assert api.pipeline.depth == 1
+    out = np.zeros((N, N), dtype=np.float32)
+    api.cudaMemcpy(out, b, NBYTES, MemcpyKind.DeviceToHost)
+    assert api.pipeline.depth == 0
+
+    # cudaDeviceSynchronize and elapsed() are drain points as well.
+    api.launch(kernel, _grid(), BLOCK, [b, a])
+    assert api.pipeline.depth == 1
+    api.cudaDeviceSynchronize()
+    assert api.pipeline.depth == 0
+    api.launch(kernel, _grid(), BLOCK, [a, b])
+    api.elapsed()
+    assert api.pipeline.depth == 0
+
+    # Flushing an empty pipeline is a no-op, not an error.
+    before = len(machine.trace)
+    api.pipeline.flush()
+    assert len(machine.trace) == before
+
+
+def test_window_flushes_when_full():
+    machine = SimMachine(K80_NODE_SPEC.with_gpus(N_GPUS))
+    kernel = build_hotspot_kernel(N)
+    app = compile_app([kernel])
+    api = MultiGpuApi(
+        app,
+        RuntimeConfig(n_gpus=N_GPUS, schedule="overlap", pipeline_window=2),
+        machine=machine,
+    )
+    a = api.cudaMalloc(NBYTES)
+    b = api.cudaMalloc(NBYTES)
+    api.cudaMemset(a, 0, NBYTES)
+    api.cudaMemset(b, 0, NBYTES)
+    src, dst = a, b
+    for i in range(4):
+        api.launch(kernel, _grid(), BLOCK, [src, dst])
+        src, dst = dst, src
+        assert api.pipeline.depth == (i + 1) % 2
+    assert api.stats.pipeline_flushes == 2
+    assert api.stats.pipeline_max_batch == 2
+
+
+def test_pipeline_window_validation():
+    from repro.errors import RuntimeApiError
+
+    with pytest.raises(RuntimeApiError):
+        RuntimeConfig(n_gpus=2, pipeline_window=0)
+    with pytest.raises(RuntimeApiError):
+        RuntimeConfig(n_gpus=2, pipeline_window=-1)
+    with pytest.raises(RuntimeApiError):
+        RuntimeConfig(n_gpus=2, pipeline_window=2.5)

@@ -62,3 +62,93 @@ class TestTrace:
     def test_interval_duration(self):
         iv = Interval("r", 1.0, 3.5, Category.HOST)
         assert iv.duration == pytest.approx(2.5)
+
+
+class TestLaunchAttribution:
+    """Per-launch transfer exposure: interleave-safe, exactly partitioning.
+
+    The pipelined executor issues copies from several launches back to
+    back, so attribution rides on each interval's ``launch`` field rather
+    than on trace position. The four (tier, hidden/exposed) buckets —
+    summed over every launch key — must reproduce
+    ``busy_time(TRANSFERS)`` to the bit, and a transfer second counts as
+    hidden exactly when some kernel runs concurrently.
+    """
+
+    def _interleaved_trace(self) -> Trace:
+        t = Trace()
+        # Kernels (the compute union): [1, 3) and [5, 6).
+        t.record("gpu0", 1.0, 3.0, Category.APPLICATION, launch=0)
+        t.record("gpu1", 5.0, 6.0, Category.APPLICATION, launch=1)
+        # Launch 0's copies interleaved with launch 1's: an intra copy
+        # half inside the compute union, and a net copy fully exposed.
+        t.record("pcie0", 0.0, 2.0, Category.TRANSFERS, launch=0)
+        t.record("net", 3.0, 5.0, Category.TRANSFERS, launch=1)
+        t.record("pcie1", 2.0, 4.0, Category.TRANSFERS, launch=1)
+        t.record("net", 5.0, 5.5, Category.TRANSFERS, launch=0)
+        # A copy that belongs to no launch (e.g. a user memcpy).
+        t.record("pcie0", 6.0, 7.0, Category.TRANSFERS)
+        # Non-transfer noise must not leak into the attribution.
+        t.record("host", 0.0, 10.0, Category.PATTERNS, launch=0)
+        return t
+
+    def test_buckets_partition_transfer_busy_time(self):
+        t = self._interleaved_trace()
+        by_launch = t.transfer_exposure_by_launch()
+        total = sum(
+            per[tier][kind]
+            for per in by_launch.values()
+            for tier in ("intra", "inter")
+            for kind in ("hidden", "exposed")
+        )
+        assert total == pytest.approx(t.busy_time(Category.TRANSFERS))
+
+    def test_attribution_is_by_originating_launch(self):
+        by_launch = self._interleaved_trace().transfer_exposure_by_launch()
+        assert set(by_launch) == {0, 1, None}
+        # Launch 0: pcie [0,2) overlaps compute [1,3) for 1s; net [5,5.5)
+        # overlaps compute [5,6) entirely.
+        assert by_launch[0]["intra"] == {
+            "hidden": pytest.approx(1.0),
+            "exposed": pytest.approx(1.0),
+        }
+        assert by_launch[0]["inter"] == {
+            "hidden": pytest.approx(0.5),
+            "exposed": pytest.approx(0.0),
+        }
+        # Launch 1: net [3,5) is fully exposed; pcie [2,4) overlaps [1,3)
+        # for 1s. The compute union is global — launch 1's copies hide
+        # behind launch 0's kernels, which is the whole point of fusing.
+        assert by_launch[1]["inter"] == {
+            "hidden": pytest.approx(0.0),
+            "exposed": pytest.approx(2.0),
+        }
+        assert by_launch[1]["intra"] == {
+            "hidden": pytest.approx(1.0),
+            "exposed": pytest.approx(1.0),
+        }
+        # The anonymous memcpy lands under None, not under any launch.
+        assert by_launch[None]["intra"]["exposed"] == pytest.approx(1.0)
+
+    def test_by_tier_sums_the_per_launch_attribution(self):
+        t = self._interleaved_trace()
+        tiers = t.transfer_exposure_by_tier()
+        assert tiers["inter"] == {
+            "hidden": pytest.approx(0.5),
+            "exposed": pytest.approx(2.0),
+        }
+        assert tiers["intra"] == {
+            "hidden": pytest.approx(2.0),
+            "exposed": pytest.approx(3.0),
+        }
+        flat = t.transfer_exposure()
+        assert flat["hidden"] == pytest.approx(2.5)
+        assert flat["exposed"] == pytest.approx(5.0)
+
+    def test_empty_trace(self):
+        t = Trace()
+        assert t.transfer_exposure_by_launch() == {}
+        assert t.transfer_exposure_by_tier() == {
+            "intra": {"hidden": 0.0, "exposed": 0.0},
+            "inter": {"hidden": 0.0, "exposed": 0.0},
+        }

@@ -46,3 +46,32 @@ def test_top_level_docs_exist():
         path = root / doc
         assert path.exists(), doc
         assert len(path.read_text()) > 1000, f"{doc} is suspiciously short"
+
+
+def test_pipeline_demo_runs():
+    """examples/pipeline_demo.py runs clean and shows the key behaviours.
+
+    The demo is the documentation's executable companion for the
+    pipelining section of docs/scheduler.md: bitwise-identical results at
+    every window, and host-visible operations draining the buffer.
+    """
+    import os
+    import pathlib
+    import subprocess
+    import sys
+
+    root = pathlib.Path(repro.__file__).resolve().parents[2]
+    demo = root / "examples" / "pipeline_demo.py"
+    assert demo.exists()
+    env = {**os.environ, "PYTHONPATH": str(root / "src")}
+    proc = subprocess.run(
+        [sys.executable, str(demo)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=root,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "bitwise-identical results" in proc.stdout
+    assert "depth=0" in proc.stdout
