@@ -59,6 +59,9 @@ def lint_kernels(
     scalars: Optional[Mapping[str, int]] = None,
     replay: bool = True,
     passes: Optional[Sequence[str]] = None,
+    n_gpus: int = 4,
+    launches: int = 2,
+    irredundant: bool = False,
 ) -> LintReport:
     """Run the static-analysis passes over a set of kernels.
 
@@ -68,13 +71,21 @@ def lint_kernels(
             :class:`~repro.cuda.dim3.Dim3`).
         scalars: concrete values for integer scalar kernel parameters.
         replay: confirm race witnesses on the IR interpreter.
-        passes: subset of registered pass names (default: all).
+        passes: subset of registered pass names (default: the default-on
+            passes; the opt-in ``dataflow`` pass runs only when named).
+        n_gpus: device count the dataflow analyzer partitions for.
+        launches: back-to-back launches the dataflow analyzer models.
+        irredundant: model the irredundant-transfer remedy; the dataflow
+            pass then reports only waste that remains after it.
     """
     launch = LaunchContext(
         grid=Dim3.of(grid),
         block=Dim3.of(block),
         scalars=dict(scalars or {}),
         replay=replay,
+        n_gpus=n_gpus,
+        launches=launches,
+        irredundant=irredundant,
     )
     infos = [analyze_kernel(k) for k in kernels]
     return PassManager(passes).run(infos, launch)

@@ -8,7 +8,9 @@ without parsing message text. Codes are grouped by hundreds:
 * ``RP2xx`` — partitioning legality (paper §4: exactness, injectivity),
 * ``RP3xx`` — memory-safety (out-of-bounds accesses),
 * ``RP4xx`` — behaviour downgrades (single-GPU fallback),
-* ``RP5xx`` — internal analysis failures.
+* ``RP5xx`` — internal analysis failures,
+* ``RP6xx`` — cross-launch transfer efficiency (redundant re-transfers,
+  bounding-range over-approximation, envelope-capping serialization).
 
 The default severity and fix hint of each code live here; individual
 diagnostics may override the severity (e.g. an unconfirmed race witness is
@@ -141,6 +143,31 @@ REGISTRY: Dict[str, CodeInfo] = {
             Severity.ERROR,
             "a lint pass raised an unexpected error on this kernel; this is "
             "a bug in the analysis, not in the kernel",
+        ),
+        _entry(
+            "RP601",
+            "redundant cross-launch re-transfer",
+            Severity.WARNING,
+            "a later launch re-transfers bytes the destination already holds "
+            "a valid copy of (sole-owner tracking forgets copies); enable "
+            "shared_copies / irredundant_transfers to keep them",
+        ),
+        _entry(
+            "RP602",
+            "bounding-range transfer over-approximation",
+            Severity.WARNING,
+            "the per-row bounding enumerator ships bytes the partition "
+            "provably never reads (strided or guarded access slack); enable "
+            "irredundant_transfers to trim copies to the exact read set",
+        ),
+        _entry(
+            "RP603",
+            "false cross-launch serialization from envelope capping",
+            Severity.ADVICE,
+            "the dataflow log's capped read/write envelopes overlap although "
+            "the exact ranges are disjoint, so the scheduler serializes "
+            "launches that are actually independent; raise the envelope cap "
+            "or split the array",
         ),
     )
 }

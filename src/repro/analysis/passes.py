@@ -47,6 +47,15 @@ class LaunchContext:
     scalars: Mapping[str, int] = field(default_factory=dict)
     #: Confirm race witnesses by replaying on the IR interpreter.
     replay: bool = True
+    #: Device count the cross-launch dataflow analyzer partitions for.
+    n_gpus: int = 4
+    #: How many back-to-back launches of each kernel the dataflow analyzer
+    #: models (steady-state redundancy needs at least two).
+    launches: int = 2
+    #: Model the irredundant-transfer remedy (shared copies + bounding-range
+    #: trimming) instead of the default runtime: the dataflow pass then only
+    #: reports waste that *remains* after the remedy.
+    irredundant: bool = False
 
     def block_dim_zyx(self) -> Tuple[int, int, int]:
         """Block extents in (z, y, x) order (the legality API's convention)."""
@@ -58,6 +67,10 @@ class AnalysisPass(abc.ABC):
 
     #: Stable registry name (also stamped on emitted diagnostics).
     name: str = ""
+    #: Whether ``PassManager(None)`` includes the pass. Opt-in passes (the
+    #: cross-launch dataflow analyzer, which needs a multi-launch model the
+    #: caller must opt into) set this False and run only when named.
+    default: bool = True
 
     @abc.abstractmethod
     def run(self, info: KernelAccessInfo, launch: LaunchContext) -> List[Diagnostic]:
@@ -86,7 +99,7 @@ def registered_passes() -> Dict[str, Type[AnalysisPass]]:
 def _ensure_builtin_passes() -> None:
     # The built-in pass modules self-register on import; importing them here
     # keeps `PassManager()` usable without callers knowing the module list.
-    from repro.analysis import bounds, partitionability, races  # noqa: F401
+    from repro.analysis import bounds, dataflow, partitionability, races  # noqa: F401
 
 
 @dataclass
@@ -120,11 +133,57 @@ class LintReport:
         return worst is not None and worst >= fail_on
 
     def sorted(self) -> List[Diagnostic]:
-        """Diagnostics ordered most-severe first, then by code and location."""
+        """Diagnostics ordered most-severe first, then by code and location.
+
+        The message is the final tie-breaker so equal-location findings (one
+        per byte interval, say) render in a deterministic order — JSON output
+        must be byte-stable across runs.
+        """
         return sorted(
             self.diagnostics,
-            key=lambda d: (-int(d.severity), d.code, d.kernel, d.array or ""),
+            key=lambda d: (-int(d.severity), d.code, d.kernel, d.array or "", d.message),
         )
+
+    def deduplicated(self) -> List[Diagnostic]:
+        """:meth:`sorted` with identical per-partition findings collapsed.
+
+        Partition-granular passes repeat one finding per partition; findings
+        whose witnesses carry a ``partition`` index and the same byte
+        interval (``lo``/``hi``) under the same (code, kernel, array)
+        collapse into one diagnostic listing every partition, suffixed with
+        the partition count. Findings without those witness keys pass
+        through untouched.
+        """
+        from dataclasses import replace
+
+        out: List[Diagnostic] = []
+        groups: Dict[tuple, int] = {}  # dedup key -> index into out
+        partitions: Dict[int, List[int]] = {}
+        for d in self.sorted():
+            w = d.witness or {}
+            if not ("partition" in w and "lo" in w and "hi" in w):
+                out.append(d)
+                continue
+            key = (d.code, d.kernel, d.array, w["lo"], w["hi"])
+            if key in groups:
+                partitions[groups[key]].append(w["partition"])
+            else:
+                groups[key] = len(out)
+                partitions[len(out)] = [w["partition"]]
+                out.append(d)
+        for idx, parts in partitions.items():
+            if len(parts) <= 1:
+                continue
+            d = out[idx]
+            witness = dict(d.witness)
+            witness["partition"] = min(parts)
+            witness["partitions"] = sorted(parts)
+            out[idx] = replace(
+                d,
+                message=f"{d.message} [{len(parts)} partitions]",
+                witness=witness,
+            )
+        return out
 
 
 class PassManager:
@@ -137,7 +196,7 @@ class PassManager:
     def __init__(self, pass_names: Optional[Sequence[str]] = None) -> None:
         _ensure_builtin_passes()
         if pass_names is None:
-            names = list(_REGISTRY)
+            names = [n for n, cls in _REGISTRY.items() if cls.default]
         else:
             unknown = [n for n in pass_names if n not in _REGISTRY]
             if unknown:

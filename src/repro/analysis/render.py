@@ -22,9 +22,15 @@ JSON_VERSION = 1
 
 
 def render_text(report: LintReport) -> str:
-    """Human-readable report: one line per finding, summary line last."""
+    """Human-readable report: one line per finding, summary line last.
+
+    Identical per-partition findings are collapsed
+    (:meth:`LintReport.deduplicated`); the summary counts the rendered
+    (deduplicated) findings so text, JSON and exit codes agree.
+    """
+    diags = report.deduplicated()
     lines: List[str] = []
-    for diag in report.sorted():
+    for diag in diags:
         lines.append(diag.format())
         if diag.witness:
             lines.append(f"         witness: {json.dumps(diag.witness, sort_keys=True)}")
@@ -32,25 +38,26 @@ def render_text(report: LintReport) -> str:
             lines.append(f"         hint: {diag.hint}")
     lines.append(
         f"{len(report.kernels)} kernel(s): "
-        f"{report.count(Severity.ERROR)} error(s), "
-        f"{report.count(Severity.WARNING)} warning(s), "
-        f"{report.count(Severity.ADVICE)} advice"
+        f"{sum(1 for d in diags if d.severity == Severity.ERROR)} error(s), "
+        f"{sum(1 for d in diags if d.severity == Severity.WARNING)} warning(s), "
+        f"{sum(1 for d in diags if d.severity == Severity.ADVICE)} advice"
     )
     return "\n".join(lines)
 
 
 def render_json(report: LintReport) -> str:
-    """The documented JSON report (stable field set, sorted findings)."""
+    """The documented JSON report (stable field set, deduplicated findings)."""
+    diags = report.deduplicated()
     doc = {
         "version": JSON_VERSION,
         "tool": "repro-lint",
         "summary": {
             "kernels": len(report.kernels),
-            "errors": report.count(Severity.ERROR),
-            "warnings": report.count(Severity.WARNING),
-            "advice": report.count(Severity.ADVICE),
+            "errors": sum(1 for d in diags if d.severity == Severity.ERROR),
+            "warnings": sum(1 for d in diags if d.severity == Severity.WARNING),
+            "advice": sum(1 for d in diags if d.severity == Severity.ADVICE),
         },
-        "diagnostics": [d.to_dict() for d in report.sorted()],
+        "diagnostics": [d.to_dict() for d in diags],
     }
     return json.dumps(doc, indent=2, sort_keys=False)
 

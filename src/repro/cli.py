@@ -52,14 +52,18 @@ from repro.harness.calibration import GPU_COUNTS, K80_NODE_SPEC
 from repro.harness.report import format_table
 from repro.runtime.api import MultiGpuApi
 from repro.runtime.config import RuntimeConfig
-from repro.workloads import ALL_WORKLOADS, functional_config
+from repro.workloads import ALL_WORKLOADS, EXTRA_WORKLOADS, functional_config
 from repro.workloads.common import TABLE1
 
 __all__ = ["main"]
 
+#: Everything ``analyze``/``lint``/``run`` accept: the paper's Table 1 set
+#: plus the extra study workloads (the bench tables stay Table-1-only).
+RUNNABLE_WORKLOADS = {**ALL_WORKLOADS, **EXTRA_WORKLOADS}
+
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    workload = ALL_WORKLOADS[args.workload](functional_config(args.workload, size=args.size))
+    workload = RUNNABLE_WORKLOADS[args.workload](functional_config(args.workload, size=args.size))
     kernels = workload.build_kernels()
     app = compile_app(kernels, model_path=args.model_out)
     if args.verbose:
@@ -95,13 +99,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import LintReport, Severity, lint_kernels, render_json, render_text
 
     names = args.workloads or sorted(ALL_WORKLOADS)
-    unknown = [n for n in names if n not in ALL_WORKLOADS]
+    unknown = [n for n in names if n not in RUNNABLE_WORKLOADS]
     if unknown:
         print(f"error: unknown workload(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
+    passes = None
+    if args.dataflow:
+        # The dataflow pass is opt-in (it models whole launch sequences);
+        # --dataflow adds it to the default pass set.
+        from repro.analysis import registered_passes
+
+        passes = [
+            name
+            for name, cls in registered_passes().items()
+            if cls.default or name == "dataflow"
+        ]
     report = LintReport()
     for name in names:
-        workload = ALL_WORKLOADS[name](functional_config(name, size=args.size))
+        workload = RUNNABLE_WORKLOADS[name](functional_config(name, size=args.size))
         grid, block = workload.launch_config()
         report.extend(
             lint_kernels(
@@ -109,6 +124,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 grid=grid,
                 block=block,
                 replay=not args.no_replay,
+                passes=passes,
+                n_gpus=args.gpus,
+                launches=args.launches,
+                irredundant=args.irredundant,
             )
         )
     print(render_json(report) if args.format == "json" else render_text(report))
@@ -117,7 +136,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    workload = ALL_WORKLOADS[args.workload](
+    workload = RUNNABLE_WORKLOADS[args.workload](
         functional_config(args.workload, size=args.size, iterations=args.iterations)
     )
     inputs = workload.make_inputs(seed=args.seed)
@@ -132,6 +151,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             schedule=args.schedule,
             shared_copies=args.shared_copies,
             pipeline_window=args.pipeline_window,
+            irredundant_transfers=args.irredundant_transfers,
         ),
     )
     result = workload.run(api, inputs)
@@ -151,6 +171,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"shared copies: {api.stats.redundant_bytes_avoided} redundant "
             f"bytes avoided, {api.stats.tracker_share_ops} sharer registrations, "
             f"{api.stats.tracker_invalidate_ops} invalidations"
+        )
+    if args.irredundant_transfers:
+        print(
+            f"irredundant transfers: {api.stats.overapprox_bytes_avoided} "
+            f"bounding-range slack bytes trimmed"
         )
     return 0
 
@@ -481,18 +506,94 @@ def _cmd_bench_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stencil_linter_agreement(points, shapes, schedules, iterations, base) -> List[str]:
+    """Cross-check the measured dstencil traffic against the RP6xx linter.
+
+    The dataflow analyzer simulates the same launch sequence the runtime
+    executes, so its per-flow byte classification must *equal* the runtime
+    counters: total required bytes = measured sync bytes, total redundant
+    bytes = measured ``redundant_bytes_avoided`` (shared-copies run), total
+    over-approximated bytes = measured ``overapprox_bytes_avoided``
+    (irredundant run) — per tier. Any disagreement is a bug in one of the
+    two models and fails the bench.
+    """
+    from repro.analysis.dataflow import analyze_transfers
+    from repro.compiler.access_analysis import analyze_kernel
+    from repro.workloads.dstencil import BLOCK, build_dstencil_kernel
+
+    from repro.cuda.dim3 import Dim3
+
+    side = 64
+    info = analyze_kernel(build_dstencil_kernel(side))
+    blocks = -(-side // BLOCK.x)
+    grid = Dim3(x=blocks, y=blocks)
+    failures: List[str] = []
+    by = {
+        (p.kernel, p.n_nodes, p.schedule, p.shared_copies, p.irredundant): p
+        for p in points
+    }
+    for n_nodes, gpus_per_node in shapes:
+        total = n_nodes * gpus_per_node
+        cluster = base.with_shape(n_nodes, gpus_per_node) if n_nodes > 1 else None
+        for irr in (False, True):
+            summary = analyze_transfers(
+                info,
+                n_gpus=total,
+                launches=iterations,
+                grid=grid,
+                block=BLOCK,
+                scalars={},
+                irredundant=irr,
+                cluster=cluster,
+            )
+            for sched in schedules:
+                p = by[("dstencil", n_nodes, sched, True, irr)]
+                pairs = [
+                    ("required", summary.total("required"), p.total_sync_bytes),
+                    ("redundant", summary.total("redundant"), p.redundant_bytes_avoided),
+                    (
+                        "redundant_inter",
+                        summary.total("redundant_inter"),
+                        p.redundant_bytes_avoided_inter,
+                    ),
+                    ("overapprox", summary.total("overapprox"), p.overapprox_bytes_avoided),
+                    (
+                        "overapprox_inter",
+                        summary.total("overapprox_inter"),
+                        p.overapprox_bytes_avoided_inter,
+                    ),
+                ]
+                for what, linted, measured in pairs:
+                    if linted != measured:
+                        failures.append(
+                            f"linter disagreement: dstencil {what} bytes — linter "
+                            f"{linted}, runtime {measured} ({n_nodes} node(s), "
+                            f"{sched}, irredundant={irr})"
+                        )
+    return failures
+
+
 def _cmd_bench_redundancy(args: argparse.Namespace) -> int:
     from repro.harness import experiments as ex
+    from repro.harness.calibration import K80_CLUSTER_SPEC
 
     nodes = args.nodes
     gpn = args.gpus_per_node or 4
     shapes = ((1, nodes * gpn), (nodes, gpn)) if nodes > 1 else ((1, gpn),)
     schedules = (args.schedule,) if args.schedule else ("sequential", "overlap")
+    iterations = 8
     print(
         f"redundancy bench: shapes {', '.join(f'{n}x{g}' for n, g in shapes)}, "
-        f"schedules {', '.join(schedules)}, shared copies off vs on"
+        f"schedules {', '.join(schedules)}, shared copies off vs on, "
+        f"irredundant transfers off vs on"
     )
-    points = ex.redundancy_study(shapes=shapes, schedules=schedules)
+    points = ex.redundancy_study(
+        iterations=iterations,
+        shapes=shapes,
+        schedules=schedules,
+        irredundant=(False, True),
+        stencil=True,
+    )
 
     rows = [
         (
@@ -500,9 +601,11 @@ def _cmd_bench_redundancy(args: argparse.Namespace) -> int:
             f"{p.n_nodes}x{p.gpus_per_node}",
             p.schedule,
             "on" if p.shared_copies else "off",
+            "on" if p.irredundant else "off",
             p.steady_bytes,
             p.total_sync_bytes,
             p.redundant_bytes_avoided,
+            p.overapprox_bytes_avoided,
             p.inter_node_bytes,
         )
         for p in points
@@ -514,9 +617,11 @@ def _cmd_bench_redundancy(args: argparse.Namespace) -> int:
                 "Shape",
                 "Schedule",
                 "Shared",
+                "Irred",
                 "Steady [B]",
                 "Total sync [B]",
                 "Avoided [B]",
+                "Trimmed [B]",
                 "Inter-node [B]",
             ],
             rows,
@@ -525,7 +630,11 @@ def _cmd_bench_redundancy(args: argparse.Namespace) -> int:
     )
 
     failures: List[str] = []
-    by = {(p.kernel, p.n_nodes, p.schedule, p.shared_copies): p for p in points}
+    by = {
+        (p.kernel, p.n_nodes, p.schedule, p.shared_copies): p
+        for p in points
+        if not p.irredundant
+    }
     for n_nodes, _ in shapes:
         for sched in schedules:
             off = by[("broadcast", n_nodes, sched, False)]
@@ -560,6 +669,44 @@ def _cmd_bench_redundancy(args: argparse.Namespace) -> int:
                     f"({n_nodes} node(s), {sched})"
                 )
 
+    # The stencil acceptance bar: trimming bounding-range slack strictly
+    # reduces transferred bytes on top of the shared-copies baseline —
+    # including the inter-node halo tier — and stays bitwise invisible.
+    by_irr = {
+        (p.kernel, p.n_nodes, p.schedule, p.shared_copies, p.irredundant): p
+        for p in points
+    }
+    for n_nodes, _ in shapes:
+        for sched in schedules:
+            base_pt = by_irr[("dstencil", n_nodes, sched, True, False)]
+            irr_pt = by_irr[("dstencil", n_nodes, sched, True, True)]
+            if irr_pt.checksum != base_pt.checksum:
+                failures.append(
+                    f"bitwise: dstencil output differs with irredundant "
+                    f"transfers ({n_nodes} node(s), {sched})"
+                )
+            if irr_pt.total_sync_bytes >= base_pt.total_sync_bytes:
+                failures.append(
+                    f"reduction: dstencil irredundant transfers did not cut "
+                    f"traffic ({base_pt.total_sync_bytes} -> "
+                    f"{irr_pt.total_sync_bytes}, {n_nodes} node(s), {sched})"
+                )
+            if irr_pt.overapprox_bytes_avoided == 0:
+                failures.append(
+                    f"trim: dstencil trimmed no slack bytes "
+                    f"({n_nodes} node(s), {sched})"
+                )
+            if n_nodes > 1 and irr_pt.inter_node_bytes >= base_pt.inter_node_bytes:
+                failures.append(
+                    f"cluster: dstencil inter-node bytes did not drop with "
+                    f"irredundant transfers ({base_pt.inter_node_bytes} -> "
+                    f"{irr_pt.inter_node_bytes}, {sched})"
+                )
+
+    failures.extend(
+        _stencil_linter_agreement(points, shapes, schedules, iterations, K80_CLUSTER_SPEC)
+    )
+
     if args.json:
         import json
 
@@ -572,12 +719,16 @@ def _cmd_bench_redundancy(args: argparse.Namespace) -> int:
             {
                 "kernel": p.kernel,
                 "shared_copies": p.shared_copies,
+                "irredundant": p.irredundant,
                 "schedule": p.schedule,
                 "n_nodes": p.n_nodes,
                 "gpus_per_node": p.gpus_per_node,
                 "steady_bytes": p.steady_bytes,
                 "total_sync_bytes": p.total_sync_bytes,
                 "redundant_bytes_avoided": p.redundant_bytes_avoided,
+                "redundant_bytes_avoided_inter": p.redundant_bytes_avoided_inter,
+                "overapprox_bytes_avoided": p.overapprox_bytes_avoided,
+                "overapprox_bytes_avoided_inter": p.overapprox_bytes_avoided_inter,
                 "inter_node_bytes": p.inter_node_bytes,
                 "checksum": p.checksum,
             }
@@ -591,7 +742,10 @@ def _cmd_bench_redundancy(args: argparse.Namespace) -> int:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)
         return 1
-    print("checks passed: >=2x steady-state reduction, bitwise equality, no regression")
+    print(
+        "checks passed: >=2x steady-state reduction, bitwise equality, no "
+        "regression, irredundant stencil reduction, linter agreement"
+    )
     return 0
 
 
@@ -733,7 +887,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("analyze", help="print a workload's polyhedral application model")
-    p.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+    p.add_argument("workload", choices=sorted(RUNNABLE_WORKLOADS))
     p.add_argument("--size", type=int, default=None, help="problem size (default: small functional)")
     p.add_argument("--model-out", default=None, help="write the JSON model here")
     p.add_argument(
@@ -761,12 +915,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip interpreter replay confirmation of race witnesses",
     )
+    p.add_argument(
+        "--dataflow",
+        action="store_true",
+        help="also run the cross-launch dataflow pass (RP6xx transfer lints)",
+    )
+    p.add_argument(
+        "--irredundant",
+        action="store_true",
+        help="dataflow pass: model the irredundant-transfer remedy and "
+        "report only the waste that remains after it",
+    )
+    p.add_argument(
+        "--gpus",
+        type=int,
+        default=4,
+        help="dataflow pass: device count to partition for (default 4)",
+    )
+    p.add_argument(
+        "--launches",
+        type=int,
+        default=2,
+        help="dataflow pass: back-to-back launches to model (default 2)",
+    )
     p.set_defaults(fn=_cmd_lint)
 
     from repro.sched.policy import SCHEDULES
 
     p = sub.add_parser("run", help="functional multi-GPU run with bitwise check")
-    p.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+    p.add_argument("workload", choices=sorted(RUNNABLE_WORKLOADS))
     p.add_argument("--gpus", type=int, default=4)
     p.add_argument("--size", type=int, default=None)
     p.add_argument("--iterations", type=int, default=None)
@@ -788,6 +965,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="fuse this many consecutive launches into one scheduling "
         "window (default 1: per-launch orchestration)",
+    )
+    p.add_argument(
+        "--irredundant-transfers",
+        action="store_true",
+        help="trim bounding-range slack off synchronization copies using "
+        "the exact per-partition read sets (RP602 remedy)",
     )
     p.set_defaults(fn=_cmd_run)
 

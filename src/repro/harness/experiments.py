@@ -584,6 +584,9 @@ class RedundancyPoint:
 
     kernel: str
     shared_copies: bool
+    #: Whether the run trimmed bounding-range slack off planned copies
+    #: (:attr:`~repro.runtime.config.RuntimeConfig.irredundant_transfers`).
+    irredundant: bool
     schedule: str
     n_nodes: int
     gpus_per_node: int
@@ -593,6 +596,13 @@ class RedundancyPoint:
     steady_bytes: int
     total_sync_bytes: int
     redundant_bytes_avoided: int
+    #: Share of ``redundant_bytes_avoided`` whose sole-owner re-transfer
+    #: would have crossed the node fabric.
+    redundant_bytes_avoided_inter: int
+    #: Bounding-range slack bytes the irredundant path trimmed, and the
+    #: share that would have crossed the node fabric.
+    overapprox_bytes_avoided: int
+    overapprox_bytes_avoided_inter: int
     inter_node_bytes: int
     tracker_share_ops: int
     tracker_invalidate_ops: int
@@ -642,6 +652,9 @@ def redundancy_study(
     shapes: Sequence[Tuple[int, int]] = ((1, 4),),
     schedules: Sequence[str] = ("sequential",),
     base: ClusterSpec = K80_CLUSTER_SPEC,
+    irredundant: Sequence[bool] = (False,),
+    stencil: bool = False,
+    stencil_side: int = 64,
 ) -> List[RedundancyPoint]:
     """Coherence traffic of broadcast vs aligned reads, shared copies on/off.
 
@@ -649,6 +662,12 @@ def redundancy_study(
     shape: a 1-node shape uses the flat :class:`SimMachine`, multi-node
     shapes a :class:`ClusterSimMachine` so the inter-node byte reduction of
     nearest-copy routing shows up in the stats.
+
+    ``irredundant`` adds the RP602 remedy as a study dimension (each value
+    runs the whole sweep with that ``irredundant_transfers`` setting);
+    ``stencil`` adds the decimating-stencil workload
+    (:mod:`repro.workloads.dstencil`), whose strided reads give the
+    irredundant path actual bounding-range slack to trim.
     """
     import hashlib
 
@@ -658,57 +677,89 @@ def redundancy_study(
     from repro.cuda.dim3 import Dim3
 
     aligned, broadcast = _redundancy_kernels(n)
-    nbytes = n * 4
     table = np.linspace(0.0, 1.0, n, dtype=np.float32)
+    zeros = np.zeros(n, dtype=np.float32)
+    # One case per kernel: (kernel, grid, block, host arrays in array-param
+    # order — each is H2D'd before the iteration loop — output param index).
+    grid1d, block1d = Dim3(n // 128), Dim3(128)
+    cases = [
+        (aligned, grid1d, block1d, [table, zeros], 1),
+        (broadcast, grid1d, block1d, [table, zeros], 1),
+    ]
+    if stencil:
+        from repro.workloads.dstencil import BLOCK, build_dstencil_kernel, src_shape
+
+        rows, cols = src_shape(stencil_side)
+        src = np.linspace(0.0, 1.0, rows * cols, dtype=np.float32).reshape(rows, cols)
+        blocks = -(-stencil_side // BLOCK.x)
+        cases.append(
+            (
+                build_dstencil_kernel(stencil_side),
+                Dim3(x=blocks, y=blocks),
+                BLOCK,
+                [src, np.zeros((stencil_side, stencil_side), dtype=np.float32)],
+                1,
+            )
+        )
     points: List[RedundancyPoint] = []
-    for kernel in (aligned, broadcast):
+    for kernel, grid, block, inputs, out_idx in cases:
         app = compile_app([kernel])
         for n_nodes, gpus_per_node in shapes:
             total = n_nodes * gpus_per_node
             for schedule in schedules:
                 for shared in (False, True):
-                    config = RuntimeConfig(
-                        n_gpus=total, schedule=schedule, shared_copies=shared
-                    )
-                    if n_nodes > 1:
-                        machine = ClusterSimMachine(base.with_shape(n_nodes, gpus_per_node))
-                    else:
-                        machine = SimMachine(base.node.with_gpus(total))
-                    api = MultiGpuApi(app, config, machine=machine)
-                    d_table = api.cudaMalloc(nbytes)
-                    d_out = api.cudaMalloc(nbytes)
-                    api.cudaMemcpy(d_table, table, nbytes, MemcpyKind.HostToDevice)
-                    api.cudaMemcpy(
-                        d_out, np.zeros(n, dtype=np.float32), nbytes, MemcpyKind.HostToDevice
-                    )
-                    grid, block = Dim3(n // 128), Dim3(128)
-                    first = steady = 0
-                    for it in range(iterations):
-                        before = api.stats.sync_bytes
-                        api.launch(kernel, grid, block, [d_table, d_out])
-                        steady = api.stats.sync_bytes - before
-                        if it == 0:
-                            first = steady
-                    result = np.zeros(n, dtype=np.float32)
-                    api.cudaMemcpy(result, d_out, nbytes, MemcpyKind.DeviceToHost)
-                    points.append(
-                        RedundancyPoint(
-                            kernel.name,
-                            shared,
-                            schedule,
-                            n_nodes,
-                            gpus_per_node,
-                            iterations,
-                            first,
-                            steady,
-                            api.stats.sync_bytes,
-                            api.stats.redundant_bytes_avoided,
-                            api.stats.inter_node_bytes,
-                            api.stats.tracker_share_ops,
-                            api.stats.tracker_invalidate_ops,
-                            hashlib.sha256(result.tobytes()).hexdigest(),
+                    for irr in irredundant:
+                        config = RuntimeConfig(
+                            n_gpus=total,
+                            schedule=schedule,
+                            shared_copies=shared,
+                            irredundant_transfers=irr,
                         )
-                    )
+                        if n_nodes > 1:
+                            machine = ClusterSimMachine(
+                                base.with_shape(n_nodes, gpus_per_node)
+                            )
+                        else:
+                            machine = SimMachine(base.node.with_gpus(total))
+                        api = MultiGpuApi(app, config, machine=machine)
+                        devs = []
+                        for host in inputs:
+                            d = api.cudaMalloc(host.nbytes)
+                            api.cudaMemcpy(d, host, host.nbytes, MemcpyKind.HostToDevice)
+                            devs.append(d)
+                        first = steady = 0
+                        for it in range(iterations):
+                            before = api.stats.sync_bytes
+                            api.launch(kernel, grid, block, devs)
+                            steady = api.stats.sync_bytes - before
+                            if it == 0:
+                                first = steady
+                        result = np.zeros_like(inputs[out_idx])
+                        api.cudaMemcpy(
+                            result, devs[out_idx], result.nbytes, MemcpyKind.DeviceToHost
+                        )
+                        points.append(
+                            RedundancyPoint(
+                                kernel.name,
+                                shared,
+                                irr,
+                                schedule,
+                                n_nodes,
+                                gpus_per_node,
+                                iterations,
+                                first,
+                                steady,
+                                api.stats.sync_bytes,
+                                api.stats.redundant_bytes_avoided,
+                                api.stats.redundant_bytes_avoided_inter,
+                                api.stats.overapprox_bytes_avoided,
+                                api.stats.overapprox_bytes_avoided_inter,
+                                api.stats.inter_node_bytes,
+                                api.stats.tracker_share_ops,
+                                api.stats.tracker_invalidate_ops,
+                                hashlib.sha256(result.tobytes()).hexdigest(),
+                            )
+                        )
     return points
 
 

@@ -27,8 +27,24 @@ from repro.poly.set_ import Set
 from repro.poly.map_ import BasicMap, Map
 from repro.poly.parser import parse_set, parse_map, parse_basic_set, parse_basic_map
 from repro.poly.pretty import set_to_str, map_to_str
+from repro.poly.intervals import (
+    Atom,
+    atomic_decomposition,
+    intersect_intervals,
+    normalize_intervals,
+    subtract_intervals,
+    total_bytes,
+    union_intervals,
+)
 
 __all__ = [
+    "Atom",
+    "atomic_decomposition",
+    "intersect_intervals",
+    "normalize_intervals",
+    "subtract_intervals",
+    "total_bytes",
+    "union_intervals",
     "Space",
     "Aff",
     "Constraint",

@@ -183,6 +183,40 @@ class BasicSet:
             exact=self.exact and other.exact,
         )
 
+    def subtract(self, other: "BasicSet") -> List["BasicSet"]:
+        """Set difference ``self \\ other`` as a list of disjoint pieces.
+
+        Distributes the complement of ``other``'s conjunction: for the i-th
+        inequality ``e_i >= 0`` the i-th piece is ``self ∧ e_1>=0 ∧ ... ∧
+        e_{i-1}>=0 ∧ e_i <= -1`` (equalities are split into two
+        inequalities first), so the pieces partition the true difference.
+        Integer-exact when both operands are exact; an inexact ``other``
+        over-approximates, which can make the difference an
+        *under*-approximation — the pieces' ``exact`` flags are cleared and
+        callers needing soundness must check them.
+        """
+        self.space.check_compatible(other.space)
+        if self._trivially_empty:
+            return []
+        if other._trivially_empty:
+            return [self]
+        ineqs: List[Vec] = []
+        for c in other.constraints:
+            ineqs.append(c.vec)
+            if c.is_eq:
+                ineqs.append(tuple(-v for v in c.vec))
+        exact = self.exact and other.exact
+        pieces: List[BasicSet] = []
+        kept: List[Constraint] = []
+        for vec in ineqs:
+            # ¬(v·x >= 0)  ⟺  -v·x - 1 >= 0
+            negated = (-vec[0] - 1,) + tuple(-v for v in vec[1:])
+            piece = self.add_constraints(kept + [Constraint(Kind.INEQ, negated)])
+            if not piece.is_empty():
+                pieces.append(piece._with_exact(exact))
+            kept.append(Constraint(Kind.INEQ, vec))
+        return pieces
+
     # -- projection / substitution ------------------------------------------
 
     def project_out(self, names: Iterable[str]) -> "BasicSet":

@@ -83,6 +83,14 @@ class Set:
     def intersect_basic(self, bset: BasicSet) -> "Set":
         return Set(self.space, [d.intersect(bset) for d in self.disjuncts])
 
+    def subtract(self, other: "Set") -> "Set":
+        """Set difference: subtract every disjunct of ``other`` in turn."""
+        self.space.check_compatible(other.space)
+        remaining = list(self.disjuncts)
+        for sub in other.disjuncts:
+            remaining = [p for d in remaining for p in d.subtract(sub)]
+        return Set(self.space, remaining)
+
     def project_out(self, names: Iterable[str]) -> "Set":
         names = list(names)
         out = [d.project_out(names) for d in self.disjuncts]

@@ -61,6 +61,14 @@ class RunStats:
     #: Bytes NOT re-transferred because the destination already held a
     #: valid shared copy (zero unless ``RuntimeConfig.shared_copies``).
     redundant_bytes_avoided: int = 0
+    #: Share of ``redundant_bytes_avoided`` whose sole-owner re-transfer
+    #: would have crossed the node fabric (zero off-cluster).
+    redundant_bytes_avoided_inter: int = 0
+    #: Bounding-range slack trimmed from synchronization copies by the
+    #: dataflow analyzer (zero unless ``RuntimeConfig.irredundant_transfers``).
+    overapprox_bytes_avoided: int = 0
+    #: Share of the trimmed slack that would have crossed the node fabric.
+    overapprox_bytes_avoided_inter: int = 0
     partition_launches: int = 0
     fallback_launches: int = 0
     #: Subset of sync transfers whose endpoints live on different cluster

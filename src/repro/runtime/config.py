@@ -72,6 +72,14 @@ class RuntimeConfig:
     #: intra-node and interior transfers. The default 1 reproduces the
     #: per-launch orchestration exactly, event for event.
     pipeline_window: int = 1
+    #: Irredundant transfer sets (MAIRS): trim every synchronization copy
+    #: to the byte ranges the dataflow analyzer proves the partition
+    #: actually reads, dropping the bounding-range slack of the paper's
+    #: per-row enumerators (strided reads, over-approximated guards). Sound
+    #: because dropped bytes are provably never read — they simply stay
+    #: stale in the tracker; bitwise-invisible on outputs. The default
+    #: False ships every planned byte, reproducing §6.1 exactly.
+    irredundant_transfers: bool = False
     #: Debug audit (functional mode only): execute each partition with the
     #: instrumented interpreter and verify the scanned write set equals the
     #: cells the kernel actually wrote. Catches compiler bugs at the launch

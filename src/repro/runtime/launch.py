@@ -31,7 +31,7 @@ from repro.cuda.dim3 import Dim3
 from repro.cuda.exec.interpreter import run_kernel
 from repro.cuda.ir.kernel import ArrayParam, ScalarParam, partition_field_name
 from repro.errors import PartitioningError, RuntimeApiError
-from repro.runtime.sync import plan_stale_copies, register_sharer
+from repro.runtime.sync import plan_stale_copies_tiered, register_sharer
 from repro.runtime.vbuffer import VirtualBuffer
 from repro.sim.trace import Category
 
@@ -166,10 +166,11 @@ def launch_fallback(
                 api.host_pattern_cost(api.spec.tracker_op_cost * max(1, len(segments)))
             api.stats.tracker_ops += 1
             api.stats.tracker_query_ops += 1
-            copies, avoided = plan_stale_copies(
+            copies, avoided, avoided_inter = plan_stale_copies_tiered(
                 segments, gpu, getattr(api, "cluster", None)
             )
             api.stats.redundant_bytes_avoided += avoided
+            api.stats.redundant_bytes_avoided_inter += avoided_inter
             for seg in copies:
                 api.stats.sync_transfers += 1
                 api.stats.sync_bytes += seg.nbytes

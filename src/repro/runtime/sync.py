@@ -38,6 +38,8 @@ __all__ = [
     "byte_ranges",
     "pick_source",
     "plan_stale_copies",
+    "plan_stale_copies_tiered",
+    "trim_copies",
     "merge_stale_segments",
     "buffer_synchronize",
     "buffer_update",
@@ -80,33 +82,77 @@ def pick_source(seg: Segment, gpu: int, cluster=None) -> int:
     return min(seg.holders, key=rank)
 
 
-def plan_stale_copies(
+def plan_stale_copies_tiered(
     segments: Sequence[Segment], gpu: int, cluster=None
-) -> Tuple[List[Segment], int]:
-    """(copies, redundant_bytes_avoided) for one partition's read segments.
+) -> Tuple[List[Segment], int, int]:
+    """(copies, redundant_bytes_avoided, avoided_inter) for one read set.
 
     A segment is *stale* when ``gpu`` holds no valid copy; each stale
     segment is assigned its :func:`pick_source` and adjacent copies from
     the same source coalesce into one transfer. Segments ``gpu`` already
     holds as a mere sharer (not owner) are counted as redundant bytes a
-    sole-owner tracker would have re-transferred.
+    sole-owner tracker would have re-transferred; ``avoided_inter`` is the
+    share of those bytes whose re-transfer would have crossed the node
+    fabric (the owner — the sole-owner source — lives on another node).
 
     The returned segments carry the chosen *source* in their ``owner``
     field — the shape both the sequential loop and the DAG builder issue.
     """
     merged: List[Segment] = []
-    avoided = 0
+    avoided = avoided_inter = 0
     for seg in segments:
         if gpu in seg.holders:
             if seg.owner != gpu:
                 avoided += seg.nbytes
+                if cluster is not None and not cluster.same_node(seg.owner, gpu):
+                    avoided_inter += seg.nbytes
             continue
         src = pick_source(seg, gpu, cluster)
         if merged and merged[-1].owner == src and merged[-1].end == seg.start:
             merged[-1] = Segment(merged[-1].start, seg.end, src)
         else:
             merged.append(Segment(seg.start, seg.end, src))
-    return merged, avoided
+    return merged, avoided, avoided_inter
+
+
+def plan_stale_copies(
+    segments: Sequence[Segment], gpu: int, cluster=None
+) -> Tuple[List[Segment], int]:
+    """Back-compat: :func:`plan_stale_copies_tiered` without the tier split."""
+    copies, avoided, _ = plan_stale_copies_tiered(segments, gpu, cluster)
+    return copies, avoided
+
+
+def trim_copies(
+    copies: Sequence[Segment],
+    keep: Sequence[Tuple[int, int]],
+    gpu: int,
+    cluster=None,
+) -> Tuple[List[Segment], int, int]:
+    """Intersect planned copies with the provably-read byte ranges.
+
+    ``keep`` is the exact read set of the partition as flat byte ranges
+    (from the dataflow analyzer's per-access enumeration); planned bytes
+    outside it are bounding-range slack the affine model proves the kernel
+    never reads. Returns ``(trimmed, overapprox, overapprox_inter)`` where
+    the byte counts split the dropped slack by transfer tier (the copy's
+    chosen source is in ``seg.owner``). Dropping slack is sound precisely
+    because the bytes are never read — the destination simply keeps a stale
+    copy the tracker continues to consider stale.
+    """
+    from repro.poly.intervals import intersect_intervals
+
+    trimmed: List[Segment] = []
+    overapprox = overapprox_inter = 0
+    for seg in copies:
+        pieces = intersect_intervals([(seg.start, seg.end)], keep)
+        slack = seg.nbytes - sum(hi - lo for lo, hi in pieces)
+        if slack:
+            overapprox += slack
+            if cluster is not None and not cluster.same_node(seg.owner, gpu):
+                overapprox_inter += slack
+        trimmed.extend(Segment(lo, hi, seg.owner) for lo, hi in pieces)
+    return trimmed, overapprox, overapprox_inter
 
 
 def merge_stale_segments(segments, gpu: int, cluster=None):
@@ -145,8 +191,11 @@ def buffer_synchronize(
             + api.spec.per_range_cost * emitted
             + api.spec.tracker_op_cost * max(len(ranges), len(segments))
         )
-    copies, avoided = plan_stale_copies(segments, gpu, getattr(api, "cluster", None))
+    copies, avoided, avoided_inter = plan_stale_copies_tiered(
+        segments, gpu, getattr(api, "cluster", None)
+    )
     api.stats.redundant_bytes_avoided += avoided
+    api.stats.redundant_bytes_avoided_inter += avoided_inter
     for seg in copies:
         api.stats.sync_transfers += 1
         api.stats.sync_bytes += seg.nbytes

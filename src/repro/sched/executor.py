@@ -167,6 +167,9 @@ def _charge_read_sync(api: "MultiGpuApi", rs: ReadSync) -> None:
     api.stats.tracker_ops += len(rs.ranges)
     api.stats.tracker_query_ops += len(rs.ranges)
     api.stats.redundant_bytes_avoided += rs.avoided
+    api.stats.redundant_bytes_avoided_inter += rs.avoided_inter
+    api.stats.overapprox_bytes_avoided += rs.overapprox
+    api.stats.overapprox_bytes_avoided_inter += rs.overapprox_inter
     if api.spec:
         # One aggregated host interval covering: the enumerator call, the
         # per-emitted-range callback work, and one tracker query per range.
@@ -306,6 +309,9 @@ def apply_plan_functional(api: "MultiGpuApi", plan: LaunchPlan) -> None:
                 api.stats.tracker_ops += len(rs.ranges)
                 api.stats.tracker_query_ops += len(rs.ranges)
                 api.stats.redundant_bytes_avoided += rs.avoided
+                api.stats.redundant_bytes_avoided_inter += rs.avoided_inter
+                api.stats.overapprox_bytes_avoided += rs.overapprox
+                api.stats.overapprox_bytes_avoided_inter += rs.overapprox_inter
                 for t in rs.transfers:
                     api.stats.sync_transfers += 1
                     api.stats.sync_bytes += t.nbytes

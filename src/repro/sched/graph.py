@@ -32,7 +32,8 @@ from repro.compiler.pipeline import CompiledKernel
 from repro.compiler.strategy import Partition
 from repro.cuda.api import resolve_array_shapes, split_launch_args
 from repro.cuda.dim3 import Dim3
-from repro.runtime.sync import byte_ranges, plan_stale_copies
+from repro.poly.intervals import subtract_intervals
+from repro.runtime.sync import byte_ranges, plan_stale_copies_tiered, trim_copies
 from repro.runtime.vbuffer import VirtualBuffer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -125,6 +126,13 @@ class ReadSync:
     #: Bytes a sole-owner tracker would have re-transferred but the sharer
     #: set proved already valid on the destination (§8.3 redundancy).
     avoided: int = 0
+    #: The share of ``avoided`` whose re-transfer would have crossed the
+    #: cluster's node fabric (sole-owner source on another node).
+    avoided_inter: int = 0
+    #: Bounding-range slack bytes trimmed off the planned copies by the
+    #: irredundant-transfer path (provably never read by the partition).
+    overapprox: int = 0
+    overapprox_inter: int = 0
     transfers: List[TransferTask] = field(default_factory=list)
 
 
@@ -224,16 +232,7 @@ class CrossLaunchEdge:
 
 def _subtract(ranges: List[Tuple[int, int]], lo: int, hi: int) -> List[Tuple[int, int]]:
     """Remove ``[lo, hi)`` from a list of disjoint byte ranges."""
-    out: List[Tuple[int, int]] = []
-    for a, b in ranges:
-        if hi <= a or b <= lo:
-            out.append((a, b))
-            continue
-        if a < lo:
-            out.append((a, lo))
-        if hi < b:
-            out.append((hi, b))
-    return out
+    return subtract_intervals(ranges, [(lo, hi)])
 
 
 @dataclass
@@ -412,11 +411,25 @@ def build_launch_plan(
                     enum, part, block, grid, scalars, shapes[enum.array], param.dtype.size
                 )
                 segments = vb.tracker.query_many(ranges)
-                copies, avoided = plan_stale_copies(
-                    segments, gpu, getattr(api, "cluster", None)
+                cluster = getattr(api, "cluster", None)
+                copies, avoided, avoided_inter = plan_stale_copies_tiered(
+                    segments, gpu, cluster
                 )
+                overapprox = overapprox_inter = 0
+                if api.config.irredundant_transfers and copies:
+                    from repro.analysis.dataflow import runtime_exact_read_ranges
+
+                    keep = runtime_exact_read_ranges(
+                        api, ck.info, enum, part, grid, block, scalars,
+                        shapes[enum.array], param.dtype.size,
+                    )
+                    if keep is not None:
+                        copies, overapprox, overapprox_inter = trim_copies(
+                            copies, keep, gpu, cluster
+                        )
                 rs = ReadSync(
-                    gpu, enum.array, vb, enum, ranges, emitted, len(segments), avoided
+                    gpu, enum.array, vb, enum, ranges, emitted, len(segments),
+                    avoided, avoided_inter, overapprox, overapprox_inter,
                 )
                 for seg in copies:
                     task = TransferTask(

@@ -12,11 +12,20 @@ from repro.workloads.common import ProblemConfig, TABLE1, table1_configs, functi
 from repro.workloads.hotspot import HotspotWorkload
 from repro.workloads.nbody import NBodyWorkload
 from repro.workloads.matmul import MatmulWorkload
+from repro.workloads.dstencil import DStencilWorkload
 
+#: The paper's Table 1 proxy applications (benchmark tables iterate these).
 ALL_WORKLOADS = {
     "hotspot": HotspotWorkload,
     "nbody": NBodyWorkload,
     "matmul": MatmulWorkload,
+}
+
+#: Additional study workloads outside the paper's benchmark set; merged
+#: with :data:`ALL_WORKLOADS` where arbitrary workloads are accepted (CLI),
+#: never iterated by the Table 1 harness.
+EXTRA_WORKLOADS = {
+    "dstencil": DStencilWorkload,
 }
 
 __all__ = [
@@ -27,5 +36,7 @@ __all__ = [
     "HotspotWorkload",
     "NBodyWorkload",
     "MatmulWorkload",
+    "DStencilWorkload",
     "ALL_WORKLOADS",
+    "EXTRA_WORKLOADS",
 ]

@@ -48,7 +48,13 @@ TABLE1: Dict[str, Dict[str, ProblemConfig]] = {
 
 #: Reduced sizes used by the functional-correctness test suite (kernels
 #: really execute; bitwise comparison against the single-device reference).
-_FUNCTIONAL_SIZES = {"hotspot": (64, 6), "nbody": (192, 4), "matmul": (48, 1)}
+_FUNCTIONAL_SIZES = {
+    "hotspot": (64, 6),
+    "nbody": (192, 4),
+    "matmul": (48, 1),
+    # Extra (non-Table-1) workloads.
+    "dstencil": (64, 4),
+}
 
 
 def table1_configs(workload: Optional[str] = None) -> List[ProblemConfig]:

@@ -1,0 +1,115 @@
+"""DStencil: a decimating (strided-read) stencil for transfer-waste studies.
+
+Each output cell averages *even* columns of an oversized source grid:
+
+    out[gy, gx] = 0.5*(src[gy, 2gx] + src[gy, 2gx+2]) + 0.25*src[gy+1, 2gx]
+
+The kernel is the measurement workload of the cross-launch dataflow
+analyzer (``RP6xx``), engineered to exhibit both transfer pathologies at
+once:
+
+* **Bounding-range over-approximation (RP602).** The strided column
+  subscript ``2*gx`` survives as an inexact image after Fourier–Motzkin
+  projection (evenness cannot be expressed), so the §6.1 per-row
+  enumerator ships every column between the first and last even one —
+  ~50 % provable slack that :attr:`~repro.runtime.config.RuntimeConfig.\
+irredundant_transfers` trims away.
+* **Redundant re-transfer (RP601).** ``src`` is read-only and iterated:
+  a sole-owner tracker forgets each launch's synchronization copies and
+  re-ships the same halo row (and the linear-distribution mismatch) every
+  iteration; ``shared_copies`` keeps them.
+
+The row split puts ``src`` row ``p_hi`` (read via ``gy+1``) on the next
+partition — a one-row halo that crosses partition seams, and on a cluster
+the node fabric. Not part of the paper's Table 1 set; registered under
+``EXTRA_WORKLOADS`` so the paper-faithful three-workload tables stay
+untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cuda.api import MemcpyKind
+from repro.cuda.dim3 import Dim3
+from repro.cuda.dtypes import f32
+from repro.cuda.ir.builder import KernelBuilder
+from repro.cuda.ir.kernel import Kernel
+from repro.workloads.common import ProblemConfig, Workload
+
+__all__ = ["DStencilWorkload", "build_dstencil_kernel", "src_shape", "BLOCK"]
+
+BLOCK = Dim3(x=16, y=16)
+
+
+def src_shape(n: int) -> Tuple[int, int]:
+    """Shape of the oversized source grid for an ``n x n`` output."""
+    return (n + 1, 2 * n + 2)
+
+
+def build_dstencil_kernel(n: int) -> Kernel:
+    """The decimating stencil for an ``n x n`` output (``n`` baked in)."""
+    kb = KernelBuilder("dstencil")
+    rows, cols = src_shape(n)
+    src = kb.array("src", f32, (rows, cols))
+    out = kb.array("out", f32, (n, n))
+    gy, gx = kb.global_id("y"), kb.global_id("x")
+    with kb.if_((gy < n) & (gx < n)):
+        out[gy, gx] = 0.5 * (src[gy, 2 * gx] + src[gy, 2 * gx + 2]) + 0.25 * src[
+            gy + 1, 2 * gx
+        ]
+    return kb.finish()
+
+
+class DStencilWorkload(Workload):
+    """The decimating-stencil transfer-waste workload (EXTRA_WORKLOADS)."""
+
+    name = "dstencil"
+
+    def __init__(self, cfg: ProblemConfig) -> None:
+        super().__init__(cfg)
+        self.kernel = build_dstencil_kernel(cfg.size)
+
+    def build_kernels(self) -> List[Kernel]:
+        return [self.kernel]
+
+    def launch_config(self) -> Tuple[Dim3, Dim3]:
+        n = self.cfg.size
+        blocks = -(-n // BLOCK.x)
+        return Dim3(x=blocks, y=blocks), BLOCK
+
+    def make_inputs(self, seed: int = 0) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return {"src": rng.random(src_shape(self.cfg.size), dtype=np.float32)}
+
+    def run(self, api, inputs: Optional[Dict[str, np.ndarray]]):
+        n = self.cfg.size
+        rows, cols = src_shape(n)
+        src_bytes = rows * cols * 4
+        out_bytes = n * n * 4
+        grid, block = self.launch_config()
+        d_src = api.cudaMalloc(src_bytes)
+        d_out = api.cudaMalloc(out_bytes)
+        api.cudaMemcpy(
+            d_src, inputs["src"] if inputs else None, src_bytes, MemcpyKind.HostToDevice
+        )
+        # The source is read-only: iterating the launch models a host loop
+        # re-sampling the same grid (steady-state transfer behaviour).
+        for _ in range(self.cfg.iterations):
+            api.launch(self.kernel, grid, block, [d_src, d_out])
+        out = np.empty((n, n), dtype=np.float32) if inputs else None
+        api.cudaMemcpy(out, d_out, out_bytes, MemcpyKind.DeviceToHost)
+        api.cudaDeviceSynchronize()
+        return {"out": out} if inputs else None
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        src = inputs["src"]
+        n = self.cfg.size
+        half = np.float32(0.5)
+        quarter = np.float32(0.25)
+        even = src[:n, 0 : 2 * n : 2]
+        even2 = src[:n, 2 : 2 * n + 2 : 2]
+        below = src[1 : n + 1, 0 : 2 * n : 2]
+        return {"out": half * (even + even2) + quarter * below}

@@ -75,3 +75,62 @@ class TestJsonSchema:
     def test_non_object_rejected(self):
         with pytest.raises(LintError, match="JSON object"):
             validate_report_json([1, 2])
+
+
+class TestDeduplication:
+    """Identical per-partition findings collapse before rendering."""
+
+    def _partition_diag(self, partition, lo=0, hi=248, code="RP601"):
+        from repro.analysis.diagnostics import make_diagnostic
+
+        return make_diagnostic(
+            code,
+            "every launch re-transfers 248 bytes",
+            kernel="k",
+            array="src",
+            witness={"partition": partition, "lo": lo, "hi": hi, "bytes": hi - lo},
+            pass_name="dataflow",
+        )
+
+    def _report_with(self, diags):
+        from repro.analysis.passes import LintReport
+
+        return LintReport(diagnostics=list(diags), kernels=["k"])
+
+    def test_identical_intervals_collapse(self):
+        report = self._report_with(self._partition_diag(p) for p in range(4))
+        (merged,) = report.deduplicated()
+        assert merged.message.endswith("[4 partitions]")
+        assert merged.witness["partitions"] == [0, 1, 2, 3]
+        assert merged.witness["partition"] == 0  # schema keeps the scalar key
+
+    def test_distinct_intervals_stay_separate(self):
+        report = self._report_with(
+            [self._partition_diag(0, 0, 248), self._partition_diag(1, 300, 548)]
+        )
+        deduped = report.deduplicated()
+        assert len(deduped) == 2
+        assert all("partitions" not in (d.witness or {}) for d in deduped)
+        assert all("[" not in d.message for d in deduped)
+
+    def test_non_partition_findings_pass_through(self):
+        from repro.analysis.diagnostics import make_diagnostic
+
+        plain = make_diagnostic(
+            "RP103", "skipped", kernel="k", array="a", pass_name="races"
+        )
+        report = self._report_with([plain, *(self._partition_diag(p) for p in range(2))])
+        deduped = report.deduplicated()
+        assert len(deduped) == 2  # plain + one merged
+        assert any(d.code == "RP103" and d.witness is None for d in deduped)
+
+    def test_renderers_count_deduplicated_findings(self):
+        report = self._report_with(self._partition_diag(p) for p in range(4))
+        text = render_text(report)
+        assert text.count("RP601") == 1
+        assert "[4 partitions]" in text
+        doc = json.loads(render_json(report))
+        validate_report_json(doc)
+        assert doc["summary"]["warnings"] == 1
+        assert len(doc["diagnostics"]) == 1
+        assert doc["diagnostics"][0]["witness"]["partitions"] == [0, 1, 2, 3]

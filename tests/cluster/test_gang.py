@@ -134,3 +134,116 @@ class TestValidate:
         gang.nodes[0].local_transfers.pop()
         with pytest.raises(SimulationError):
             gang.validate()
+
+
+class TestHaloTierSummary:
+    """halo_tier_summary: per-tier classification of one plan's bytes."""
+
+    def _dstencil_api(self, cluster, irredundant):
+        from repro.workloads.common import functional_config
+        from repro.workloads.dstencil import DStencilWorkload, src_shape
+
+        wl = DStencilWorkload(functional_config("dstencil"))
+        app = compile_app([wl.kernel])
+        api = MultiGpuApi(
+            app,
+            RuntimeConfig(
+                n_gpus=cluster.total_gpus,
+                shared_copies=True,
+                irredundant_transfers=irredundant,
+            ),
+            machine=ClusterSimMachine(cluster),
+            functional=True,
+        )
+        n = wl.cfg.size
+        rows, cols = src_shape(n)
+        grid, block = wl.launch_config()
+        d_src = api.cudaMalloc(rows * cols * 4)
+        d_out = api.cudaMalloc(n * n * 4)
+        src = np.random.default_rng(0).random((rows, cols)).astype(np.float32)
+        api.cudaMemcpy(d_src, src, rows * cols * 4, MemcpyKind.HostToDevice)
+        plan = lambda: build_launch_plan(  # noqa: E731
+            api, app.kernel(wl.kernel.name), grid, block, [d_src, d_out]
+        )
+        launch = lambda: api.launch(wl.kernel, grid, block, [d_src, d_out])  # noqa: E731
+        return plan, launch
+
+    def _tie_out(self, summary, plan, cluster):
+        """Every bucket equals its recomputation from the plan's tasks."""
+        intra = sum(
+            t.nbytes for t in plan.transfers if cluster.same_node(t.owner, t.gpu)
+        )
+        inter = sum(
+            t.nbytes for t in plan.transfers if not cluster.same_node(t.owner, t.gpu)
+        )
+        reads = [rs for syncs in plan.reads for rs in syncs]
+        assert summary.intra_bytes == intra
+        assert summary.inter_bytes == inter
+        assert summary.transferred == intra + inter
+        assert summary.avoided_intra + summary.avoided_inter == sum(
+            rs.avoided for rs in reads
+        )
+        assert summary.avoided_inter == sum(rs.avoided_inter for rs in reads)
+        assert summary.trimmed_intra + summary.trimmed_inter == sum(
+            rs.overapprox for rs in reads
+        )
+        assert summary.trimmed_inter == sum(rs.overapprox_inter for rs in reads)
+
+    def test_cold_plan_ships_trimmed_halos_per_tier(self):
+        from repro.cluster.gang import HaloTierSummary, halo_tier_summary
+
+        cluster = _cluster(2, 2)
+        plan_at, _ = self._dstencil_api(cluster, irredundant=True)
+        plan = plan_at()
+        summary = halo_tier_summary(plan, cluster)
+        self._tie_out(summary, plan, cluster)
+        # The first launch ships the (trimmed) linear-distribution mismatch
+        # and halo: exactly half the bounding bytes survive per tier (the
+        # strided read keeps even columns only), nothing is avoided yet.
+        assert summary == HaloTierSummary(
+            intra_bytes=512,
+            inter_bytes=256,
+            avoided_intra=0,
+            avoided_inter=0,
+            trimmed_intra=504,
+            trimmed_inter=252,
+        )
+
+    def test_warm_plan_avoids_everything_still_reporting_slack(self):
+        from repro.cluster.gang import HaloTierSummary, halo_tier_summary
+
+        cluster = _cluster(2, 2)
+        plan_at, launch = self._dstencil_api(cluster, irredundant=True)
+        launch()
+        plan = plan_at()
+        summary = halo_tier_summary(plan, cluster)
+        self._tie_out(summary, plan, cluster)
+        # Steady state: shared copies hold every previously shipped byte
+        # (the cold transfers reappear tier-for-tier as avoided), while the
+        # trimmed slack — never shipped, hence never shared — is re-planned
+        # and re-trimmed each launch.
+        assert summary == HaloTierSummary(
+            intra_bytes=0,
+            inter_bytes=0,
+            avoided_intra=512,
+            avoided_inter=256,
+            trimmed_intra=504,
+            trimmed_inter=252,
+        )
+
+    def test_without_irredundant_nothing_is_trimmed(self):
+        from repro.cluster.gang import halo_tier_summary
+
+        cluster = _cluster(2, 2)
+        plan_at, launch = self._dstencil_api(cluster, irredundant=False)
+        cold = halo_tier_summary(plan_at(), cluster)
+        launch()
+        warm = halo_tier_summary(plan_at(), cluster)
+        for summary in (cold, warm):
+            assert summary.trimmed_intra == 0 and summary.trimmed_inter == 0
+        # Untrimmed cold transfers carry the slack: double the irredundant
+        # bytes per tier, minus the four seam bytes the linear distribution
+        # already places correctly.
+        assert (cold.intra_bytes, cold.inter_bytes) == (1016, 508)
+        assert (warm.avoided_intra, warm.avoided_inter) == (1016, 508)
+        assert warm.transferred == 0

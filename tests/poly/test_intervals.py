@@ -1,0 +1,157 @@
+"""Interval algebra and MAIRS atomic decomposition (repro.poly.intervals).
+
+Unit tests against hand-computed cases plus hypothesis properties against a
+brute-force point-set oracle: each operation behaves like its set-theoretic
+counterpart on integer points, and the atomic decomposition *exactly
+partitions* the union of the per-reader range lists — atoms are pairwise
+disjoint, byte-identical to the union, and each atom's reader set is
+precisely the readers covering its points.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.poly.intervals import (
+    Atom,
+    atomic_decomposition,
+    intersect_intervals,
+    normalize_intervals,
+    subtract_intervals,
+    total_bytes,
+    union_intervals,
+)
+
+
+def points(ranges):
+    out = set()
+    for lo, hi in ranges:
+        out.update(range(lo, hi))
+    return out
+
+
+ranges_strategy = st.lists(
+    st.tuples(st.integers(0, 40), st.integers(0, 40)).map(
+        lambda t: (min(t), max(t))
+    ),
+    max_size=6,
+)
+
+
+class TestAlgebra:
+    def test_normalize_merges_overlap_and_abutment(self):
+        assert normalize_intervals([(5, 9), (0, 3), (3, 5), (20, 22)]) == [
+            (0, 9),
+            (20, 22),
+        ]
+
+    def test_normalize_drops_empty_and_inverted(self):
+        assert normalize_intervals([(4, 4), (9, 2)]) == []
+
+    def test_subtract_splits_runs(self):
+        assert subtract_intervals([(0, 10)], [(2, 4), (6, 8)]) == [
+            (0, 2),
+            (4, 6),
+            (8, 10),
+        ]
+
+    def test_intersect_disjoint_is_empty(self):
+        assert intersect_intervals([(0, 4)], [(4, 8)]) == []
+
+    def test_total_bytes_deduplicates(self):
+        assert total_bytes([(0, 4), (2, 6)]) == 6
+
+    @given(a=ranges_strategy, b=ranges_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_ops_match_point_sets(self, a, b):
+        assert points(union_intervals(a, b)) == points(a) | points(b)
+        assert points(intersect_intervals(a, b)) == points(a) & points(b)
+        assert points(subtract_intervals(a, b)) == points(a) - points(b)
+
+    @given(a=ranges_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_normalize_is_canonical(self, a):
+        norm = normalize_intervals(a)
+        assert points(norm) == points(a)
+        assert norm == sorted(norm)
+        # Disjoint and non-adjacent: no two runs could merge further.
+        assert all(norm[i][1] < norm[i + 1][0] for i in range(len(norm) - 1))
+
+
+class TestAtomicDecomposition:
+    def test_halo_example(self):
+        """Two partitions sharing one halo row split into three atoms."""
+        atoms = atomic_decomposition({0: [(0, 12)], 1: [(8, 20)]})
+        assert atoms == [
+            Atom(0, 8, frozenset({0})),
+            Atom(8, 12, frozenset({0, 1})),
+            Atom(12, 20, frozenset({1})),
+        ]
+        assert atoms[1].multiplicity == 2 and atoms[1].nbytes == 4
+
+    def test_empty_readers_produce_no_atoms(self):
+        assert atomic_decomposition({0: [], 1: []}) == []
+
+    @given(
+        read_sets=st.dictionaries(
+            st.integers(0, 3), ranges_strategy, max_size=4
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_exactly_partitions_the_union(self, read_sets):
+        """The MAIRS property: disjoint atoms, byte-identical union, and
+
+        each atom's reader set equals the readers whose ranges cover it.
+        """
+        atoms = atomic_decomposition(read_sets)
+        # Pairwise disjoint and sorted.
+        for left, right in zip(atoms, atoms[1:]):
+            assert left.hi <= right.lo
+        # Union of atoms == union of all input ranges, byte for byte.
+        all_ranges = [r for ranges in read_sets.values() for r in ranges]
+        assert points((a.lo, a.hi) for a in atoms) == points(all_ranges)
+        # Reader sets are exact at every point, and atoms are maximal:
+        # adjacent atoms never share a reader set.
+        by_reader = {r: points(ranges) for r, ranges in read_sets.items()}
+        for atom in atoms:
+            assert atom.readers  # an atom is read by someone by construction
+            for x in range(atom.lo, atom.hi):
+                assert atom.readers == frozenset(
+                    r for r, pts in by_reader.items() if x in pts
+                )
+        for left, right in zip(atoms, atoms[1:]):
+            if left.hi == right.lo:
+                assert left.readers != right.readers
+
+
+class TestSetSubtract:
+    """BasicSet/Set.subtract added for the dataflow analyzer."""
+
+    def _box(self, lo, hi):
+        from repro.poly.basic_set import BasicSet
+        from repro.poly.constraint import Constraint
+        from repro.poly.affine import Aff
+        from repro.poly.space import Space
+
+        space = Space.set_space(("x",))
+        x = Aff.var(space, "x")
+        return BasicSet(
+            space,
+            [
+                Constraint.ineq(x - Aff.const(space, lo)),
+                Constraint.ineq(Aff.const(space, hi) - x),
+            ],
+        )
+
+    def test_basic_set_subtract_points(self):
+        pieces = self._box(0, 10).subtract(self._box(3, 6))
+        got = {p[0] for bs in pieces for p in bs.enumerate_points()}
+        assert got == set(range(0, 11)) - set(range(3, 7))
+
+    def test_set_subtract_points(self):
+        from repro.poly.set_ import Set
+
+        space = self._box(0, 1).space
+        a = Set(space, [self._box(0, 4), self._box(8, 12)])
+        b = Set(space, [self._box(2, 9)])
+        got = {p[0] for bs in a.subtract(b).disjuncts for p in bs.enumerate_points()}
+        assert got == (set(range(0, 5)) | set(range(8, 13))) - set(range(2, 10))

@@ -75,3 +75,32 @@ def test_pipeline_demo_runs():
     assert proc.returncode == 0, proc.stderr
     assert "bitwise-identical results" in proc.stdout
     assert "depth=0" in proc.stdout
+
+
+def test_diagnostic_codes_match_docs_table():
+    """Every registered RPxxx code appears in docs/static-analysis.md's
+
+    code table with the registry's default severity — and vice versa, so
+    neither side can drift without this test flagging it.
+    """
+    import pathlib
+    import re
+
+    from repro.analysis.codes import REGISTRY
+
+    root = pathlib.Path(repro.__file__).resolve().parents[2]
+    doc = (root / "docs" / "static-analysis.md").read_text()
+    rows = dict(
+        re.findall(r"^\| `(RP\d{3})` \| (error|warning|advice) \|", doc, re.M)
+    )
+    assert rows, "code table not found in docs/static-analysis.md"
+    assert set(rows) == set(REGISTRY), (
+        f"docs-only codes: {sorted(set(rows) - set(REGISTRY))}; "
+        f"undocumented codes: {sorted(set(REGISTRY) - set(rows))}"
+    )
+    mismatched = {
+        code: (rows[code], info.severity.name.lower())
+        for code, info in REGISTRY.items()
+        if rows[code] != info.severity.name.lower()
+    }
+    assert not mismatched, f"severity drift (docs, registry): {mismatched}"

@@ -1,0 +1,71 @@
+"""The decimating-stencil workload (EXTRA_WORKLOADS, not Table 1).
+
+Functional correctness against the NumPy reference, bitwise equality
+across GPU counts, and the partitioning shape the transfer-waste studies
+depend on (row split, inexact read enumerator for ``src``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.access_analysis import analyze_kernel
+from repro.compiler.pipeline import compile_app
+from repro.compiler.strategy import choose_strategy
+from repro.runtime.api import MultiGpuApi
+from repro.runtime.config import RuntimeConfig
+from repro.workloads import ALL_WORKLOADS, EXTRA_WORKLOADS
+from repro.workloads.common import functional_config
+from repro.workloads.dstencil import DStencilWorkload, build_dstencil_kernel, src_shape
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return DStencilWorkload(functional_config("dstencil"))
+
+
+class TestRegistration:
+    def test_extra_not_table1(self):
+        """The paper-faithful three-workload tables stay untouched."""
+        assert EXTRA_WORKLOADS["dstencil"] is DStencilWorkload
+        assert "dstencil" not in ALL_WORKLOADS
+
+
+class TestFunctional:
+    def test_matches_reference_single_gpu(self, workload):
+        inputs = workload.make_inputs(3)
+        api = MultiGpuApi(compile_app([workload.kernel]), RuntimeConfig(n_gpus=1))
+        out = workload.run(api, inputs)["out"]
+        assert np.array_equal(out, workload.reference(inputs)["out"])
+
+    @pytest.mark.parametrize("n_gpus", [2, 4])
+    def test_bitwise_across_gpu_counts(self, workload, n_gpus):
+        inputs = workload.make_inputs(0)
+        ref = workload.reference(inputs)["out"]
+        api = MultiGpuApi(
+            compile_app([workload.kernel]), RuntimeConfig(n_gpus=n_gpus)
+        )
+        out = workload.run(api, inputs)["out"]
+        assert np.array_equal(out, ref)
+
+    def test_reference_is_float32(self, workload):
+        out = workload.reference(workload.make_inputs(0))["out"]
+        assert out.dtype == np.float32
+
+
+class TestPartitioningShape:
+    def test_row_split_with_inexact_src_enumerator(self):
+        """The workload's raison d'etre: partitionable along y, while the
+
+        strided ``2*gx`` subscript leaves the ``src`` read enumerator
+        inexact (bounding) — the RP602 slack source.
+        """
+        n = 64
+        from repro.compiler.enumerators import EnumeratorTable
+
+        info = analyze_kernel(build_dstencil_kernel(n))
+        strategy = choose_strategy(info)
+        assert strategy.axis == "y"
+        enums = EnumeratorTable.build(info)
+        src_read = enums.get("dstencil", "src", "read")
+        assert src_read is not None and not src_read.exact
+        assert src_shape(n) == (n + 1, 2 * n + 2)
