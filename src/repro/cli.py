@@ -10,7 +10,7 @@ Commands
               result bitwise against the single-GPU reference.
 ``bench``     regenerate the paper's evaluation tables on the simulated
               K80 node (figure6 | figure7 | figure8 | table1 | overhead |
-              schedules | cluster | redundancy | pipeline).
+              schedules | cluster | redundancy | pipeline | serve).
 
 ``run`` and ``bench`` accept ``--schedule
 {sequential,overlap,overlap+p2p,auto}`` to pick the launch-scheduler policy
@@ -49,7 +49,7 @@ from repro.cuda.api import CudaApi
 from repro.errors import ReproError, exit_code_for
 from repro.cuda.ir.printer import kernel_to_cuda
 from repro.harness.calibration import GPU_COUNTS, K80_NODE_SPEC
-from repro.harness.report import format_table
+from repro.harness.report import finish_self_checks, format_table, write_json_report
 from repro.runtime.api import MultiGpuApi
 from repro.runtime.config import RuntimeConfig
 from repro.workloads import ALL_WORKLOADS, EXTRA_WORKLOADS, functional_config
@@ -288,13 +288,6 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
             )
 
     if args.json:
-        import json
-
-        path = (
-            args.json
-            if isinstance(args.json, str)
-            else "benchmarks/results/cluster_scaling.json"
-        )
         payload = {
             "nodes": nodes,
             "gpus_per_node": gpn,
@@ -319,16 +312,11 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
             ],
             "failures": failures,
         }
-        with open(path, "w") as fh:
-            json.dump(payload, fh, indent=2)
-        print(f"wrote {path}")
+        write_json_report(args.json, "benchmarks/results/cluster_scaling.json", payload)
 
-    if failures:
-        for f in failures:
-            print(f"FAIL: {f}", file=sys.stderr)
-        return 1
-    print("checks passed: 1-node equivalence, accounting identity, tier sanity")
-    return 0
+    return finish_self_checks(
+        failures, "1-node equivalence, accounting identity, tier sanity"
+    )
 
 
 def _check_pipeline_equivalence(workloads, n_gpus, windows) -> List[str]:
@@ -457,13 +445,6 @@ def _cmd_bench_pipeline(args: argparse.Namespace) -> int:
     failures += _check_pipeline_equivalence(workloads, min(n_gpus, 4), windows)
 
     if args.json:
-        import json
-
-        path = (
-            args.json
-            if isinstance(args.json, str)
-            else "benchmarks/results/pipeline.json"
-        )
         payload = {
             "windows": list(windows),
             "size": size,
@@ -490,20 +471,14 @@ def _cmd_bench_pipeline(args: argparse.Namespace) -> int:
             ],
             "failures": failures,
         }
-        with open(path, "w") as fh:
-            json.dump(payload, fh, indent=2)
-        print(f"wrote {path}")
+        write_json_report(args.json, "benchmarks/results/pipeline.json", payload)
 
-    if failures:
-        for f in failures:
-            print(f"FAIL: {f}", file=sys.stderr)
-        return 1
-    print(
-        "checks passed: exposed transfer time never above window=1, "
+    return finish_self_checks(
+        failures,
+        "exposed transfer time never above window=1, "
         ">=25% exposed reduction and >=1.1x speedup vs sequential baseline, "
-        "bitwise equality across schedule x window x shared-copies"
+        "bitwise equality across schedule x window x shared-copies",
     )
-    return 0
 
 
 def _stencil_linter_agreement(points, shapes, schedules, iterations, base) -> List[str]:
@@ -708,13 +683,6 @@ def _cmd_bench_redundancy(args: argparse.Namespace) -> int:
     )
 
     if args.json:
-        import json
-
-        path = (
-            args.json
-            if isinstance(args.json, str)
-            else "benchmarks/results/redundant_transfers.json"
-        )
         payload = [
             {
                 "kernel": p.kernel,
@@ -734,19 +702,115 @@ def _cmd_bench_redundancy(args: argparse.Namespace) -> int:
             }
             for p in points
         ]
-        with open(path, "w") as fh:
-            json.dump(payload, fh, indent=2)
-        print(f"wrote {path}")
+        write_json_report(
+            args.json, "benchmarks/results/redundant_transfers.json", payload
+        )
 
-    if failures:
-        for f in failures:
-            print(f"FAIL: {f}", file=sys.stderr)
-        return 1
-    print(
-        "checks passed: >=2x steady-state reduction, bitwise equality, no "
-        "regression, irredundant stencil reduction, linter agreement"
+    return finish_self_checks(
+        failures,
+        ">=2x steady-state reduction, bitwise equality, no "
+        "regression, irredundant stencil reduction, linter agreement",
     )
-    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Multi-tenant serving saturation study with exit-1 self-checks."""
+    from repro.serve.bench import (
+        saturation_failures,
+        saturation_study,
+        single_tenant_identity_failures,
+    )
+
+    tenants = args.tenants
+    loads = tuple(args.load) if args.load else (0.25, 0.5, 1.0, 2.0, 4.0)
+    nodes = args.nodes
+    gpn = args.gpus_per_node if args.gpus_per_node else 2
+    points = saturation_study(
+        tenants=tenants,
+        loads=loads,
+        jobs=args.jobs,
+        n_nodes=nodes,
+        gpus_per_node=gpn,
+        queue_capacity=args.queue_capacity,
+    )
+    print(
+        format_table(
+            [
+                "Load",
+                "Offered/s",
+                "Submitted",
+                "Done",
+                "Shed",
+                "Jobs/s",
+                "p50 ms",
+                "p99 ms",
+            ],
+            [
+                [
+                    f"{p.load:g}",
+                    f"{p.offered_rate:.0f}",
+                    p.submitted,
+                    p.completed,
+                    p.shed,
+                    f"{p.throughput:.0f}",
+                    f"{p.p50_delay * 1e3:.3f}",
+                    f"{p.p99_delay * 1e3:.3f}",
+                ]
+                for p in points
+            ],
+            title=(
+                f"Serve saturation — {tenants} tenants on {nodes}x{gpn} "
+                f"(queue capacity {points[0].queue_capacity}, "
+                f"service {points[0].service_time * 1e3:.3f} ms/job)"
+            ),
+        )
+    )
+
+    failures = saturation_failures(points)
+    # The serve path must be indistinguishable from the direct api path for
+    # a lone tenant — checked across pipelining and the overlap schedule.
+    for window in (1, 4):
+        failures += single_tenant_identity_failures(
+            n_nodes=nodes, gpus_per_node=gpn, pipeline_window=window
+        )
+    failures += single_tenant_identity_failures(
+        n_nodes=nodes, gpus_per_node=gpn, schedule="overlap", shared_copies=True
+    )
+
+    if args.json:
+        payload = {
+            "tenants": tenants,
+            "shape": f"{nodes}x{gpn}",
+            "jobs": args.jobs,
+            "queue_capacity": points[0].queue_capacity,
+            "service_time": points[0].service_time,
+            "points": [
+                {
+                    "load": p.load,
+                    "offered_rate": p.offered_rate,
+                    "submitted": p.submitted,
+                    "completed": p.completed,
+                    "shed": p.shed,
+                    "wall": p.wall,
+                    "throughput": p.throughput,
+                    "p50_delay": p.p50_delay,
+                    "p99_delay": p.p99_delay,
+                    "per_tenant_completed": p.per_tenant_completed,
+                }
+                for p in points
+            ],
+            "failures": failures,
+        }
+        write_json_report(
+            args.json, "benchmarks/results/serve_saturation.json", payload
+        )
+
+    return finish_self_checks(
+        failures,
+        "graceful saturation (throughput plateau, bounded p99, backpressure "
+        "only under overload, fair shares), single-tenant serve identity "
+        "(bitwise, trace, clock, stats)",
+    )
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -758,6 +822,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_redundancy(args)
     if args.experiment == "pipeline":
         return _cmd_bench_pipeline(args)
+    if args.experiment == "serve":
+        return _cmd_bench_serve(args)
     if args.experiment == "table1":
         print(
             format_table(
@@ -987,6 +1053,7 @@ def build_parser() -> argparse.ArgumentParser:
             "cluster",
             "redundancy",
             "pipeline",
+            "serve",
         ],
     )
     p.add_argument("--gpu-counts", type=int, nargs="*", default=None)
@@ -1030,6 +1097,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="pipeline experiment: additional pipeline window to measure "
         "(1, 2 and 4 always run)",
+    )
+    p.add_argument(
+        "--tenants", type=int, default=4, help="serve experiment: tenant count"
+    )
+    p.add_argument(
+        "--load",
+        type=float,
+        nargs="*",
+        default=None,
+        metavar="L",
+        help="serve experiment: offered loads as multiples of measured "
+        "capacity (default: 0.25 0.5 1 2 4)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=48,
+        help="serve experiment: jobs offered per load point",
+    )
+    p.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=8,
+        help="serve experiment: per-tenant admission-control queue bound",
     )
     p.set_defaults(fn=_cmd_bench)
 

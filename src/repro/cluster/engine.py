@@ -58,6 +58,25 @@ class ClusterSimMachine(SimMachine):
         lanes.append(self._fabric)
         return lanes
 
+    def node_resource_avail(self, node: int) -> float:
+        """Drain time of one node's own resources (a gang barrier's floor).
+
+        Covers the node's device compute queues, their PCIe lanes, the
+        node's staging bus and its NIC lanes — everything the node owns
+        exclusively. Deliberately excludes the shared fabric: a gang
+        barrier on one node must not wait out other nodes' in-flight
+        fabric traffic; copies that *do* touch this node are accounted via
+        their completion events by the caller.
+        """
+        c = self.cluster
+        t = self.host_time
+        for dev in c.devices_of(node):
+            t = max(t, self._dev_avail[dev], self._lanes[dev].avail)
+        t = max(t, self._node_buses[node].avail)
+        for lane in self._nics[node]:
+            t = max(t, lane.avail)
+        return t
+
     def _pick_nic(self, node: int) -> _Lane:
         """The least-loaded NIC lane of one node (deterministic tie-break)."""
         return min(self._nics[node], key=lambda lane: lane.avail)

@@ -40,6 +40,8 @@ __all__ = [
     "TrackerError",
     "SimulationError",
     "CalibrationError",
+    "ServeError",
+    "AdmissionError",
     "exit_code_for",
     "format_with_code",
 ]
@@ -173,6 +175,29 @@ class CalibrationError(SimulationError):
     """Invalid machine-model calibration constants."""
 
     exit_code = 71
+
+
+class ServeError(ReproError):
+    """Errors in the multi-tenant serving runtime (:mod:`repro.serve`)."""
+
+    exit_code = 80
+
+
+class AdmissionError(ServeError):
+    """A job was rejected by admission control (bounded-queue backpressure).
+
+    Carries a stable machine-readable ``reason`` code so clients can
+    distinguish load shedding from programming errors without parsing the
+    message text.
+    """
+
+    exit_code = 81
+    #: Stable reason code for queue-full rejections.
+    QUEUE_FULL = "SERVE_QUEUE_FULL"
+
+    def __init__(self, *args: object, reason: str = QUEUE_FULL) -> None:
+        super().__init__(*args)
+        self.reason = reason
 
 
 def exit_code_for(exc: BaseException) -> int:

@@ -1,15 +1,61 @@
-"""Plain-text reporting: tables, ASCII charts, CSV export.
+"""Plain-text reporting: tables, ASCII charts, CSV export, self-checks.
 
 The benchmark harness prints the same rows/series the paper reports; these
-helpers keep that output readable in a terminal and diffable in CI.
+helpers keep that output readable in a terminal and diffable in CI. The
+self-checking benches (``repro bench cluster/redundancy/pipeline/serve``)
+share one exit-code convention — :func:`finish_self_checks` — and one JSON
+artifact convention — :func:`write_json_report` — so every bench fails CI
+the same way and lands its payload in the same place.
 """
 
 from __future__ import annotations
 
 import io
+import json
+import os
+import sys
 from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["format_table", "ascii_series", "to_csv"]
+__all__ = [
+    "format_table",
+    "ascii_series",
+    "to_csv",
+    "finish_self_checks",
+    "write_json_report",
+]
+
+
+def finish_self_checks(failures: Sequence[str], passed_message: str) -> int:
+    """Turn a bench's self-check outcome into its process exit code.
+
+    Prints one ``FAIL: ...`` line per failure to stderr and returns 1, or
+    prints ``checks passed: <passed_message>`` and returns 0 — the shared
+    contract every self-checking bench (and its CI smoke job) relies on.
+    """
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"checks passed: {passed_message}")
+    return 0
+
+
+def write_json_report(json_arg: object, default_path: str, payload: object) -> str:
+    """Write one bench's machine-readable payload, honouring ``--json``.
+
+    ``json_arg`` is argparse's value for the optional-path flag: a string
+    overrides the destination, any other truthy value (bare ``--json``)
+    selects ``default_path``. Parent directories are created as needed;
+    the chosen path is printed and returned.
+    """
+    path = json_arg if isinstance(json_arg, str) else default_path
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {path}")
+    return path
 
 
 def format_table(

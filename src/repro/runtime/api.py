@@ -86,6 +86,41 @@ class RunStats:
     pipeline_flushes: int = 0
     pipeline_max_batch: int = 0
 
+    def merge(self, other: "RunStats") -> "RunStats":
+        """Combine two stats records into one aggregate.
+
+        Counters sum field by field, per-policy ``auto_choices`` sum key by
+        key, and ``pipeline_max_batch`` — a high-water mark, not a count —
+        takes the maximum. The per-tenant accounting of the serving runtime
+        (:mod:`repro.serve`) folds tenants' stats with this: merging the
+        per-tenant records of a shared run yields exactly the counters one
+        whole-run record would have accumulated, because every counted
+        event belongs to exactly one tenant.
+        """
+        from dataclasses import fields
+
+        merged = RunStats()
+        for f in fields(RunStats):
+            a, b = getattr(self, f.name), getattr(other, f.name)
+            if f.name == "auto_choices":
+                combined = dict(a)
+                for key, count in b.items():
+                    combined[key] = combined.get(key, 0) + count
+                merged.auto_choices = combined
+            elif f.name == "pipeline_max_batch":
+                merged.pipeline_max_batch = max(a, b)
+            else:
+                setattr(merged, f.name, a + b)
+        return merged
+
+    @staticmethod
+    def merged(stats: Sequence["RunStats"]) -> "RunStats":
+        """Fold any number of stats records into one (empty-safe)."""
+        out = RunStats()
+        for s in stats:
+            out = out.merge(s)
+        return out
+
 
 class MultiGpuApi:
     """The runtime library's drop-in replacement for the CUDA API."""

@@ -35,7 +35,13 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 from repro.cuda.exec.interpreter import run_kernel
 from repro.cuda.ir.kernel import partition_field_name
 from repro.runtime.sync import register_sharer
-from repro.sched.graph import LaunchPlan, PipelinedPlan, ReadSync, TransferTask
+from repro.sched.graph import (
+    KernelTask,
+    LaunchPlan,
+    PipelinedPlan,
+    ReadSync,
+    TransferTask,
+)
 from repro.sched.policy import SchedulePolicy
 from repro.sim.trace import Category
 
@@ -180,11 +186,79 @@ def _charge_read_sync(api: "MultiGpuApi", rs: ReadSync) -> None:
         )
 
 
+def _sequential_barrier(
+    api: "MultiGpuApi",
+    plan: LaunchPlan,
+    transfer_events: Dict[int, float],
+) -> Optional[Dict[int, float]]:
+    """The post-transfer barrier of a ``barrier`` policy, per gang.
+
+    On a flat machine or a 1-node cluster this is the global
+    ``machine.synchronize()`` of Figure 4, unchanged. On a multi-node
+    cluster the barrier is *per node*: each node's gang waits for its own
+    resources to drain plus the completion of this plan's copies that
+    touch the node — one node's interior copies no longer hold up every
+    other node's kernels. Returns the per-node barrier events, or None
+    when the global barrier ran.
+    """
+    machine = api.machine
+    cluster = getattr(api, "cluster", None)
+    if cluster is None or cluster.n_nodes <= 1:
+        machine.synchronize()  # all_devs_synchronize()
+        return None
+    # One host-side barrier charge, exactly as the global path pays.
+    machine.host_compute(machine.spec.sync_overhead, Category.HOST, "gang-sync")
+    by_dag_node = {t.node: t for t in plan.transfers}
+    events = {n: machine.node_resource_avail(n) for n in range(cluster.n_nodes)}
+    for dag_node, end in transfer_events.items():
+        t = by_dag_node.get(dag_node)
+        if t is None:
+            continue
+        # Completion events, not lane occupancies: a cross-node copy's
+        # per-resource busy windows (NIC, bus) can end before the copy's
+        # full duration does.
+        for n in {cluster.endpoint_node(t.owner), cluster.endpoint_node(t.gpu)}:
+            if end > events[n]:
+                events[n] = end
+    return events
+
+
+def _kernel_issue_order(
+    api: "MultiGpuApi",
+    plan: LaunchPlan,
+    node_barriers: Optional[Dict[int, float]],
+) -> List[Tuple[Optional[float], KernelTask]]:
+    """Kernel issue sequence with per-node barrier waits attached.
+
+    With ``node_barriers`` (multi-node sequential policy), kernels group
+    by node and nodes issue in barrier-event order; the event rides on
+    each node's first kernel, so the host waits for a node's gang barrier
+    right before issuing that node's kernels and an early-barrier node
+    starts while a late one is still copying. Partitions write disjoint
+    ranges (and CUDA gives no cross-block write order anyway), so
+    reordering across nodes cannot change functional results. Without
+    barriers the plan order is kept with no waits.
+    """
+    if node_barriers is None:
+        return [(None, k) for k in plan.kernels]
+    cluster = api.cluster
+    by_node: Dict[int, List[KernelTask]] = {}
+    for ktask in plan.kernels:
+        by_node.setdefault(cluster.node_of(ktask.gpu), []).append(ktask)
+    order: List[Tuple[Optional[float], KernelTask]] = []
+    for node in sorted(by_node, key=lambda n: (node_barriers.get(n, 0.0), n)):
+        gang = by_node[node]
+        order.append((node_barriers.get(node, 0.0), gang[0]))
+        order.extend((None, ktask) for ktask in gang[1:])
+    return order
+
+
 def execute_plan(api: "MultiGpuApi", plan: LaunchPlan, policy: SchedulePolicy) -> None:
     """Run one launch plan end to end under the given policy."""
     ck = plan.ck
     machine = api.machine
     transfer_events: Dict[int, float] = {}
+    node_barriers: Optional[Dict[int, float]] = None
 
     # ---- transfer phase (Figure 4 lines 2-8) ----------------------------
     if api.config.tracking_enabled:
@@ -200,10 +274,12 @@ def execute_plan(api: "MultiGpuApi", plan: LaunchPlan, policy: SchedulePolicy) -
                     if end is not None:
                         transfer_events[t.node] = end
         if machine and policy.barrier:
-            machine.synchronize()  # all_devs_synchronize()
+            node_barriers = _sequential_barrier(api, plan, transfer_events)
 
     # ---- kernel phase (Figure 4 lines 10-19) ----------------------------
-    for ktask in plan.kernels:
+    for barrier_event, ktask in _kernel_issue_order(api, plan, node_barriers):
+        if barrier_event is not None and machine:
+            machine.wait_until(barrier_event, label="node-barrier", charge=False)
         if api.spec:
             api.host_pattern_cost(api.spec.partition_setup_cost)
         if api.functional:
@@ -415,6 +491,7 @@ def issue_plan_sim(
     """
     machine = api.machine
     transfer_events: Dict[int, float] = {}
+    node_barriers: Optional[Dict[int, float]] = None
 
     if api.config.tracking_enabled:
         if transfer_order is None:
@@ -438,10 +515,12 @@ def issue_plan_sim(
                     api, policy, t, f"sync:{rs.array}", transfer_events, launch
                 )
         if machine and policy.barrier:
-            machine.synchronize()
+            node_barriers = _sequential_barrier(api, plan, transfer_events)
 
     ck = plan.ck
-    for ktask in plan.kernels:
+    for barrier_event, ktask in _kernel_issue_order(api, plan, node_barriers):
+        if barrier_event is not None and machine:
+            machine.wait_until(barrier_event, label="node-barrier", charge=False)
         if api.spec:
             api.host_pattern_cost(api.spec.partition_setup_cost)
         if machine:

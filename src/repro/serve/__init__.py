@@ -1,0 +1,35 @@
+"""Multi-tenant serving runtime: concurrent launch streams on one machine.
+
+One :class:`~repro.runtime.api.MultiGpuApi` owns the whole machine — the
+paper's Figure 4 assumes a single job. This package multiplexes N
+independent *tenants* onto one shared simulated machine:
+
+* :mod:`repro.serve.tenant` — per-tenant runtimes with namespaced
+  virtual-buffer ids, so trackers, coherence state and the shared
+  :class:`~repro.sched.executor.DataflowLog` never alias across tenants;
+* :mod:`repro.serve.scheduler` — a weighted deficit-round-robin fair-share
+  scheduler over per-tenant ready queues;
+* :mod:`repro.serve.admission` — bounded-queue admission control with a
+  stable backpressure error code;
+* :mod:`repro.serve.runtime` — the :class:`ServeRuntime` orchestrator tying
+  the three together, with per-tenant stats and queueing-delay accounting;
+* :mod:`repro.serve.bench` — the open-loop saturation benchmark behind
+  ``repro bench serve``.
+
+See ``docs/serving.md`` for the tenancy model and the saturation study.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.runtime import ServeRuntime, untenanted
+from repro.serve.scheduler import FairShareScheduler, Job
+from repro.serve.tenant import TenantRuntime, TenantSpec
+
+__all__ = [
+    "AdmissionController",
+    "FairShareScheduler",
+    "Job",
+    "ServeRuntime",
+    "TenantRuntime",
+    "TenantSpec",
+    "untenanted",
+]

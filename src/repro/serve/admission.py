@@ -1,0 +1,59 @@
+"""Bounded-queue admission control with backpressure accounting.
+
+A serving runtime that accepts unbounded work does not saturate gracefully
+— queues (and queueing delay) grow without bound and p99 latency collapses
+for *everyone*. The :class:`AdmissionController` caps each tenant's ready
+queue: a submission against a full queue is rejected with the stable
+:class:`~repro.errors.AdmissionError` reason code
+``SERVE_QUEUE_FULL`` (strict mode) or counted as *shed* (open-loop mode,
+used by the saturation benchmark, where the client is not waiting for an
+exception). Either way the work already admitted keeps its latency bound:
+a tenant's queue never holds more than ``capacity`` jobs, so the delay of
+any admitted job is bounded by the time to drain ``capacity`` jobs per
+backlogged tenant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import AdmissionError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Per-tenant bounded-queue admission with shed counters."""
+
+    def __init__(self, capacity: int) -> None:
+        if not isinstance(capacity, int) or capacity < 1:
+            raise AdmissionError(
+                f"queue capacity must be a positive integer, got {capacity!r}",
+                reason="SERVE_BAD_CAPACITY",
+            )
+        self.capacity = capacity
+        #: Rejected submissions per tenant (both strict and shed paths).
+        self.shed: Dict[int, int] = {}
+
+    @property
+    def total_shed(self) -> int:
+        return sum(self.shed.values())
+
+    def try_admit(self, tenant_id: int, pending: int) -> bool:
+        """Admit one submission given the tenant's current queue length.
+
+        Returns False — and counts the shed — when the queue is full.
+        """
+        if pending >= self.capacity:
+            self.shed[tenant_id] = self.shed.get(tenant_id, 0) + 1
+            return False
+        return True
+
+    def require(self, tenant_id: int, pending: int) -> None:
+        """Strict admission: raise :class:`AdmissionError` when full."""
+        if not self.try_admit(tenant_id, pending):
+            raise AdmissionError(
+                f"tenant {tenant_id}: ready queue full "
+                f"({pending}/{self.capacity} jobs pending)",
+                reason=AdmissionError.QUEUE_FULL,
+            )

@@ -1,0 +1,397 @@
+"""Open-loop saturation benchmark behind ``repro bench serve``.
+
+The study drives N tenants' launch streams at a controlled *offered load*
+against one shared (cluster) machine and measures what a serving system
+must get right at saturation:
+
+* **throughput** (jobs/sec of simulated time) must *plateau* at the
+  machine's capacity as offered load exceeds it — not collapse;
+* **queueing delay** (p50/p99 of service start minus arrival) must stay
+  bounded for admitted work — bounded queues + shedding, not unbounded
+  backlog;
+* **backpressure** must engage exactly when needed: zero shed under light
+  load, nonzero shed when offered load exceeds capacity.
+
+Arrivals are deterministic (job ``i`` arrives at ``i / rate``, tenants
+round-robin), the scheduler is deterministic WDRR, and the clock is the
+discrete-event simulator's — runs are exactly reproducible. Offered rates
+are expressed as multiples of the measured capacity: a calibration pass
+serves a back-to-back batch through one tenant and takes the mean per-job
+service time.
+
+:func:`single_tenant_identity_failures` is the other half of the bench's
+self-check: one tenant through the serve path must reproduce the direct
+:class:`~repro.runtime.api.MultiGpuApi` run bitwise — same output bytes,
+same trace (modulo the tenant tag), same simulated clock, same stats.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.pipeline import CompiledApp, compile_app
+from repro.cuda.api import MemcpyKind
+from repro.cuda.dim3 import Dim3
+from repro.errors import ServeError
+from repro.runtime.api import MultiGpuApi
+from repro.runtime.config import RuntimeConfig
+from repro.serve.runtime import ServeRuntime, untenanted
+from repro.serve.tenant import TenantRuntime
+from repro.sim.engine import SimMachine
+
+__all__ = [
+    "ServePoint",
+    "build_serve_kernel",
+    "saturation_study",
+    "saturation_failures",
+    "single_tenant_identity_failures",
+]
+
+#: Problem size of one serve job (elements per launch).
+JOB_ELEMS = 1 << 15
+_BLOCK = 128
+
+
+def build_serve_kernel():
+    """The per-job kernel: a partition-aligned elementwise update.
+
+    Reads match the linear distribution, so steady-state coherence traffic
+    is zero and the saturation curves measure scheduling and compute
+    contention, not transfer artifacts.
+    """
+    from repro.cuda.dtypes import f32
+    from repro.cuda.ir.builder import KernelBuilder
+
+    kb = KernelBuilder("serve_step")
+    n = kb.scalar("n")
+    x = kb.array("x", f32, (n,))
+    y = kb.array("y", f32, (n,))
+    gi = kb.global_id("x")
+    with kb.if_(gi < n):
+        y[gi,] = y[gi,] + x[gi,] * 0.5
+    return kb.finish()
+
+
+@dataclass(frozen=True)
+class ServePoint:
+    """One (tenant count, offered load) sample of the saturation sweep."""
+
+    tenants: int
+    n_nodes: int
+    gpus_per_node: int
+    #: Offered load as a multiple of measured capacity (1.0 = arrivals at
+    #: exactly the rate one saturated server completes jobs).
+    load: float
+    #: Arrival rate in jobs per simulated second.
+    offered_rate: float
+    #: Calibrated mean per-job service time (seconds) the rates are
+    #: expressed against.
+    service_time: float
+    queue_capacity: int
+    submitted: int
+    completed: int
+    shed: int
+    #: Simulated seconds from first arrival to full drain.
+    wall: float
+    #: Completed jobs per simulated second over the serving window.
+    throughput: float
+    p50_delay: float
+    p99_delay: float
+    #: Completed-job count per tenant (fairness witness).
+    per_tenant_completed: Dict[int, int]
+    #: Serviced WDRR cost per tenant.
+    serviced_cost: Dict[int, float]
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, max(0, math.ceil(q * len(sorted_values)) - 1))
+    return sorted_values[idx]
+
+
+def _machine(n_nodes: int, gpus_per_node: int) -> SimMachine:
+    from repro.harness.calibration import K80_NODE_SPEC, k80_cluster
+
+    if n_nodes > 1:
+        from repro.cluster.engine import ClusterSimMachine
+
+        return ClusterSimMachine(k80_cluster(n_nodes, gpus_per_node))
+    return SimMachine(K80_NODE_SPEC.with_gpus(gpus_per_node))
+
+
+def _setup_tenant(api: MultiGpuApi, host_x: np.ndarray, host_y: np.ndarray):
+    dx = api.cudaMalloc(host_x.nbytes)
+    api.cudaMemcpy(dx, host_x, host_x.nbytes, MemcpyKind.HostToDevice)
+    dy = api.cudaMalloc(host_y.nbytes)
+    api.cudaMemcpy(dy, host_y, host_y.nbytes, MemcpyKind.HostToDevice)
+    return dx, dy
+
+
+def _job_work(kernel, grid, block, devs) -> Callable[[TenantRuntime], None]:
+    def work(api: TenantRuntime) -> None:
+        # One request-response cycle: launch, then wait for the results to
+        # be observable (the response). The device sync is what couples
+        # offered load to the machine's actual capacity.
+        api.launch(kernel, grid, block, [JOB_ELEMS, *devs])
+        api.cudaDeviceSynchronize()
+
+    return work
+
+
+def _drive(
+    runtime: ServeRuntime,
+    arrivals: Sequence[Tuple[float, int]],
+    work_of: Dict[int, Callable[[TenantRuntime], None]],
+) -> int:
+    """Open-loop serve: admit arrivals as simulated time passes them.
+
+    Returns the number of submissions that were admitted.
+    """
+    machine = runtime.machine
+    assert machine is not None
+    admitted = 0
+    i = 0
+    while True:
+        now = machine.now
+        while i < len(arrivals) and arrivals[i][0] <= now + 1e-12:
+            at, tenant = arrivals[i]
+            if runtime.submit(tenant, work_of[tenant], arrival=at, strict=False):
+                admitted += 1
+            i += 1
+        if runtime.step() is None:
+            if i < len(arrivals):
+                machine.wait_until(arrivals[i][0], label="serve-idle", charge=False)
+            else:
+                break
+    runtime.drain()
+    return admitted
+
+
+def _calibrate_service_time(
+    app: CompiledApp,
+    config: RuntimeConfig,
+    n_nodes: int,
+    gpus_per_node: int,
+    kernel,
+    grid,
+    block,
+    host_x,
+    host_y,
+    probe_jobs: int = 8,
+) -> float:
+    """Mean per-job service time of one tenant served back to back."""
+    machine = _machine(n_nodes, gpus_per_node)
+    runtime = ServeRuntime(app, config, 1, machine=machine, functional=False)
+    devs = _setup_tenant(runtime.api(0), host_x, host_y)
+    work = _job_work(kernel, grid, block, devs)
+    # One warm-up job absorbs first-launch distribution traffic.
+    runtime.submit(0, work)
+    runtime.drain()
+    start = machine.elapsed()
+    for _ in range(probe_jobs):
+        runtime.submit(0, work)
+    runtime.drain()
+    service = (machine.elapsed() - start) / probe_jobs
+    if not (service > 0):
+        raise ServeError("serve calibration produced a non-positive service time")
+    return service
+
+
+def saturation_study(
+    tenants: int = 4,
+    loads: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    jobs: int = 48,
+    n_nodes: int = 2,
+    gpus_per_node: int = 2,
+    queue_capacity: int = 8,
+    quantum: float = 1.0,
+    schedule: str = "sequential",
+) -> List[ServePoint]:
+    """Sweep offered load against one shared machine; see module docstring.
+
+    Each load point runs on a fresh machine and serve runtime (points are
+    independent samples, not a continuation); ``jobs`` arrivals are offered
+    per point, round-robin across ``tenants`` equal-weight tenants.
+    """
+    total = n_nodes * gpus_per_node
+    config = RuntimeConfig(n_gpus=total, schedule=schedule)
+    kernel = build_serve_kernel()
+    app = compile_app([kernel])
+    grid, block = Dim3(JOB_ELEMS // _BLOCK), Dim3(_BLOCK)
+    host_x = np.linspace(0.0, 1.0, JOB_ELEMS, dtype=np.float32)
+    host_y = np.zeros(JOB_ELEMS, dtype=np.float32)
+
+    service = _calibrate_service_time(
+        app, config, n_nodes, gpus_per_node, kernel, grid, block, host_x, host_y
+    )
+    capacity_rate = 1.0 / service
+
+    points: List[ServePoint] = []
+    for load in loads:
+        rate = load * capacity_rate
+        machine = _machine(n_nodes, gpus_per_node)
+        runtime = ServeRuntime(
+            app,
+            config,
+            tenants,
+            machine=machine,
+            functional=False,
+            quantum=quantum,
+            queue_capacity=queue_capacity,
+        )
+        work_of = {}
+        for t in sorted(runtime.runtimes):
+            devs = _setup_tenant(runtime.api(t), host_x, host_y)
+            work_of[t] = _job_work(kernel, grid, block, devs)
+        serve_start = machine.elapsed()
+        arrivals = [(serve_start + i / rate, i % tenants) for i in range(jobs)]
+        _drive(runtime, arrivals, work_of)
+        wall = machine.elapsed() - serve_start
+        # Round float-epsilon residue (arrival == service start) to zero.
+        delays = sorted(0.0 if abs(d) < 1e-12 else d for d in runtime.queueing_delays())
+        per_tenant = {t: 0 for t in sorted(runtime.runtimes)}
+        for job in runtime.completed:
+            per_tenant[job.tenant_id] += 1
+        points.append(
+            ServePoint(
+                tenants=tenants,
+                n_nodes=n_nodes,
+                gpus_per_node=gpus_per_node,
+                load=load,
+                offered_rate=rate,
+                service_time=service,
+                queue_capacity=queue_capacity,
+                submitted=jobs,
+                completed=len(runtime.completed),
+                shed=runtime.admission.total_shed,
+                wall=wall,
+                throughput=len(runtime.completed) / wall if wall > 0 else 0.0,
+                p50_delay=_quantile(delays, 0.50),
+                p99_delay=_quantile(delays, 0.99),
+                per_tenant_completed=per_tenant,
+                serviced_cost=dict(runtime.serviced_cost),
+            )
+        )
+    return points
+
+
+def saturation_failures(points: Sequence[ServePoint]) -> List[str]:
+    """Self-checks proving graceful saturation (empty list = all pass)."""
+    failures: List[str] = []
+    if not points:
+        return ["saturation study produced no points"]
+    peak = max(p.throughput for p in points)
+    top = max(points, key=lambda p: p.load)
+    for p in points:
+        if p.completed + p.shed != p.submitted:
+            failures.append(
+                f"conservation: load {p.load:g}: {p.completed} completed + "
+                f"{p.shed} shed != {p.submitted} submitted"
+            )
+        if any(d < -1e-12 for d in (p.p50_delay, p.p99_delay)):
+            failures.append(f"negative queueing delay at load {p.load:g}")
+        if p.load <= 0.5 and p.shed:
+            failures.append(
+                f"backpressure misfire: {p.shed} jobs shed at light load {p.load:g}"
+            )
+        # Bounded p99 for admitted work: an admitted job waits behind at
+        # most its tenant's bounded queue, and WDRR guarantees its tenant
+        # at least a 1/tenants service share — so capacity * tenants
+        # service times (2x margin for quantization) bounds the delay.
+        bound = p.service_time * (p.queue_capacity + 2) * p.tenants * 2.0
+        if p.p99_delay > bound:
+            failures.append(
+                f"unbounded delay: p99 {p.p99_delay:.4f}s exceeds the "
+                f"admission-control bound {bound:.4f}s at load {p.load:g}"
+            )
+    if top.load > 1.0:
+        if top.throughput < 0.85 * peak:
+            failures.append(
+                f"collapse: throughput at load {top.load:g} "
+                f"({top.throughput:.2f} jobs/s) fell below 85% of the peak "
+                f"({peak:.2f} jobs/s)"
+            )
+        if top.shed == 0:
+            failures.append(
+                f"backpressure never engaged: zero shed at overload {top.load:g}"
+            )
+        fair_share = top.completed / top.tenants
+        for tenant, done in sorted(top.per_tenant_completed.items()):
+            if done < 0.5 * fair_share:
+                failures.append(
+                    f"fairness: tenant {tenant} completed {done} jobs at load "
+                    f"{top.load:g}, below half the fair share {fair_share:.1f}"
+                )
+    return failures
+
+
+def single_tenant_identity_failures(
+    n_nodes: int = 2,
+    gpus_per_node: int = 2,
+    schedule: str = "sequential",
+    pipeline_window: int = 1,
+    shared_copies: bool = False,
+    iterations: int = 6,
+) -> List[str]:
+    """One tenant through the serve path must equal the direct api path.
+
+    Runs the same call sequence (malloc, H2D, ``iterations`` launches,
+    D2H) once on a plain :class:`~repro.runtime.api.MultiGpuApi` and once
+    as a serve job of the only tenant, on identically-shaped machines, and
+    compares output bytes, the full trace (modulo the tenant tag), the
+    simulated clock and the stats record. Returns human-readable failures.
+    """
+    total = n_nodes * gpus_per_node
+    config = RuntimeConfig(
+        n_gpus=total,
+        schedule=schedule,
+        pipeline_window=pipeline_window,
+        shared_copies=shared_copies,
+    )
+    kernel = build_serve_kernel()
+    app = compile_app([kernel])
+    grid, block = Dim3(JOB_ELEMS // _BLOCK), Dim3(_BLOCK)
+    host_x = np.linspace(0.0, 1.0, JOB_ELEMS, dtype=np.float32)
+    host_y = np.zeros(JOB_ELEMS, dtype=np.float32)
+
+    def sequence(api: MultiGpuApi) -> np.ndarray:
+        dx, dy = _setup_tenant(api, host_x, host_y)
+        for _ in range(iterations):
+            api.launch(kernel, grid, block, [JOB_ELEMS, dx, dy])
+        out = np.zeros_like(host_y)
+        api.cudaMemcpy(out, dy, out.nbytes, MemcpyKind.DeviceToHost)
+        return out
+
+    direct_machine = _machine(n_nodes, gpus_per_node)
+    direct = MultiGpuApi(app, config, machine=direct_machine)
+    reference = sequence(direct)
+    direct_elapsed = direct_machine.elapsed()
+
+    serve_machine = _machine(n_nodes, gpus_per_node)
+    runtime = ServeRuntime(app, config, 1, machine=serve_machine)
+    results: Dict[str, np.ndarray] = {}
+    runtime.submit(0, lambda api: results.__setitem__("out", sequence(api)))
+    runtime.drain()
+    serve_elapsed = serve_machine.elapsed()
+
+    label = f"{n_nodes}x{gpus_per_node} {schedule} window={pipeline_window}"
+    failures: List[str] = []
+    if not np.array_equal(reference, results["out"]):
+        failures.append(f"identity: serve output differs bitwise ({label})")
+    if untenanted(serve_machine.trace.intervals) != direct_machine.trace.intervals:
+        failures.append(f"identity: serve trace differs from direct trace ({label})")
+    if serve_elapsed != direct_elapsed:
+        failures.append(
+            f"identity: serve clock {serve_elapsed!r} != direct clock "
+            f"{direct_elapsed!r} ({label})"
+        )
+    if runtime.api(0).stats != direct.stats:
+        failures.append(f"identity: serve stats differ from direct stats ({label})")
+    if any(iv.tenant != 0 for iv in serve_machine.trace.intervals):
+        failures.append(f"attribution: serve trace interval missing tenant tag ({label})")
+    return failures

@@ -51,6 +51,12 @@ class Interval:
     #: attribution must ride on the interval itself rather than be inferred
     #: from trace order.
     launch: Optional[int] = None
+    #: Tenant that originated this operation in a multi-tenant serving run
+    #: (:mod:`repro.serve`), or None outside the serve path. The serve
+    #: runtime stamps :attr:`Trace.current_tenant` around each job's
+    #: service, so shared-resource intervals stay attributable after the
+    #: fair-share scheduler interleaves tenants' streams.
+    tenant: Optional[int] = None
 
     @property
     def duration(self) -> float:
@@ -62,6 +68,10 @@ class Trace:
 
     def __init__(self) -> None:
         self.intervals: List[Interval] = []
+        #: Tenant id stamped onto every interval recorded while set (the
+        #: serve runtime brackets each job's service with it); None outside
+        #: multi-tenant serving, which keeps single-job traces unchanged.
+        self.current_tenant: Optional[int] = None
 
     def record(
         self,
@@ -74,7 +84,22 @@ class Trace:
     ) -> None:
         if end < start:
             raise ValueError(f"interval ends before it starts: {start} .. {end}")
-        self.intervals.append(Interval(resource, start, end, category, label, launch))
+        self.intervals.append(
+            Interval(resource, start, end, category, label, launch, self.current_tenant)
+        )
+
+    def busy_time_by_tenant(self, category: Optional[Category] = None) -> Dict[Optional[int], float]:
+        """Per-tenant busy time, optionally restricted to one category.
+
+        Intervals recorded outside any tenant's service (or outside the
+        serve path entirely) land under the ``None`` key; summing over all
+        keys reproduces :meth:`busy_time` exactly.
+        """
+        out: Dict[Optional[int], float] = {}
+        for iv in self.intervals:
+            if category is None or iv.category is category:
+                out[iv.tenant] = out.get(iv.tenant, 0.0) + iv.duration
+        return out
 
     def busy_time(self, category: Optional[Category] = None) -> float:
         """Total busy time, optionally restricted to one category."""

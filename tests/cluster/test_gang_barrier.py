@@ -1,0 +1,144 @@
+"""Per-node gang barriers under the sequential policy.
+
+The sequential policy's Figure-4 barrier used to be global: every device
+waited out every transfer, so one node's *interior* copies (both endpoints
+on that node) serialized all other nodes' kernels. On a multi-node cluster
+the barrier is now per node: each gang waits only for its own resources
+and for the plan's copies touching its node. These tests pin the new
+overlap — a transfer-free node starts computing while another node's
+interior copy is still in flight — and that the change is invisible both
+functionally (bitwise vs the flat machine) and to single-node clusters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.engine import ClusterSimMachine
+from repro.compiler.pipeline import compile_app
+from repro.cuda.api import MemcpyKind
+from repro.cuda.dim3 import Dim3
+from repro.cuda.dtypes import f32
+from repro.cuda.ir.builder import KernelBuilder
+from repro.harness.calibration import K80_NODE_SPEC, k80_cluster
+from repro.runtime.api import MultiGpuApi
+from repro.runtime.config import RuntimeConfig
+from repro.sim.engine import SimMachine
+from repro.sim.trace import Category
+
+# Large enough that the interior copy (N/4 floats = 1 MiB) is in flight for
+# far longer than the host's per-launch issue overheads.
+N = 1 << 20
+BLOCK = 256
+
+
+def _pull_kernel():
+    """Partition 0 pulls its right neighbour's band; others are read-free.
+
+    On a 2x2 cluster (devices {0,1} on node 0, {2,3} on node 1) the single
+    stale-segment copy this produces is gpu1 -> gpu0: interior to node 0.
+    Node 1's kernels have no transfer dependencies at all.
+    """
+    kb = KernelBuilder("pull_left")
+    n = kb.scalar("n")
+    quarter = kb.scalar("quarter")
+    a = kb.array("a", f32, (n,))
+    out = kb.array("out", f32, (n,))
+    gi = kb.global_id("x")
+    with kb.if_(gi < quarter):
+        out[gi,] = a[gi + quarter,] * 2.0
+    return kb.finish()
+
+
+KERNEL = _pull_kernel()
+APP = compile_app([KERNEL])
+
+
+def _run(machine):
+    api = MultiGpuApi(APP, RuntimeConfig(n_gpus=4, schedule="sequential"), machine=machine)
+    a = np.linspace(1.0, 2.0, N, dtype=np.float32)
+    out = np.zeros(N, dtype=np.float32)
+    da = api.cudaMalloc(a.nbytes)
+    api.cudaMemcpy(da, a, a.nbytes, MemcpyKind.HostToDevice)
+    dout = api.cudaMalloc(out.nbytes)
+    api.cudaMemcpy(dout, out, out.nbytes, MemcpyKind.HostToDevice)
+    before = len(machine.trace.intervals) if machine else 0
+    api.launch(KERNEL, Dim3(N // BLOCK), Dim3(BLOCK), [N, N // 4, da, dout])
+    api.cudaDeviceSynchronize()
+    result = np.zeros(N, dtype=np.float32)
+    api.cudaMemcpy(result, dout, result.nbytes, MemcpyKind.DeviceToHost)
+    launch_intervals = machine.trace.intervals[before:] if machine else []
+    return result, launch_intervals
+
+
+@pytest.fixture(scope="module")
+def cluster_run():
+    return _run(ClusterSimMachine(k80_cluster(2, 2)))
+
+
+def test_transfer_free_node_overlaps_interior_copy(cluster_run):
+    _, intervals = cluster_run
+    copies = [
+        iv
+        for iv in intervals
+        if iv.category is Category.TRANSFERS and iv.label.startswith("sync:")
+    ]
+    assert len(copies) == 1, "expected exactly one interior stale-segment copy"
+    copy = copies[0]
+
+    kernels = [iv for iv in intervals if iv.category is Category.APPLICATION]
+    node0 = [iv for iv in kernels if iv.resource in ("gpu0", "gpu1")]
+    node1 = [iv for iv in kernels if iv.resource in ("gpu2", "gpu3")]
+    assert len(node0) == len(node1) == 2
+
+    # The un-serialization: node 1 starts while node 0's copy is in flight.
+    assert min(iv.start for iv in node1) < copy.end
+    # Node 0's own gang still observes its barrier: its kernels wait for
+    # the copy into gpu0.
+    assert min(iv.start for iv in node0) >= copy.end
+
+
+def test_gang_sync_replaces_global_sync(cluster_run):
+    _, intervals = cluster_run
+    first_kernel = min(
+        iv.start for iv in intervals if iv.category is Category.APPLICATION
+    )
+    pre_kernel_host = [
+        iv
+        for iv in intervals
+        if iv.resource == "host" and iv.start < first_kernel
+    ]
+    labels = {iv.label for iv in pre_kernel_host}
+    assert "gang-sync" in labels
+    assert "sync" not in labels  # the global barrier is gone from the launch
+
+
+def test_bitwise_equal_to_flat_machine(cluster_run):
+    cluster_result, _ = cluster_run
+    flat_result, _ = _run(SimMachine(K80_NODE_SPEC.with_gpus(4)))
+    assert np.array_equal(cluster_result, flat_result)
+    expected = np.zeros(N, dtype=np.float32)
+    a = np.linspace(1.0, 2.0, N, dtype=np.float32)
+    expected[: N // 4] = a[N // 4 : N // 2] * 2.0
+    assert np.array_equal(cluster_result, expected)
+
+
+def test_single_node_cluster_keeps_global_barrier():
+    """A 1-node cluster must still trace identically to the flat machine."""
+    _, flat_intervals = _run(SimMachine(K80_NODE_SPEC.with_gpus(4)))
+    _, one_node_intervals = _run(ClusterSimMachine(k80_cluster(1, 4)))
+    assert one_node_intervals == flat_intervals
+    assert any(iv.label == "sync" for iv in flat_intervals if iv.resource == "host")
+    assert not any(iv.label == "gang-sync" for iv in one_node_intervals)
+
+
+def test_node_resource_avail_tracks_device_work():
+    machine = ClusterSimMachine(k80_cluster(2, 2))
+    base0 = machine.node_resource_avail(0)
+    base1 = machine.node_resource_avail(1)
+    end = machine.launch_kernel(3, 1.0, label="busy")
+    assert machine.node_resource_avail(1) >= end
+    # Node 0 is unaffected by node 1's compute (modulo the host issue time).
+    assert machine.node_resource_avail(0) == pytest.approx(
+        max(base0, machine.host_time)
+    )
+    assert base1 <= end

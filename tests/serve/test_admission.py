@@ -1,0 +1,57 @@
+"""Unit tests of bounded-queue admission control and its error taxonomy."""
+
+import pytest
+
+from repro.errors import AdmissionError, ReproError, ServeError, exit_code_for
+from repro.serve.admission import AdmissionController
+
+
+class TestValidation:
+    @pytest.mark.parametrize("capacity", [0, -1, 1.5, "8"])
+    def test_bad_capacity(self, capacity):
+        with pytest.raises(AdmissionError) as exc:
+            AdmissionController(capacity)
+        assert exc.value.reason == "SERVE_BAD_CAPACITY"
+
+
+class TestAdmission:
+    def test_admits_below_capacity(self):
+        ctl = AdmissionController(2)
+        assert ctl.try_admit(0, 0)
+        assert ctl.try_admit(0, 1)
+        assert ctl.total_shed == 0
+
+    def test_sheds_at_capacity(self):
+        ctl = AdmissionController(2)
+        assert not ctl.try_admit(0, 2)
+        assert not ctl.try_admit(0, 5)
+        assert ctl.shed == {0: 2}
+        assert ctl.total_shed == 2
+
+    def test_shed_counters_per_tenant(self):
+        ctl = AdmissionController(1)
+        ctl.try_admit(0, 1)
+        ctl.try_admit(1, 1)
+        ctl.try_admit(1, 1)
+        assert ctl.shed == {0: 1, 1: 2}
+
+    def test_strict_raises_with_stable_reason(self):
+        ctl = AdmissionController(1)
+        ctl.require(0, 0)  # fits: no raise
+        with pytest.raises(AdmissionError) as exc:
+            ctl.require(0, 1)
+        assert exc.value.reason == AdmissionError.QUEUE_FULL == "SERVE_QUEUE_FULL"
+        # The strict rejection is still counted.
+        assert ctl.total_shed == 1
+
+
+class TestErrorTaxonomy:
+    def test_exit_codes(self):
+        assert exit_code_for(ServeError("x")) == 80
+        assert exit_code_for(AdmissionError("x")) == 81
+
+    def test_hierarchy(self):
+        err = AdmissionError("queue full")
+        assert isinstance(err, ServeError)
+        assert isinstance(err, ReproError)
+        assert err.reason == "SERVE_QUEUE_FULL"

@@ -1,0 +1,87 @@
+"""The saturation study's shape and the ``bench serve`` CLI contract."""
+
+import json
+
+import pytest
+
+from repro.serve.bench import saturation_failures, saturation_study
+
+
+@pytest.fixture(scope="module")
+def points():
+    return saturation_study(
+        tenants=2,
+        loads=(0.5, 1.0, 3.0),
+        jobs=24,
+        n_nodes=1,
+        gpus_per_node=2,
+        queue_capacity=3,
+    )
+
+
+def test_self_checks_pass(points):
+    assert saturation_failures(points) == []
+
+
+def test_throughput_plateaus(points):
+    by_load = {p.load: p for p in points}
+    # At overload the machine completes jobs at its capacity rate, not the
+    # offered rate.
+    assert by_load[3.0].throughput < by_load[3.0].offered_rate * 0.5
+    assert by_load[3.0].throughput == pytest.approx(by_load[1.0].throughput, rel=0.15)
+
+
+def test_delays_grow_with_load(points):
+    by_load = {p.load: p for p in points}
+    assert by_load[0.5].p99_delay <= by_load[1.0].p99_delay <= by_load[3.0].p99_delay
+    assert by_load[3.0].p99_delay > 0
+
+
+def test_backpressure_only_under_overload(points):
+    by_load = {p.load: p for p in points}
+    assert by_load[0.5].shed == 0
+    assert by_load[3.0].shed > 0
+    for p in points:
+        assert p.completed + p.shed == p.submitted
+
+
+def test_conservation_and_fairness(points):
+    top = max(points, key=lambda p: p.load)
+    done = top.per_tenant_completed
+    assert sum(done.values()) == top.completed
+    # Equal weights, symmetric streams: completions split evenly (+-1).
+    assert abs(done[0] - done[1]) <= 1
+
+
+def test_cli_bench_serve(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "serve.json"
+    rc = main(
+        [
+            "bench",
+            "serve",
+            "--tenants",
+            "2",
+            "--jobs",
+            "24",
+            "--load",
+            "0.5",
+            "3",
+            "--nodes",
+            "1",
+            "--gpus-per-node",
+            "2",
+            "--queue-capacity",
+            "3",
+            "--json",
+            str(out),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert rc == 0, captured.err
+    assert "checks passed" in captured.out
+    payload = json.loads(out.read_text())
+    assert payload["failures"] == []
+    assert [p["load"] for p in payload["points"]] == [0.5, 3.0]
+    assert payload["points"][-1]["shed"] > 0

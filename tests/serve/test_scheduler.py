@@ -1,0 +1,124 @@
+"""Unit tests of the WDRR fair-share scheduler."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.scheduler import FairShareScheduler, Job
+
+
+def _job(job_id, tenant, cost=1.0):
+    return Job(job_id=job_id, tenant_id=tenant, work=lambda api: None, cost=cost)
+
+
+def drain(sched):
+    order = []
+    while True:
+        job = sched.next_job()
+        if job is None:
+            return order
+        order.append(job)
+
+
+class TestValidation:
+    def test_needs_tenants(self):
+        with pytest.raises(ServeError):
+            FairShareScheduler({})
+
+    def test_positive_quantum(self):
+        with pytest.raises(ServeError):
+            FairShareScheduler({0: 1.0}, quantum=0.0)
+
+    def test_positive_weights(self):
+        with pytest.raises(ServeError):
+            FairShareScheduler({0: 1.0, 1: -2.0})
+
+    def test_positive_job_cost(self):
+        sched = FairShareScheduler({0: 1.0})
+        with pytest.raises(ServeError):
+            sched.enqueue(_job(0, 0, cost=0.0))
+
+    def test_unknown_tenant(self):
+        sched = FairShareScheduler({0: 1.0})
+        with pytest.raises(ServeError):
+            sched.enqueue(_job(0, 7))
+        with pytest.raises(ServeError):
+            sched.pending(7)
+
+
+class TestOrdering:
+    def test_empty(self):
+        sched = FairShareScheduler({0: 1.0, 1: 1.0})
+        assert sched.next_job() is None
+        assert len(sched) == 0
+
+    def test_fifo_within_tenant(self):
+        sched = FairShareScheduler({0: 1.0})
+        for i in range(5):
+            sched.enqueue(_job(i, 0))
+        assert [j.job_id for j in drain(sched)] == [0, 1, 2, 3, 4]
+
+    def test_equal_weights_interleave(self):
+        sched = FairShareScheduler({0: 1.0, 1: 1.0})
+        for i in range(4):
+            sched.enqueue(_job(i, 0))
+        for i in range(4, 8):
+            sched.enqueue(_job(i, 1))
+        order = [j.tenant_id for j in drain(sched)]
+        assert order == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_weighted_shares_under_saturation(self):
+        # Tenant 0 at weight 3 must be served 3x as often while both are
+        # backlogged.
+        sched = FairShareScheduler({0: 3.0, 1: 1.0})
+        for i in range(30):
+            sched.enqueue(_job(i, 0))
+        for i in range(30, 60):
+            sched.enqueue(_job(i, 1))
+        first = [j.tenant_id for j in drain(sched)[:24]]
+        assert first.count(0) == 18
+        assert first.count(1) == 6
+
+    def test_costly_jobs_accumulate_deficit(self):
+        # A cost-3 job needs three rounds of quantum; the cheap tenant keeps
+        # getting served meanwhile.
+        sched = FairShareScheduler({0: 1.0, 1: 1.0})
+        sched.enqueue(_job(0, 0, cost=3.0))
+        for i in range(1, 4):
+            sched.enqueue(_job(i, 1, cost=1.0))
+        order = [(j.tenant_id, j.job_id) for j in drain(sched)]
+        assert order.index((0, 0)) == 2
+        assert [t for t, _ in order].count(1) == 3
+
+    def test_drained_queue_forfeits_deficit(self):
+        sched = FairShareScheduler({0: 1.0, 1: 1.0})
+        sched.enqueue(_job(0, 0))
+        assert drain(sched)[0].job_id == 0
+        # Tenant 0 went idle; its banked deficit must not let a later burst
+        # pre-empt tenant 1's turn share.
+        for i in range(1, 5):
+            sched.enqueue(_job(i, 0))
+        for i in range(5, 9):
+            sched.enqueue(_job(i, 1))
+        order = [j.tenant_id for j in drain(sched)]
+        assert sorted(order[:2]) == [0, 1]
+        assert order.count(0) == order.count(1) == 4
+
+    def test_deterministic(self):
+        def run():
+            sched = FairShareScheduler({0: 2.0, 1: 1.0, 2: 0.5}, quantum=0.5)
+            for i in range(24):
+                sched.enqueue(_job(i, i % 3, cost=1.0 + (i % 4) * 0.25))
+            return [j.job_id for j in drain(sched)]
+
+        assert run() == run()
+
+    def test_pending_counts(self):
+        sched = FairShareScheduler({0: 1.0, 1: 1.0})
+        sched.enqueue(_job(0, 0))
+        sched.enqueue(_job(1, 0))
+        sched.enqueue(_job(2, 1))
+        assert len(sched) == 3
+        assert sched.pending(0) == 2
+        assert sched.pending(1) == 1
+        sched.next_job()
+        assert len(sched) == 2

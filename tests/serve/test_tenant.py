@@ -1,0 +1,103 @@
+"""Tenant namespacing: ids never alias, tenant 0 is the default namespace."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_app
+from repro.cuda.api import MemcpyKind
+from repro.cuda.dim3 import Dim3
+from repro.errors import ServeError
+from repro.harness.calibration import K80_NODE_SPEC
+from repro.runtime.api import MultiGpuApi
+from repro.runtime.config import RuntimeConfig
+from repro.serve.bench import JOB_ELEMS, build_serve_kernel
+from repro.serve.runtime import ServeRuntime
+from repro.serve.tenant import LAUNCH_NAMESPACE, VB_NAMESPACE, TenantRuntime, TenantSpec
+from repro.sim.engine import SimMachine
+
+
+KERNEL = build_serve_kernel()
+
+
+@pytest.fixture(scope="module")
+def app():
+    return compile_app([KERNEL])
+
+
+class TestSpecs:
+    def test_negative_tenant_id(self):
+        with pytest.raises(ServeError):
+            TenantSpec(-1)
+
+    def test_bad_weight(self):
+        with pytest.raises(ServeError):
+            TenantSpec(0, weight=0.0)
+
+    def test_config_override(self, app):
+        base = RuntimeConfig(n_gpus=2)
+        override = RuntimeConfig(n_gpus=2, schedule="overlap")
+        runtime = ServeRuntime(
+            app, base, [TenantSpec(0), TenantSpec(1, config=override)]
+        )
+        assert runtime.api(0).config.schedule == "sequential"
+        assert runtime.api(1).config.schedule == "overlap"
+
+
+class TestNamespacing:
+    def test_tenant_zero_matches_direct_api(self, app):
+        cfg = RuntimeConfig(n_gpus=2)
+        direct = MultiGpuApi(app, cfg)
+        tenant = TenantRuntime(0, app, cfg)
+        assert next(direct._vb_ids) == next(tenant._vb_ids) == 1
+        assert next(direct._launch_counter) == next(tenant._launch_counter) == 0
+
+    def test_namespaces_disjoint(self, app):
+        cfg = RuntimeConfig(n_gpus=2)
+        t1 = TenantRuntime(1, app, cfg)
+        t2 = TenantRuntime(2, app, cfg)
+        assert next(t1._vb_ids) == VB_NAMESPACE + 1
+        assert next(t2._vb_ids) == 2 * VB_NAMESPACE + 1
+        assert next(t1._launch_counter) == LAUNCH_NAMESPACE
+        assert next(t2._launch_counter) == 2 * LAUNCH_NAMESPACE
+
+    def test_shared_dataflow_keys_never_alias(self, app):
+        """Two tenants' records in the shared log live under disjoint keys."""
+        cfg = RuntimeConfig(n_gpus=2)
+        machine = SimMachine(K80_NODE_SPEC.with_gpus(2))
+        runtime = ServeRuntime(app, cfg, 2, machine=machine)
+        kernel = KERNEL
+        x = np.linspace(0.0, 1.0, JOB_ELEMS, dtype=np.float32)
+        y = np.zeros(JOB_ELEMS, dtype=np.float32)
+        for tenant in (0, 1):
+            api = runtime.api(tenant)
+            dx = api.cudaMalloc(x.nbytes)
+            api.cudaMemcpy(dx, x, x.nbytes, MemcpyKind.HostToDevice)
+            dy = api.cudaMalloc(y.nbytes)
+            api.cudaMemcpy(dy, y, y.nbytes, MemcpyKind.HostToDevice)
+            api.launch(kernel, Dim3(JOB_ELEMS // 128), Dim3(128), [JOB_ELEMS, dx, dy])
+            api.cudaDeviceSynchronize()
+        assert runtime.api(0).dataflow is runtime.api(1).dataflow
+        vb_ids = {
+            key[0]
+            for store in (runtime.dataflow._read, runtime.dataflow._write)
+            for key in store
+        }
+        t0_ids = {vb for vb in vb_ids if vb < VB_NAMESPACE}
+        t1_ids = {vb for vb in vb_ids if VB_NAMESPACE <= vb < 2 * VB_NAMESPACE}
+        assert t0_ids and t1_ids
+        assert t0_ids | t1_ids == vb_ids
+
+    def test_duplicate_tenant_ids_rejected(self, app):
+        with pytest.raises(ServeError):
+            ServeRuntime(app, RuntimeConfig(n_gpus=2), [TenantSpec(3), TenantSpec(3)])
+
+    def test_unknown_tenant_lookup(self, app):
+        runtime = ServeRuntime(app, RuntimeConfig(n_gpus=2), 1)
+        with pytest.raises(ServeError):
+            runtime.api(5)
+
+    def test_needs_a_tenant(self, app):
+        with pytest.raises(ServeError):
+            ServeRuntime(app, RuntimeConfig(n_gpus=2), 0)
+        with pytest.raises(ServeError):
+            ServeRuntime(app, RuntimeConfig(n_gpus=2), [])

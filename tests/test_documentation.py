@@ -48,6 +48,27 @@ def test_top_level_docs_exist():
         assert len(path.read_text()) > 1000, f"{doc} is suspiciously short"
 
 
+def test_serving_doc_covers_the_subsystem():
+    """docs/serving.md exists and documents what the code actually ships."""
+    import pathlib
+
+    root = pathlib.Path(repro.__file__).resolve().parents[2]
+    text = (root / "docs" / "serving.md").read_text()
+    assert len(text) > 1000, "docs/serving.md is suspiciously short"
+    for needle in (
+        "repro.serve",
+        "deficit",  # the fairness policy
+        "SERVE_QUEUE_FULL",  # the stable admission rejection code
+        "bench serve",  # the saturation benchmark entry point
+        "tenant",
+    ):
+        assert needle in text, f"docs/serving.md does not mention {needle!r}"
+    # Cross-references both ways.
+    assert "docs/serving.md" in (root / "README.md").read_text()
+    assert "docs/serving.md" in (root / "docs" / "scheduler.md").read_text()
+    assert "docs/scheduler.md" in text
+
+
 def test_pipeline_demo_runs():
     """examples/pipeline_demo.py runs clean and shows the key behaviours.
 
