@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Tiled Cholesky as a dynamic task graph, demonstrated (docs/taskgraph.md).
+
+The whole right-looking tiled factorization — POTRF on the diagonal,
+TRSM down the panel, SYRK/GEMM on the trailing matrix — is declared
+below in ~40 lines of ``@task`` code. No task names another task: every
+RAW/WAR/WAW edge is *derived* from the declared tile footprints by byte
+interval intersection, and the triangular dependence structure of the
+algorithm falls out on its own.
+
+Three things to observe in the output:
+
+1. the derived graph: tasks, edges by kind, and the dependence waves the
+   runtime actually executed (wave k = every task whose predecessors all
+   finished by wave k-1, run with no inter-task barriers);
+2. dependency-driven execution is **bitwise identical** to running the
+   same graph one task at a time behind a device barrier;
+3. the factor matches ``numpy.linalg.cholesky``.
+
+Run:  python examples/taskgraph_demo.py
+"""
+
+import numpy as np
+
+from repro.compiler import compile_app
+from repro.cuda.api import MemcpyKind
+from repro.cuda.dim3 import Dim3
+from repro.runtime import MultiGpuApi, RuntimeConfig
+from repro.tasks import TaskGraph, region2d, task
+from repro.workloads import functional_config
+from repro.workloads.cholesky import CholeskyWorkload
+
+N, TILE = 64, 8  # an 8x8 grid of 8-wide tiles
+
+
+def build_graph(wl, d_a):
+    """The tiled factorization, declared footprint-first."""
+    b, nt = wl.tile, wl.n_tiles
+    grid, block = wl.launch_config()
+
+    def tile(r, c):  # the [r,c] tile of the n x n array, as a byte region
+        return region2d(d_a, (N, N), (r * b, (r + 1) * b), (c * b, (c + 1) * b))
+
+    graph = TaskGraph("cholesky-demo")
+    with graph:
+        for k in range(nt):
+
+            @task(reads=[tile(k, k)], writes=[tile(k, k)], placement=k)
+            def potrf(api, k=k):
+                api.launch(wl.potrf, Dim3(1), Dim3(1), [k * b, d_a])
+
+            for i in range(k + 1, nt):
+
+                @task(reads=[tile(k, k), tile(i, k)], writes=[tile(i, k)], placement=i)
+                def trsm(api, i=i, k=k):
+                    api.launch(wl.trsm, Dim3(1), Dim3(x=b), [i * b, k * b, d_a])
+
+            for i in range(k + 1, nt):
+
+                @task(reads=[tile(i, k), tile(i, i)], writes=[tile(i, i)], placement=i)
+                def syrk(api, i=i, k=k):
+                    api.launch(wl.syrk, grid, block, [i * b, k * b, d_a])
+
+                for j in range(k + 1, i):
+
+                    @task(
+                        reads=[tile(i, k), tile(j, k), tile(i, j)],
+                        writes=[tile(i, j)],
+                        placement=i + j,
+                    )
+                    def gemm(api, i=i, j=j, k=k):
+                        api.launch(wl.gemm, grid, block, [i * b, j * b, k * b, d_a])
+
+    return graph
+
+
+def factor(wl, a, mode):
+    api = MultiGpuApi(
+        compile_app(wl.build_kernels()),
+        RuntimeConfig(n_gpus=4, schedule="overlap+p2p", pipeline_window=4),
+    )
+    d_a = api.cudaMalloc(a.nbytes)
+    api.cudaMemcpy(d_a, a, a.nbytes, MemcpyKind.HostToDevice)
+    graph = build_graph(wl, d_a)
+    graph.run(api, mode=mode)
+    out = np.zeros_like(a)
+    api.cudaMemcpy(out, d_a, a.nbytes, MemcpyKind.DeviceToHost)
+    api.cudaDeviceSynchronize()
+    return np.tril(out), graph
+
+
+def main():
+    wl = CholeskyWorkload(functional_config("cholesky", size=N))
+    assert wl.tile == TILE
+    a = wl.make_inputs(seed=42)["a"]
+
+    graph_out, g = factor(wl, a, "graph")
+    print(f"Cholesky {N}x{N} in {wl.n_tiles}x{wl.n_tiles} tiles of {TILE}")
+    kinds = ", ".join(f"{k}={v}" for k, v in sorted(g.stats.edge_kinds.items()))
+    print(f"derived graph: {g.stats.tasks} tasks, {g.stats.edges} edges ({kinds})")
+    print(
+        f"executed as {g.stats.waves} dependence waves, "
+        f"widest ready set {g.stats.ready_peak}"
+    )
+
+    serial_out, _ = factor(wl, a, "serialized")
+    assert np.array_equal(graph_out, serial_out)
+    print("graph and serialized execution are bitwise identical")
+
+    ref = np.linalg.cholesky(a.astype(np.float64)).astype(np.float32)
+    err = float(np.max(np.abs(graph_out - ref)))
+    assert np.allclose(graph_out, ref, atol=2e-4, rtol=2e-4)
+    print(f"matches numpy.linalg.cholesky (max abs err {err:.2e})")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,7 +10,9 @@ without parsing message text. Codes are grouped by hundreds:
 * ``RP4xx`` — behaviour downgrades (single-GPU fallback),
 * ``RP5xx`` — internal analysis failures,
 * ``RP6xx`` — cross-launch transfer efficiency (redundant re-transfers,
-  bounding-range over-approximation, envelope-capping serialization).
+  bounding-range over-approximation, envelope-capping serialization),
+* ``RP7xx`` — task-graph footprint boundaries (:mod:`repro.tasks`: accesses
+  the affine interval model cannot analyze and the serialization they induce).
 
 The default severity and fix hint of each code live here; individual
 diagnostics may override the severity (e.g. an unconfirmed race witness is
@@ -168,6 +170,24 @@ REGISTRY: Dict[str, CodeInfo] = {
             "the exact ranges are disjoint, so the scheduler serializes "
             "launches that are actually independent; raise the envelope cap "
             "or split the array",
+        ),
+        _entry(
+            "RP701",
+            "task footprint not affine-analyzable",
+            Severity.WARNING,
+            "a task's declared access could not be lowered to exact byte "
+            "intervals; the graph degrades it to a whole-buffer footprint "
+            "with barrier synchronization — declare the access as a span or "
+            "2-D region to restore interval-precise dependence edges",
+        ),
+        _entry(
+            "RP702",
+            "whole-buffer serialization induced by opaque task footprint",
+            Severity.ADVICE,
+            "a dependence edge exists only because an opaque footprint "
+            "conservatively covers the whole buffer; with an affine "
+            "declaration the two tasks would be independent or ordered by "
+            "a narrower interval",
         ),
     )
 }

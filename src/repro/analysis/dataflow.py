@@ -481,6 +481,12 @@ class DataflowPass(AnalysisPass):
         diags: List[Diagnostic] = []
         if not info.partitionable or launch.n_gpus < 2 or not info.reads:
             return diags
+        # The multi-launch transfer model needs concrete values for every
+        # scalar parameter (enumerators substitute them per launch); a lint
+        # context without them (e.g. tile-offset kernels driven by a task
+        # graph) has no meaningful launch sequence to replay — skip.
+        if any(p.name not in launch.scalars for p in info.kernel.scalar_params):
+            return diags
         oracle = ExactReadOracle(info)
         enums = EnumeratorTable.build(info)
         common = dict(

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -813,6 +813,75 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_bench_taskgraph(args: argparse.Namespace) -> int:
+    from repro.tasks.bench import MIN_MAKESPAN_WIN, taskgraph_study
+
+    workloads = [args.workload] if args.workload else None
+    study = taskgraph_study(workloads=workloads, n_gpus=args.gpus)
+
+    print(
+        f"taskgraph bench: workloads {', '.join(study.workloads)}, "
+        f"{study.n_gpus} simulated GPUs, "
+        f"{len(study.identity)} identity configurations"
+    )
+    headers = ["Workload", "Mode", "GPUs", "Tasks", "Edges", "Time [ms]", "Win"]
+    by_wl: Dict[str, Dict[str, Any]] = {}
+    for p in study.points:
+        by_wl.setdefault(p.workload, {})[p.mode] = p
+    rows = []
+    for name, modes in by_wl.items():
+        ser = modes["serialized"]
+        for p in (ser, modes["graph"]):
+            rows.append(
+                (
+                    p.workload,
+                    p.mode,
+                    p.n_gpus,
+                    p.tasks,
+                    p.edges,
+                    f"{p.time * 1e3:.3f}",
+                    f"{ser.time / p.time:.2f}x",
+                )
+            )
+    print(format_table(headers, rows, title="Dynamic task graph vs serialized"))
+
+    headers = ["Workload", "Tasks", "Edges", "Waves", "Ready peak", "Opaque", "Syncs"]
+    rows = [
+        (
+            name,
+            s["tasks"],
+            s["edges"],
+            s["waves"],
+            s["ready_peak"],
+            s["nonaffine_tasks"],
+            s["whole_buffer_syncs"],
+        )
+        for name, s in study.graph_stats.items()
+    ]
+    print(format_table(headers, rows, title="Graph structure (identity sweep)"))
+    for name, codes in sorted(study.diagnostics.items()):
+        shown = ", ".join(codes) if codes else "none"
+        print(f"  {name}: footprint diagnostics: {shown}")
+    if study.cholesky_max_err is not None:
+        print(
+            "  cholesky: max abs deviation from numpy.linalg.cholesky "
+            f"{study.cholesky_max_err:.3e}"
+        )
+
+    if args.json:
+        write_json_report(
+            args.json, "benchmarks/results/taskgraph.json", study.as_dict()
+        )
+
+    return finish_self_checks(
+        study.failures,
+        "bitwise identity graph/serialized/permuted across schedule x "
+        "shared-copies x window, "
+        f">={MIN_MAKESPAN_WIN}x makespan win with conserved transfer busy "
+        "time, numerics vs numpy, opaque-task degradation",
+    )
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness import experiments as ex
 
@@ -824,6 +893,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_pipeline(args)
     if args.experiment == "serve":
         return _cmd_bench_serve(args)
+    if args.experiment == "taskgraph":
+        return _cmd_bench_taskgraph(args)
     if args.experiment == "table1":
         print(
             format_table(
@@ -1054,6 +1125,7 @@ def build_parser() -> argparse.ArgumentParser:
             "redundancy",
             "pipeline",
             "serve",
+            "taskgraph",
         ],
     )
     p.add_argument("--gpu-counts", type=int, nargs="*", default=None)
@@ -1097,6 +1169,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="pipeline experiment: additional pipeline window to measure "
         "(1, 2 and 4 always run)",
+    )
+    p.add_argument(
+        "--workload",
+        choices=["cholesky", "imgpipe"],
+        default=None,
+        help="taskgraph experiment: run a single workload (default: both)",
+    )
+    p.add_argument(
+        "--gpus",
+        type=int,
+        default=16,
+        help="taskgraph experiment: simulated GPU count for the overlap study",
     )
     p.add_argument(
         "--tenants", type=int, default=4, help="serve experiment: tenant count"

@@ -42,6 +42,7 @@ __all__ = [
     "CalibrationError",
     "ServeError",
     "AdmissionError",
+    "TaskGraphError",
     "exit_code_for",
     "format_with_code",
 ]
@@ -198,6 +199,18 @@ class AdmissionError(ServeError):
     def __init__(self, *args: object, reason: str = QUEUE_FULL) -> None:
         super().__init__(*args)
         self.reason = reason
+
+
+class TaskGraphError(ReproError):
+    """Errors in the dynamic task-graph frontend (:mod:`repro.tasks`).
+
+    Raised for malformed graphs: dependency cycles (including cycles closed
+    through :class:`~repro.tasks.spec.TaskSpace` forward references),
+    dependencies on task-space slots that were never bound to a task, and
+    execution orders that violate the derived RAW/WAR/WAW edges.
+    """
+
+    exit_code = 82
 
 
 def exit_code_for(exc: BaseException) -> int:

@@ -175,6 +175,14 @@ class MultiGpuApi:
         #: (trace attribution survives pipelined interleaving).
         self._launch_counter = itertools.count()
         self._launch_index: Optional[int] = None
+        #: Dependence wave of the launch being submitted (set by the
+        #: task-graph frontend around footprint-disjoint ready sets; see
+        #: DataflowLog). None outside task-graph execution.
+        self._dataflow_wave: Optional[int] = None
+        #: Device-placement hint of the launch being submitted (task-graph
+        #: frontend): rotates the partition->device mapping so partition 0
+        #: runs on this device. None keeps the default mapping.
+        self._placement_offset: Optional[int] = None
         #: Launch-plan time-estimate memo (repro.sched.policy fingerprints).
         self._estimate_cache: Dict[tuple, tuple] = {}
         #: Rolling-window launch batcher. At ``pipeline_window=1`` every

@@ -61,17 +61,33 @@ __all__ = [
 _MAX_EVENT_INTERVALS = 64
 
 _Key = Tuple[int, int]
-_Event = Tuple[int, int, float]
+_Event = Tuple[int, int, float, Optional[int]]
 
 
 class DataflowLog:
     """Last read/write completion events per (buffer, device, byte interval).
 
     Each table maps ``(vb_id, dev)`` to a short list of
-    ``(lo, hi, event)`` records. Noting an interval drops records it
-    strictly dominates (contained, no later); querying takes the max event
-    over overlapping records. Whole-buffer callers (fallback launches)
-    simply pass the full byte range.
+    ``(lo, hi, event, wave)`` records. Noting an interval drops records it
+    strictly dominates (contained, no later, same wave); querying takes the
+    max event over overlapping records. Whole-buffer callers (fallback
+    launches) simply pass the full byte range.
+
+    **Waves.** A *dependence wave* groups launches that the task-graph
+    frontend (:mod:`repro.tasks`) proved pairwise footprint-disjoint: any
+    read/write or write/write overlap between two tasks induces a graph
+    edge, so two tasks ready *simultaneously* cannot conflict. Kernel
+    events are recorded under the issuing launch's wave and queries skip
+    records of the *querying* wave — without this, the envelope collapse
+    above would falsely serialize disjoint tiles of one shared buffer (the
+    records of a whole wave collapse to a whole-buffer envelope that every
+    peer then appears to conflict with). Transfer events are always
+    recorded wave-less: a same-wave peer may legitimately consume a copy's
+    bytes (overlapping *reads* carry no edge, and the sharer registry
+    dedups the second copy), so copies must stay visible inside their own
+    wave. Collapse is per-wave so the skip survives it; ``wave=None``
+    everywhere (the default) reproduces the legacy single-envelope
+    behavior bit for bit.
     """
 
     def __init__(self) -> None:
@@ -79,50 +95,105 @@ class DataflowLog:
         self._read: Dict[_Key, List[_Event]] = {}
 
     @staticmethod
-    def _note(table: Dict[_Key, List[_Event]], key: _Key, lo: int, hi: int, event: float) -> None:
+    def _note(
+        table: Dict[_Key, List[_Event]],
+        key: _Key,
+        lo: int,
+        hi: int,
+        event: float,
+        wave: Optional[int],
+    ) -> None:
         if lo >= hi:
             return
         records = table.get(key)
         if records is None:
-            table[key] = [(lo, hi, event)]
+            table[key] = [(lo, hi, event, wave)]
             return
-        kept = [r for r in records if not (lo <= r[0] and r[1] <= hi and r[2] <= event)]
-        kept.append((lo, hi, event))
+        # Cross-wave domination is unsound: a same-wave query skips the
+        # dominating record but must still see the dominated one.
+        kept = [
+            r
+            for r in records
+            if not (lo <= r[0] and r[1] <= hi and r[2] <= event and r[3] == wave)
+        ]
+        kept.append((lo, hi, event, wave))
         if len(kept) > _MAX_EVENT_INTERVALS:
+            by_wave: Dict[Optional[int], List[_Event]] = {}
+            for r in kept:
+                by_wave.setdefault(r[3], []).append(r)
             kept = [
-                (min(r[0] for r in kept), max(r[1] for r in kept), max(r[2] for r in kept))
+                (
+                    min(r[0] for r in grp),
+                    max(r[1] for r in grp),
+                    max(r[2] for r in grp),
+                    w,
+                )
+                for w, grp in by_wave.items()
             ]
+            if len(kept) > _MAX_EVENT_INTERVALS:
+                # Pathologically many distinct waves: fold every wave but
+                # the newest into one never-skipped envelope. Only the
+                # current (newest) wave is ever queried for skipping.
+                newest = max((w for w in by_wave if w is not None), default=None)
+                old = [r for r in kept if r[3] != newest]
+                kept = [r for r in kept if r[3] == newest] + [
+                    (
+                        min(r[0] for r in old),
+                        max(r[1] for r in old),
+                        max(r[2] for r in old),
+                        None,
+                    )
+                ]
         table[key] = kept
 
     @staticmethod
-    def _query(table: Dict[_Key, List[_Event]], key: _Key, lo: int, hi: int) -> float:
+    def _query(
+        table: Dict[_Key, List[_Event]], key: _Key, lo: int, hi: int, wave: Optional[int]
+    ) -> float:
         records = table.get(key)
         if not records:
             return 0.0
-        return max((e for l, h, e in records if l < hi and h > lo), default=0.0)
+        return max(
+            (
+                e
+                for l, h, e, w in records
+                if l < hi and h > lo and (w is None or w != wave)
+            ),
+            default=0.0,
+        )
 
-    def note_write(self, vb_id: int, dev: int, lo: int, hi: int, event: float) -> None:
-        self._note(self._write, (vb_id, dev), lo, hi, event)
+    def note_write(
+        self, vb_id: int, dev: int, lo: int, hi: int, event: float,
+        wave: Optional[int] = None,
+    ) -> None:
+        self._note(self._write, (vb_id, dev), lo, hi, event, wave)
 
-    def note_read(self, vb_id: int, dev: int, lo: int, hi: int, event: float) -> None:
-        self._note(self._read, (vb_id, dev), lo, hi, event)
+    def note_read(
+        self, vb_id: int, dev: int, lo: int, hi: int, event: float,
+        wave: Optional[int] = None,
+    ) -> None:
+        self._note(self._read, (vb_id, dev), lo, hi, event, wave)
 
-    def write_event(self, vb_id: int, dev: int, lo: int, hi: int) -> float:
+    def write_event(
+        self, vb_id: int, dev: int, lo: int, hi: int, wave: Optional[int] = None
+    ) -> float:
         """Event after which the newest data in ``[lo, hi)`` is ready (RAW)."""
-        return self._query(self._write, (vb_id, dev), lo, hi)
+        return self._query(self._write, (vb_id, dev), lo, hi, wave)
 
-    def instance_free(self, vb_id: int, dev: int, lo: int, hi: int) -> List[float]:
+    def instance_free(
+        self, vb_id: int, dev: int, lo: int, hi: int, wave: Optional[int] = None
+    ) -> List[float]:
         """Events after which ``[lo, hi)`` may be overwritten (WAR + WAW)."""
         return [
-            self._query(self._read, (vb_id, dev), lo, hi),
-            self._query(self._write, (vb_id, dev), lo, hi),
+            self._query(self._read, (vb_id, dev), lo, hi, wave),
+            self._query(self._write, (vb_id, dev), lo, hi, wave),
         ]
 
-    def copy_deps(self, t: TransferTask) -> List[float]:
+    def copy_deps(self, t: TransferTask, wave: Optional[int] = None) -> List[float]:
         """Dependency events of one stale-segment copy."""
         return [
-            self.write_event(t.vb.vb_id, t.owner, t.start, t.end)
-        ] + self.instance_free(t.vb.vb_id, t.gpu, t.start, t.end)
+            self.write_event(t.vb.vb_id, t.owner, t.start, t.end, wave)
+        ] + self.instance_free(t.vb.vb_id, t.gpu, t.start, t.end, wave)
 
 
 def _issue_transfer(
@@ -142,12 +213,13 @@ def _issue_transfer(
     if api.machine is None:
         return None
     launch = getattr(api, "_launch_index", None)
+    wave = getattr(api, "_dataflow_wave", None)
     if policy.overlap:
         end = api.machine.stream_transfer(
             t.owner,
             t.gpu,
             t.nbytes,
-            deps=api.dataflow.copy_deps(t),
+            deps=api.dataflow.copy_deps(t, wave),
             category=Category.TRANSFERS,
             label=label,
             p2p=True if policy.p2p else None,
@@ -294,6 +366,7 @@ def execute_plan(api: "MultiGpuApi", plan: LaunchPlan, policy: SchedulePolicy) -
                 duration = api.kernel_cost(
                     ck.kernel, ktask.part.n_blocks, plan.block, plan.scalars
                 )
+            wave = getattr(api, "_dataflow_wave", None)
             deps: List[float] = []
             if policy.overlap:
                 deps = [
@@ -303,10 +376,14 @@ def execute_plan(api: "MultiGpuApi", plan: LaunchPlan, policy: SchedulePolicy) -
                 ]
                 for vb, runs in ktask.reads:
                     for lo, hi in runs:
-                        deps.append(api.dataflow.write_event(vb.vb_id, ktask.gpu, lo, hi))
+                        deps.append(
+                            api.dataflow.write_event(vb.vb_id, ktask.gpu, lo, hi, wave)
+                        )
                 for vb, runs in ktask.writes:
                     for lo, hi in runs:
-                        deps.extend(api.dataflow.instance_free(vb.vb_id, ktask.gpu, lo, hi))
+                        deps.extend(
+                            api.dataflow.instance_free(vb.vb_id, ktask.gpu, lo, hi, wave)
+                        )
             end = machine.launch_kernel(
                 ktask.gpu, duration, label=ck.partitioned.name, deps=deps,
                 launch=getattr(api, "_launch_index", None),
@@ -314,10 +391,10 @@ def execute_plan(api: "MultiGpuApi", plan: LaunchPlan, policy: SchedulePolicy) -
             # Recorded under every policy (see _issue_transfer).
             for vb, runs in ktask.reads:
                 for lo, hi in runs:
-                    api.dataflow.note_read(vb.vb_id, ktask.gpu, lo, hi, end)
+                    api.dataflow.note_read(vb.vb_id, ktask.gpu, lo, hi, end, wave)
             for vb, runs in ktask.writes:
                 for lo, hi in runs:
-                    api.dataflow.note_write(vb.vb_id, ktask.gpu, lo, hi, end)
+                    api.dataflow.note_write(vb.vb_id, ktask.gpu, lo, hi, end, wave)
         api.stats.partition_launches += 1
 
     # ---- tracker-update phase (Figure 4 lines 21-26) --------------------
@@ -436,6 +513,7 @@ def _issue_transfer_sim(
     label: str,
     events: Dict[int, float],
     launch: Optional[int],
+    wave: Optional[int] = None,
 ) -> None:
     """Simulated-issue half of :func:`_issue_transfer` (+ sharer host cost)."""
     if not api.config.transfers_enabled:
@@ -446,7 +524,7 @@ def _issue_transfer_sim(
                 t.owner,
                 t.gpu,
                 t.nbytes,
-                deps=api.dataflow.copy_deps(t),
+                deps=api.dataflow.copy_deps(t, wave),
                 category=Category.TRANSFERS,
                 label=label,
                 p2p=True if policy.p2p else None,
@@ -472,6 +550,7 @@ def issue_plan_sim(
     policy: SchedulePolicy,
     *,
     launch: Optional[int] = None,
+    wave: Optional[int] = None,
     transfer_order: Optional[Sequence[Tuple[ReadSync, TransferTask]]] = None,
 ) -> None:
     """The flush-time half of one launch: simulated host charges + device ops.
@@ -480,7 +559,8 @@ def issue_plan_sim(
     — pattern-cost charges, transfer issues, the sequential barrier, kernel
     launches, update-phase charges — for a plan whose functional half was
     already applied by :func:`apply_plan_functional`. ``launch`` tags every
-    device op for per-launch trace attribution.
+    device op for per-launch trace attribution; ``wave`` is the launch's
+    dependence wave captured at submit time (see :class:`DataflowLog`).
 
     ``transfer_order`` overrides the transfer *issue* order (the pipelined
     executor passes the halo-first tiers on clusters): the per-read-sync
@@ -502,7 +582,8 @@ def issue_plan_sim(
                     _charge_read_sync_sim(api, rs)
                     for t in rs.transfers:
                         _issue_transfer_sim(
-                            api, policy, t, f"sync:{rs.array}", transfer_events, launch
+                            api, policy, t, f"sync:{rs.array}", transfer_events,
+                            launch, wave,
                         )
         else:
             for syncs in plan.reads:
@@ -512,7 +593,7 @@ def issue_plan_sim(
                     _charge_read_sync_sim(api, rs)
             for rs, t in transfer_order:
                 _issue_transfer_sim(
-                    api, policy, t, f"sync:{rs.array}", transfer_events, launch
+                    api, policy, t, f"sync:{rs.array}", transfer_events, launch, wave
                 )
         if machine and policy.barrier:
             node_barriers = _sequential_barrier(api, plan, transfer_events)
@@ -538,19 +619,23 @@ def issue_plan_sim(
                 ]
                 for vb, runs in ktask.reads:
                     for lo, hi in runs:
-                        deps.append(api.dataflow.write_event(vb.vb_id, ktask.gpu, lo, hi))
+                        deps.append(
+                            api.dataflow.write_event(vb.vb_id, ktask.gpu, lo, hi, wave)
+                        )
                 for vb, runs in ktask.writes:
                     for lo, hi in runs:
-                        deps.extend(api.dataflow.instance_free(vb.vb_id, ktask.gpu, lo, hi))
+                        deps.extend(
+                            api.dataflow.instance_free(vb.vb_id, ktask.gpu, lo, hi, wave)
+                        )
             end = machine.launch_kernel(
                 ktask.gpu, duration, label=ck.partitioned.name, deps=deps, launch=launch
             )
             for vb, runs in ktask.reads:
                 for lo, hi in runs:
-                    api.dataflow.note_read(vb.vb_id, ktask.gpu, lo, hi, end)
+                    api.dataflow.note_read(vb.vb_id, ktask.gpu, lo, hi, end, wave)
             for vb, runs in ktask.writes:
                 for lo, hi in runs:
-                    api.dataflow.note_write(vb.vb_id, ktask.gpu, lo, hi, end)
+                    api.dataflow.note_write(vb.vb_id, ktask.gpu, lo, hi, end, wave)
 
     if api.config.tracking_enabled:
         for ups in plan.updates:
@@ -603,7 +688,11 @@ class PipelineExecutor:
         policy is chosen at flush time over the fused window.
         """
         apply_plan_functional(self.api, plan)
-        self.pending.append(plan, getattr(self.api, "_launch_index", self.depth))
+        self.pending.append(
+            plan,
+            getattr(self.api, "_launch_index", self.depth),
+            wave=getattr(self.api, "_dataflow_wave", None),
+        )
         self._policies.append(policy)
         if self.depth >= self.window:
             self.flush()
@@ -655,12 +744,15 @@ class PipelineExecutor:
                         api.stats.auto_choices.get(fused.name, 0) + 1
                     )
         batch = len(plans)
-        for plan, launch_index, policy in zip(plans, indices, policies):
+        for plan, launch_index, wave, policy in zip(
+            plans, indices, self.pending.waves, policies
+        ):
             issue_plan_sim(
                 api,
                 plan,
                 policy,
                 launch=launch_index,
+                wave=wave,
                 transfer_order=self._transfer_order(plan),
             )
         self.pending.clear()

@@ -25,7 +25,7 @@ evolution exactly while ``overlap`` merely re-orders device work.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.compiler.enumerators import Enumerator
 from repro.compiler.pipeline import CompiledKernel
@@ -66,8 +66,22 @@ def launch_partitions(api: "MultiGpuApi", ck: CompiledKernel, grid: Dim3) -> Lis
     if cluster is not None:
         from repro.cluster.partition import hierarchical_partitions
 
-        return hierarchical_partitions(ck.strategy, grid, cluster)
-    return ck.strategy.partitions(grid, api.config.n_gpus)
+        parts = hierarchical_partitions(ck.strategy, grid, cluster)
+    else:
+        parts = ck.strategy.partitions(grid, api.config.n_gpus)
+    # Placement hint (task-graph frontend): rotate the partition->device
+    # mapping so partition 0 lands on the hinted device. A tile-sized
+    # launch (one partition) then runs *on* its task's device instead of
+    # always device 0 — the trackers make data follow the writes, so tile
+    # ownership distributes across the machine. Pure relabeling of which
+    # device runs which partition: functional results and tracker state
+    # are device-id-keyed and identical under every rotation-consistent
+    # mode (the hint is task metadata, applied in every execution mode).
+    offset = getattr(api, "_placement_offset", None)
+    if offset:
+        k = offset % len(parts)
+        parts = parts[-k:] + parts[:-k]
+    return parts
 
 
 def merge_event_ranges(
@@ -258,11 +272,15 @@ class PipelinedPlan:
     plans: List[LaunchPlan] = field(default_factory=list)
     #: Global launch index (the runtime's launch counter) per plan.
     launch_indices: List[int] = field(default_factory=list)
+    #: Dependence wave per plan (task-graph launches only; None otherwise).
+    waves: List[Optional[int]] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.plans)
 
-    def append(self, plan: LaunchPlan, launch_index: int) -> None:
+    def append(
+        self, plan: LaunchPlan, launch_index: int, wave: Optional[int] = None
+    ) -> None:
         """Add the next launch of the window, in program order."""
         if self.launch_indices and launch_index <= self.launch_indices[-1]:
             raise AssertionError(
@@ -270,11 +288,13 @@ class PipelinedPlan:
             )
         self.plans.append(plan)
         self.launch_indices.append(launch_index)
+        self.waves.append(wave)
 
     def clear(self) -> None:
         """Reset after a flush."""
         self.plans.clear()
         self.launch_indices.clear()
+        self.waves.clear()
 
     @staticmethod
     def _accesses(plan: LaunchPlan):

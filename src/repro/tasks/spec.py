@@ -1,0 +1,140 @@
+"""Task declarations: the ``@task`` decorator and ``TaskSpace`` handles.
+
+A *task* is a host-side callable (``fn(api)``) plus declared access
+footprints and explicit control dependencies.  Tasks are created through
+the :func:`task` decorator against an ambient :class:`~repro.tasks.graph.
+TaskGraph` (entered as a context manager) or through
+``TaskGraph.add_task`` directly.  Task bodies submit kernels through the
+normal ``api.launch`` path; the graph layer decides *when* each body runs.
+
+A :class:`TaskSpace` is a named, lazily-populated family of task slots
+(``ts[k]``, ``ts[i, j]``).  Slots can be referenced in ``deps=[...]``
+before they are bound — forward references are resolved when the graph is
+finalized, which is also what makes dependency cycles constructible (and
+detectable: :class:`~repro.errors.TaskGraphError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TaskGraphError
+from repro.tasks.footprints import Footprint
+
+__all__ = ["Task", "TaskSpace", "TaskHandle", "task"]
+
+
+@dataclass
+class Task:
+    """One node of a task graph (created via the ``@task`` decorator)."""
+
+    index: int  # creation order; the deterministic scheduling priority
+    name: str
+    fn: Callable[..., Any]
+    reads: List[Footprint] = field(default_factory=list)
+    writes: List[Footprint] = field(default_factory=list)
+    deps: Tuple[Any, ...] = ()
+    #: Advisory device-affinity hint recorded on the task (the runtime's
+    #: partitioner owns actual placement; see docs/taskgraph.md).
+    placement: Optional[int] = None
+
+    @property
+    def affine(self) -> bool:
+        """True when every declared footprint lowered exactly."""
+        return all(f.affine for f in self.reads + self.writes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task(#{self.index} {self.name!r})"
+
+
+class TaskHandle:
+    """A (possibly forward) reference to one slot of a :class:`TaskSpace`."""
+
+    __slots__ = ("space", "key", "task")
+
+    def __init__(self, space: "TaskSpace", key: Any) -> None:
+        self.space = space
+        self.key = key
+        self.task: Optional[Task] = None
+
+    @property
+    def label(self) -> str:
+        """The slot's display name, e.g. ``chol[2, 1]``."""
+        key = self.key if isinstance(self.key, tuple) else (self.key,)
+        return f"{self.space.name}[{', '.join(map(repr, key))}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "bound" if self.task is not None else "unbound"
+        return f"TaskHandle({self.label}, {state})"
+
+
+class TaskSpace:
+    """A named family of task slots indexed by arbitrary hashable keys."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._handles: Dict[Any, TaskHandle] = {}
+
+    def __getitem__(self, key: Any) -> TaskHandle:
+        if key not in self._handles:
+            self._handles[key] = TaskHandle(self, key)
+        return self._handles[key]
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._handles and self._handles[key].task is not None
+
+    def handles(self) -> List[TaskHandle]:
+        """Every slot referenced so far, bound or not."""
+        return list(self._handles.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bound = sum(1 for h in self._handles.values() if h.task is not None)
+        return f"TaskSpace({self.name!r}, {bound}/{len(self._handles)} bound)"
+
+
+#: Ambient graph stack maintained by ``TaskGraph.__enter__``/``__exit__``.
+_GRAPH_STACK: List[Any] = []
+
+
+def _current_graph():
+    if not _GRAPH_STACK:
+        raise TaskGraphError(
+            "@task used outside a TaskGraph context; enter one with "
+            "`with TaskGraph() as g:` or use g.task(...) directly"
+        )
+    return _GRAPH_STACK[-1]
+
+
+def task(
+    handle: Optional[TaskHandle] = None,
+    *,
+    deps: Sequence[Any] = (),
+    reads: Sequence[Any] = (),
+    writes: Sequence[Any] = (),
+    placement: Optional[int] = None,
+    name: Optional[str] = None,
+) -> Callable[[Callable], Task]:
+    """Declare a task in the ambient :class:`~repro.tasks.graph.TaskGraph`.
+
+    ``handle`` optionally binds the task to a :class:`TaskSpace` slot so
+    other tasks can depend on it by reference (including forward
+    references).  ``reads``/``writes`` are access specs
+    (:mod:`repro.tasks.footprints`); ``deps`` adds explicit control edges
+    (tasks, handles, or task names).  The decorated function is replaced by
+    the created :class:`Task`.
+    """
+    graph = _current_graph()
+
+    def decorate(fn: Callable) -> Task:
+        return graph.add_task(
+            fn,
+            handle=handle,
+            deps=deps,
+            reads=reads,
+            writes=writes,
+            placement=placement,
+            name=name,
+        )
+
+    return decorate

@@ -13,6 +13,8 @@ from repro.workloads.hotspot import HotspotWorkload
 from repro.workloads.nbody import NBodyWorkload
 from repro.workloads.matmul import MatmulWorkload
 from repro.workloads.dstencil import DStencilWorkload
+from repro.workloads.cholesky import CholeskyWorkload
+from repro.workloads.imgpipe import ImgPipeWorkload
 
 #: The paper's Table 1 proxy applications (benchmark tables iterate these).
 ALL_WORKLOADS = {
@@ -26,6 +28,8 @@ ALL_WORKLOADS = {
 #: never iterated by the Table 1 harness.
 EXTRA_WORKLOADS = {
     "dstencil": DStencilWorkload,
+    "cholesky": CholeskyWorkload,
+    "imgpipe": ImgPipeWorkload,
 }
 
 __all__ = [
@@ -37,6 +41,8 @@ __all__ = [
     "NBodyWorkload",
     "MatmulWorkload",
     "DStencilWorkload",
+    "CholeskyWorkload",
+    "ImgPipeWorkload",
     "ALL_WORKLOADS",
     "EXTRA_WORKLOADS",
 ]

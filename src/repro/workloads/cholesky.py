@@ -1,0 +1,268 @@
+"""Tiled Cholesky factorization driven by the ``repro.tasks`` graph frontend.
+
+The classic right-looking tiled Cholesky (POTRF / TRSM / SYRK / GEMM over a
+``T x T`` grid of ``b x b`` tiles of one square array) is *the* canonical
+dynamic-task-graph workload: the four tile operations have a triangular
+dependence structure that no static loop schedule expresses well, but falls
+out automatically from per-tile read/write footprints:
+
+* ``potrf_tile(k)``   — factor the diagonal tile in place,
+* ``trsm_tile(i, k)`` — triangular solve of a panel tile against it,
+* ``syrk_tile(i, k)`` — symmetric rank-``b`` update of a diagonal tile,
+* ``gemm_tile(i, j, k)`` — rank-``b`` update of an off-diagonal tile.
+
+Every task declares its tiles as :func:`~repro.tasks.footprints.region2d`
+footprints; the graph derives all RAW/WAR/WAW edges by byte-interval
+intersection — there is not a single explicit ``deps=`` in the builder.
+Tile offsets are runtime scalar parameters, so one compiled kernel per
+operation serves every tile; the kernels guard the offsets back into range
+(``0 <= off <= n - b``), which keeps the bounds prover exact despite the
+symbolic subscripts.  ``potrf_tile`` is intentionally a single-thread
+kernel: its write subscripts involve no grid dimension, exercising the
+unit-axes legality path (every launch axis must have extent 1).
+
+Registered under ``EXTRA_WORKLOADS``; the paper-faithful Table 1 set stays
+untouched.  See docs/taskgraph.md for the walkthrough.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cuda.api import MemcpyKind
+from repro.cuda.dim3 import Dim3
+from repro.cuda.dtypes import f32
+from repro.cuda.ir.builder import KernelBuilder
+from repro.cuda.ir.kernel import Kernel
+from repro.tasks import TaskGraph, region2d, task
+from repro.workloads.common import ProblemConfig, Workload
+
+__all__ = [
+    "CholeskyWorkload",
+    "build_potrf_kernel",
+    "build_trsm_kernel",
+    "build_syrk_kernel",
+    "build_gemm_kernel",
+    "tile_size",
+]
+
+
+def tile_size(n: int) -> int:
+    """Tile edge for an ``n x n`` factorization (``n`` must be divisible)."""
+    b = max(8, n // 8)
+    if n % b != 0:
+        raise ValueError(f"cholesky size {n} is not divisible by tile size {b}")
+    return b
+
+
+def build_potrf_kernel(n: int, b: int) -> Kernel:
+    """Unblocked in-place Cholesky of the ``b x b`` tile at ``(b0, b0)``.
+
+    A deliberately single-thread kernel (Cholesky–Crout is sequential in
+    the tile): no write subscript involves a grid dimension, so the
+    legality model demands unit extent on every launch axis.
+    """
+    kb = KernelBuilder("potrf_tile")
+    b0 = kb.scalar("b0")
+    a = kb.array("a", f32, (n, n))
+    gx, gy = kb.global_id("x"), kb.global_id("y")
+    with kb.if_(gx.eq(0) & gy.eq(0) & (b0 >= 0) & (b0 <= n - b)):
+        with kb.for_range("j", 0, b) as j:
+            s = kb.let("s", a[b0 + j, b0 + j])
+            with kb.for_range("m", 0, j) as m:
+                kb.assign(s, s - a[b0 + j, b0 + m] * a[b0 + j, b0 + m])
+            a[b0 + j, b0 + j] = kb.sqrt(s)
+            with kb.for_range("i", j + 1, b) as i:
+                t = kb.let("t", a[b0 + i, b0 + j])
+                with kb.for_range("m2", 0, j) as m2:
+                    kb.assign(t, t - a[b0 + i, b0 + m2] * a[b0 + j, b0 + m2])
+                a[b0 + i, b0 + j] = t / a[b0 + j, b0 + j]
+    return kb.finish()
+
+
+def build_trsm_kernel(n: int, b: int) -> Kernel:
+    """Solve ``A[i,k] <- A[i,k] * L(k,k)^-T`` row-parallel over the tile."""
+    kb = KernelBuilder("trsm_tile")
+    bi0 = kb.scalar("bi0")
+    bj0 = kb.scalar("bj0")
+    a = kb.array("a", f32, (n, n))
+    gi, gy = kb.global_id("x"), kb.global_id("y")
+    in_range = (bi0 >= 0) & (bi0 <= n - b) & (bj0 >= 0) & (bj0 <= n - b)
+    with kb.if_((gi < b) & gy.eq(0) & in_range):
+        with kb.for_range("k", 0, b) as k:
+            t = kb.let("t", a[bi0 + gi, bj0 + k])
+            with kb.for_range("m", 0, k) as m:
+                kb.assign(t, t - a[bi0 + gi, bj0 + m] * a[bj0 + k, bj0 + m])
+            a[bi0 + gi, bj0 + k] = t / a[bj0 + k, bj0 + k]
+    return kb.finish()
+
+
+def build_syrk_kernel(n: int, b: int) -> Kernel:
+    """``A[i,i] <- A[i,i] - A[i,k] A[i,k]^T`` on the lower triangle only."""
+    kb = KernelBuilder("syrk_tile")
+    bi0 = kb.scalar("bi0")
+    bk0 = kb.scalar("bk0")
+    a = kb.array("a", f32, (n, n))
+    gj, gi = kb.global_id("x"), kb.global_id("y")
+    in_range = (bi0 >= 0) & (bi0 <= n - b) & (bk0 >= 0) & (bk0 <= n - b)
+    with kb.if_((gi < b) & (gj <= gi) & in_range):
+        acc = kb.let("acc", a[bi0 + gi, bi0 + gj])
+        with kb.for_range("m", 0, b) as m:
+            kb.assign(acc, acc - a[bi0 + gi, bk0 + m] * a[bi0 + gj, bk0 + m])
+        a[bi0 + gi, bi0 + gj] = acc
+    return kb.finish()
+
+
+def build_gemm_kernel(n: int, b: int) -> Kernel:
+    """``A[i,j] <- A[i,j] - A[i,k] A[j,k]^T`` over a full off-diagonal tile."""
+    kb = KernelBuilder("gemm_tile")
+    bi0 = kb.scalar("bi0")
+    bj0 = kb.scalar("bj0")
+    bk0 = kb.scalar("bk0")
+    a = kb.array("a", f32, (n, n))
+    gj, gi = kb.global_id("x"), kb.global_id("y")
+    in_range = (
+        (bi0 >= 0)
+        & (bi0 <= n - b)
+        & (bj0 >= 0)
+        & (bj0 <= n - b)
+        & (bk0 >= 0)
+        & (bk0 <= n - b)
+    )
+    with kb.if_((gi < b) & (gj < b) & in_range):
+        acc = kb.let("acc", a[bi0 + gi, bj0 + gj])
+        with kb.for_range("m", 0, b) as m:
+            kb.assign(acc, acc - a[bi0 + gi, bk0 + m] * a[bj0 + gj, bk0 + m])
+        a[bi0 + gi, bj0 + gj] = acc
+    return kb.finish()
+
+
+class CholeskyWorkload(Workload):
+    """Tiled Cholesky through the dynamic task graph (EXTRA_WORKLOADS)."""
+
+    name = "cholesky"
+
+    def __init__(self, cfg: ProblemConfig) -> None:
+        super().__init__(cfg)
+        n = cfg.size
+        self.tile = tile_size(n)
+        self.n_tiles = n // self.tile
+        self.potrf = build_potrf_kernel(n, self.tile)
+        self.trsm = build_trsm_kernel(n, self.tile)
+        self.syrk = build_syrk_kernel(n, self.tile)
+        self.gemm = build_gemm_kernel(n, self.tile)
+        #: The graph of the most recent :meth:`run` (stats/diagnostics).
+        self.last_graph: Optional[TaskGraph] = None
+
+    def build_kernels(self) -> List[Kernel]:
+        return [self.potrf, self.trsm, self.syrk, self.gemm]
+
+    def launch_config(self) -> Tuple[Dim3, Dim3]:
+        b = self.tile
+        block = Dim3(x=min(16, b), y=min(16, b))
+        return Dim3(x=-(-b // block.x), y=-(-b // block.y)), block
+
+    def make_inputs(self, seed: int = 0) -> Dict[str, np.ndarray]:
+        n = self.cfg.size
+        rng = np.random.default_rng(seed)
+        m = rng.random((n, n), dtype=np.float32) - np.float32(0.5)
+        # Symmetric positive definite by construction (diagonally dominant).
+        a = (m @ m.T) / np.float32(n) + np.float32(n) * np.eye(n, dtype=np.float32)
+        return {"a": a.astype(np.float32)}
+
+    def build_graph(self, api, d_a) -> TaskGraph:
+        """Declare the ``T x T`` tiled factorization as a task graph.
+
+        All ordering comes from the declared tile footprints — the
+        triangular POTRF/TRSM/SYRK/GEMM dependence structure is *derived*,
+        never spelled out.
+        """
+        n, b, nt = self.cfg.size, self.tile, self.n_tiles
+        grid2d, block2d = self.launch_config()
+
+        def tile(r: int, c: int):
+            return region2d(d_a, (n, n), (r * b, (r + 1) * b), (c * b, (c + 1) * b))
+
+        graph = TaskGraph("cholesky")
+        with graph:
+            for k in range(nt):
+
+                @task(
+                    name=f"potrf[{k}]",
+                    reads=[tile(k, k)],
+                    writes=[tile(k, k)],
+                    placement=k % 16,
+                )
+                def potrf_task(api, k=k):
+                    api.launch(self.potrf, Dim3(1), Dim3(1), [k * b, d_a])
+
+                for i in range(k + 1, nt):
+
+                    @task(
+                        name=f"trsm[{i},{k}]",
+                        reads=[tile(k, k), tile(i, k)],
+                        writes=[tile(i, k)],
+                        placement=i % 16,
+                    )
+                    def trsm_task(api, i=i, k=k):
+                        api.launch(
+                            self.trsm, Dim3(1), Dim3(x=b), [i * b, k * b, d_a]
+                        )
+
+                for i in range(k + 1, nt):
+
+                    @task(
+                        name=f"syrk[{i},{k}]",
+                        reads=[tile(i, k), tile(i, i)],
+                        writes=[tile(i, i)],
+                        placement=i % 16,
+                    )
+                    def syrk_task(api, i=i, k=k):
+                        api.launch(self.syrk, grid2d, block2d, [i * b, k * b, d_a])
+
+                    for j in range(k + 1, i):
+
+                        @task(
+                            name=f"gemm[{i},{j},{k}]",
+                            reads=[tile(i, k), tile(j, k), tile(i, j)],
+                            writes=[tile(i, j)],
+                            placement=(i + j) % 16,
+                        )
+                        def gemm_task(api, i=i, j=j, k=k):
+                            api.launch(
+                                self.gemm,
+                                grid2d,
+                                block2d,
+                                [i * b, j * b, k * b, d_a],
+                            )
+
+        return graph
+
+    def run(
+        self,
+        api,
+        inputs: Optional[Dict[str, np.ndarray]],
+        mode: str = "graph",
+        order: Optional[List[int]] = None,
+    ):
+        n = self.cfg.size
+        nbytes = n * n * 4
+        d_a = api.cudaMalloc(nbytes)
+        api.cudaMemcpy(
+            d_a, inputs["a"] if inputs else None, nbytes, MemcpyKind.HostToDevice
+        )
+        graph = self.build_graph(api, d_a)
+        self.last_graph = graph
+        graph.run(api, mode=mode, order=order)
+        out = np.zeros((n, n), dtype=np.float32) if inputs else None
+        api.cudaMemcpy(out, d_a, nbytes, MemcpyKind.DeviceToHost)
+        api.cudaDeviceSynchronize()
+        # The kernels only ever touch the lower triangle; mask the
+        # untouched upper-triangle input values out of the result.
+        return {"factor": np.tril(out)} if inputs else None
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        lower = np.linalg.cholesky(inputs["a"].astype(np.float64))
+        return {"factor": lower.astype(np.float32)}

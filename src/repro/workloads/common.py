@@ -54,6 +54,8 @@ _FUNCTIONAL_SIZES = {
     "matmul": (48, 1),
     # Extra (non-Table-1) workloads.
     "dstencil": (64, 4),
+    "cholesky": (64, 1),
+    "imgpipe": (64, 2),
 }
 
 

@@ -1,0 +1,284 @@
+"""A three-stage image pipeline with overlapped halo tiling over task bands.
+
+``blur -> gradient -> threshold`` over an ``n x n`` image, decomposed into
+horizontal *bands* of rows, each band one task per stage.  A band's blur
+and gradient read one halo row beyond the band on each side
+(:func:`~repro.tasks.footprints.region2d` clips halos at the image border),
+so the derived RAW edges are *overlapped*: band ``s`` of a stage depends on
+bands ``s-1, s, s+1`` of the previous stage — interior bands start as soon
+as their three producers finish, without a global barrier between stages.
+Iterating the pipeline feeds the thresholded output back in as the next
+round's source, adding the WAR/WAW wavefront that makes round ``r+1``'s
+early bands overlap round ``r``'s late ones.
+
+The final ``stats`` task is *deliberately unanalyzable* twice over, as the
+subsystem's degradation witness:
+
+* at the **task level** its read is declared :func:`~repro.tasks.
+  footprints.opaque` (a data-dependent diagonal gather), so the graph
+  downgrades it to a whole-buffer footprint (``RP701``), serializes it
+  against every producer (``RP702``) and brackets it with barriers;
+* at the **kernel level** its reduction writes through the non-affine
+  subscript ``gx*gx``, so the launch itself takes the runtime's
+  single-GPU whole-buffer fallback path (``RP202``/``RP401``,
+  ``stats.fallback_launches``).
+
+Registered under ``EXTRA_WORKLOADS``; see docs/taskgraph.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cuda.api import MemcpyKind
+from repro.cuda.dim3 import Dim3
+from repro.cuda.dtypes import f32
+from repro.cuda.ir.builder import KernelBuilder
+from repro.cuda.ir.kernel import Kernel
+from repro.tasks import TaskGraph, opaque, region2d, span, task
+from repro.workloads.common import ProblemConfig, Workload
+
+__all__ = [
+    "ImgPipeWorkload",
+    "build_blur_kernel",
+    "build_gradient_kernel",
+    "build_threshold_kernel",
+    "build_imgstat_kernel",
+    "band_size",
+    "THRESHOLD",
+]
+
+#: Edge-strength cutoff of the threshold stage.
+THRESHOLD = 0.15
+
+
+def band_size(n: int) -> int:
+    """Rows per task band for an ``n x n`` image (``n`` must be divisible)."""
+    rows = max(8, n // 8)
+    if n % rows != 0:
+        raise ValueError(f"imgpipe size {n} is not divisible by band size {rows}")
+    return rows
+
+
+def _band_guard(kb: KernelBuilder, row0, gx, gy0, n: int, rows: int):
+    """Common launch-domain guard: thread in band, band offset in range."""
+    return (gx < n) & (gy0 < rows) & (row0 >= 0) & (row0 <= n - rows)
+
+
+def build_blur_kernel(n: int, rows: int) -> Kernel:
+    """5-point box blur of one band (interior average, border copy)."""
+    kb = KernelBuilder("blur")
+    row0 = kb.scalar("row0")
+    src = kb.array("src", f32, (n, n))
+    dst = kb.array("dst", f32, (n, n))
+    gx, gy0 = kb.global_id("x"), kb.global_id("y")
+    gy = row0 + gy0
+    with kb.if_(_band_guard(kb, row0, gx, gy0, n, rows)):
+        with kb.if_((gy >= 1) & (gy < n - 1) & (gx >= 1) & (gx < n - 1)):
+            dst[gy, gx] = (
+                src[gy, gx]
+                + src[gy - 1, gx]
+                + src[gy + 1, gx]
+                + src[gy, gx - 1]
+                + src[gy, gx + 1]
+            ) * 0.2
+        with kb.otherwise():
+            dst[gy, gx] = src[gy, gx]
+    return kb.finish()
+
+
+def build_gradient_kernel(n: int, rows: int) -> Kernel:
+    """Central-difference edge strength of one band (zero at the border)."""
+    kb = KernelBuilder("gradient")
+    row0 = kb.scalar("row0")
+    src = kb.array("src", f32, (n, n))
+    dst = kb.array("dst", f32, (n, n))
+    gx, gy0 = kb.global_id("x"), kb.global_id("y")
+    gy = row0 + gy0
+    with kb.if_(_band_guard(kb, row0, gx, gy0, n, rows)):
+        with kb.if_((gy >= 1) & (gy < n - 1) & (gx >= 1) & (gx < n - 1)):
+            dst[gy, gx] = kb.abs(src[gy + 1, gx] - src[gy - 1, gx]) + kb.abs(
+                src[gy, gx + 1] - src[gy, gx - 1]
+            )
+        with kb.otherwise():
+            dst[gy, gx] = kb.f32const(0.0)
+    return kb.finish()
+
+
+def build_threshold_kernel(n: int, rows: int) -> Kernel:
+    """Binarize one band against :data:`THRESHOLD` (no halo)."""
+    kb = KernelBuilder("threshold")
+    row0 = kb.scalar("row0")
+    src = kb.array("src", f32, (n, n))
+    dst = kb.array("dst", f32, (n, n))
+    gx, gy0 = kb.global_id("x"), kb.global_id("y")
+    gy = row0 + gy0
+    with kb.if_(_band_guard(kb, row0, gx, gy0, n, rows)):
+        dst[gy, gx] = kb.select(
+            src[gy, gx] > THRESHOLD, kb.f32const(1.0), kb.f32const(0.0)
+        )
+    return kb.finish()
+
+
+def build_imgstat_kernel(n: int) -> Kernel:
+    """Single-thread diagonal reduction with a *non-affine* result subscript.
+
+    The store through ``cnt[gx*gx]`` (harmlessly index 0 for the only
+    active thread) is intentionally outside the affine model: the kernel is
+    unpartitionable and every launch takes the runtime's single-GPU
+    whole-buffer fallback — the kernel-level half of the task-graph
+    degradation story.
+    """
+    kb = KernelBuilder("imgstat")
+    src = kb.array("src", f32, (n, n))
+    cnt = kb.array("cnt", f32, (4,))
+    gx, gy = kb.global_id("x"), kb.global_id("y")
+    with kb.if_(gx.eq(0) & gy.eq(0)):
+        acc = kb.let("acc", kb.f32const(0.0))
+        with kb.for_range("y", 0, n) as y:
+            kb.assign(acc, acc + src[y, y])
+        cnt[gx * gx] = acc
+    return kb.finish()
+
+
+class ImgPipeWorkload(Workload):
+    """The overlapped-tiling image pipeline (EXTRA_WORKLOADS)."""
+
+    name = "imgpipe"
+
+    def __init__(self, cfg: ProblemConfig) -> None:
+        super().__init__(cfg)
+        n = cfg.size
+        self.rows = band_size(n)
+        self.n_bands = n // self.rows
+        self.blur = build_blur_kernel(n, self.rows)
+        self.gradient = build_gradient_kernel(n, self.rows)
+        self.threshold = build_threshold_kernel(n, self.rows)
+        self.imgstat = build_imgstat_kernel(n)
+        #: The graph of the most recent :meth:`run` (stats/diagnostics).
+        self.last_graph: Optional[TaskGraph] = None
+
+    def build_kernels(self) -> List[Kernel]:
+        return [self.blur, self.gradient, self.threshold, self.imgstat]
+
+    def launch_config(self) -> Tuple[Dim3, Dim3]:
+        n, rows = self.cfg.size, self.rows
+        block = Dim3(x=16, y=min(16, rows))
+        return Dim3(x=-(-n // block.x), y=-(-rows // block.y)), block
+
+    def make_inputs(self, seed: int = 0) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        n = self.cfg.size
+        return {"img": rng.random((n, n), dtype=np.float32)}
+
+    def build_graph(self, api, d_src, d_blur, d_grad, d_out, d_cnt) -> TaskGraph:
+        """Declare ``iterations`` pipeline rounds plus the opaque stats task."""
+        n, rows, nbytes = self.cfg.size, self.rows, self.cfg.size**2 * 4
+        grid, block = self.launch_config()
+
+        def band(buf, s: int, halo: int = 0):
+            return region2d(
+                buf, (n, n), (s * rows - halo, (s + 1) * rows + halo), (0, n)
+            )
+
+        graph = TaskGraph("imgpipe")
+        with graph:
+            # Stage-major declaration: a band's halo producers (the
+            # neighbouring bands of the previous stage) must precede it in
+            # program order for the halo read to see their values.  The
+            # overlap comes from the *graph*: each band still only waits
+            # for its own three producers, never for the whole stage.
+            for r in range(self.cfg.iterations):
+                d_in = d_src if r == 0 else d_out
+                for s in range(self.n_bands):
+                    row0 = s * rows
+
+                    @task(
+                        name=f"blur[{r},{s}]",
+                        reads=[band(d_in, s, halo=1)],
+                        writes=[band(d_blur, s)],
+                        placement=s % 16,
+                    )
+                    def blur_task(api, row0=row0, d_in=d_in):
+                        api.launch(self.blur, grid, block, [row0, d_in, d_blur])
+
+                for s in range(self.n_bands):
+                    row0 = s * rows
+
+                    @task(
+                        name=f"grad[{r},{s}]",
+                        reads=[band(d_blur, s, halo=1)],
+                        writes=[band(d_grad, s)],
+                        placement=s % 16,
+                    )
+                    def grad_task(api, row0=row0):
+                        api.launch(self.gradient, grid, block, [row0, d_blur, d_grad])
+
+                for s in range(self.n_bands):
+                    row0 = s * rows
+
+                    @task(
+                        name=f"thresh[{r},{s}]",
+                        reads=[band(d_grad, s)],
+                        writes=[band(d_out, s)],
+                        placement=s % 16,
+                    )
+                    def thresh_task(api, row0=row0):
+                        api.launch(self.threshold, grid, block, [row0, d_grad, d_out])
+
+            @task(
+                name="stats",
+                reads=[opaque(d_out, nbytes, note="data-dependent diagonal gather")],
+                writes=[span(d_cnt, 0, 16)],
+            )
+            def stats_task(api):
+                api.launch(self.imgstat, Dim3(1), Dim3(1), [d_out, d_cnt])
+
+        return graph
+
+    def run(
+        self,
+        api,
+        inputs: Optional[Dict[str, np.ndarray]],
+        mode: str = "graph",
+        order: Optional[List[int]] = None,
+    ):
+        n = self.cfg.size
+        nbytes = n * n * 4
+        d_src = api.cudaMalloc(nbytes)
+        d_blur = api.cudaMalloc(nbytes)
+        d_grad = api.cudaMalloc(nbytes)
+        d_out = api.cudaMalloc(nbytes)
+        d_cnt = api.cudaMalloc(16)
+        api.cudaMemcpy(
+            d_src, inputs["img"] if inputs else None, nbytes, MemcpyKind.HostToDevice
+        )
+        graph = self.build_graph(api, d_src, d_blur, d_grad, d_out, d_cnt)
+        self.last_graph = graph
+        graph.run(api, mode=mode, order=order)
+        out = np.zeros((n, n), dtype=np.float32) if inputs else None
+        cnt = np.zeros(4, dtype=np.float32) if inputs else None
+        api.cudaMemcpy(out, d_out, nbytes, MemcpyKind.DeviceToHost)
+        api.cudaMemcpy(cnt, d_cnt, 16, MemcpyKind.DeviceToHost)
+        api.cudaDeviceSynchronize()
+        return {"out": out, "diag_sum": cnt[:1]} if inputs else None
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        x = inputs["img"]
+        fifth = np.float32(0.2)
+        for _ in range(self.cfg.iterations):
+            blur = x.copy()
+            blur[1:-1, 1:-1] = (
+                x[1:-1, 1:-1] + x[:-2, 1:-1] + x[2:, 1:-1] + x[1:-1, :-2] + x[1:-1, 2:]
+            ) * fifth
+            grad = np.zeros_like(x)
+            grad[1:-1, 1:-1] = np.abs(blur[2:, 1:-1] - blur[:-2, 1:-1]) + np.abs(
+                blur[1:-1, 2:] - blur[1:-1, :-2]
+            )
+            x = np.where(grad > THRESHOLD, np.float32(1.0), np.float32(0.0))
+        acc = np.float32(0.0)
+        for y in range(x.shape[0]):  # sequential f32 sum, matching the kernel
+            acc = acc + x[y, y]
+        return {"out": x, "diag_sum": np.array([acc], dtype=np.float32)}

@@ -1,0 +1,56 @@
+"""The taskgraph bench's helpers and self-check plumbing (fast paths only).
+
+The full ``repro bench taskgraph`` study simulates a 16-GPU machine and
+runs for minutes; CI exercises it end to end in the ``taskgraph-smoke``
+job.  Here we pin the cheap invariants: workload registry, the
+adversarial order generator, and the identity sweep on one small
+configuration set.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tasks.bench import (
+    TASKGRAPH_WORKLOADS,
+    TaskGraphStudy,
+    _alternative_order,
+    _identity_sweep,
+    taskgraph_study,
+)
+from repro.workloads import EXTRA_WORKLOADS, functional_config
+from repro.workloads.cholesky import CholeskyWorkload
+
+
+def test_workload_registry_is_consistent():
+    assert set(TASKGRAPH_WORKLOADS) == {"cholesky", "imgpipe"}
+    assert set(TASKGRAPH_WORKLOADS) <= set(EXTRA_WORKLOADS)
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ValueError, match="unknown taskgraph workload"):
+        taskgraph_study(workloads=["hotspot"])
+
+
+def test_alternative_order_is_topological_and_adversarial():
+    from repro.compiler.pipeline import compile_app
+    from repro.runtime.api import MultiGpuApi
+    from repro.runtime.config import RuntimeConfig
+
+    wl = CholeskyWorkload(functional_config("cholesky", size=32))
+    api = MultiGpuApi(compile_app(wl.build_kernels()), RuntimeConfig(n_gpus=2))
+    wl.run(api, wl.make_inputs(seed=1))
+    g = wl.last_graph
+    order = _alternative_order(g)
+    assert sorted(order) == list(range(len(g.tasks)))
+    assert order != list(range(len(g.tasks)))  # actually adversarial
+    position = {idx: pos for pos, idx in enumerate(order)}
+    assert all(position[e.src] < position[e.dst] for e in g.edges)
+
+
+def test_identity_sweep_smoke():
+    study = TaskGraphStudy(workloads=["cholesky"], n_gpus=4)
+    _identity_sweep(study, "cholesky", windows=(2,))
+    assert study.failures == []
+    assert study.identity and all(c.identical for c in study.identity)
+    stats = study.graph_stats["cholesky"]
+    assert stats["tasks"] > 0 and stats["waves"] > 0

@@ -134,6 +134,7 @@ class TestExitCodes:
             ("InjectivityError", 41),
             ("LintError", 31),
             ("TrackerError", 62),
+            ("TaskGraphError", 82),
         ],
     )
     def test_main_maps_repro_errors(self, monkeypatch, capsys, error_name, expected):
