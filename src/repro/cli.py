@@ -29,6 +29,15 @@ window clears the >=25% exposed-transfer reduction and >=1.1x speedup bars
 against the per-launch sequential baseline, and that pipelining is bitwise
 invisible; ``run --pipeline-window N`` fuses N launches per window on a
 functional run.
+``bench overhead`` pairs the paper's single-GPU slowdown table with the
+staged-planner host-overhead study (docs/performance.md): per-launch host
+microseconds by stage, cold vs warm vs ``plan_cache=False``, with exit-1
+self-checks on the >=5x warm reduction, the plan-cache hit/miss
+arithmetic, and bitwise plan-cache invisibility across the full
+``schedule x shared_copies x pipeline_window x topology`` matrix.
+``run --json`` and the serve/taskgraph benches surface the planner
+counters (plan-cache hits/misses/evictions, vectorized vs interpreted
+enumerator scans).
 ``machine``   show the calibrated machine model.
 
 Exit codes: 0 success; 1 lint findings at/above the ``--fail-on`` threshold
@@ -50,7 +59,7 @@ from repro.errors import ReproError, exit_code_for
 from repro.cuda.ir.printer import kernel_to_cuda
 from repro.harness.calibration import GPU_COUNTS, K80_NODE_SPEC
 from repro.harness.report import finish_self_checks, format_table, write_json_report
-from repro.runtime.api import MultiGpuApi
+from repro.runtime.api import MultiGpuApi, host_planner_counters
 from repro.runtime.config import RuntimeConfig
 from repro.workloads import ALL_WORKLOADS, EXTRA_WORKLOADS, functional_config
 from repro.workloads.common import TABLE1
@@ -166,6 +175,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{api.stats.enumerator_calls} enumerator calls, "
         f"{api.stats.tracker_ops} tracker ops"
     )
+    counters = host_planner_counters(api.stats)
+    print(
+        f"staged planner: {counters['plan_cache_hits']} plan-cache hits, "
+        f"{counters['plan_cache_misses']} misses, "
+        f"{counters['plan_cache_evictions']} evictions; enumerator scans "
+        f"{counters['enumerator_specialized']} vectorized / "
+        f"{counters['enumerator_fallback']} interpreted"
+    )
     if args.shared_copies:
         print(
             f"shared copies: {api.stats.redundant_bytes_avoided} redundant "
@@ -176,6 +193,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"irredundant transfers: {api.stats.overapprox_bytes_avoided} "
             f"bounding-range slack bytes trimmed"
+        )
+    if args.json:
+        import dataclasses
+
+        payload = {
+            "workload": args.workload,
+            "config": {
+                "n_gpus": args.gpus,
+                "schedule": args.schedule,
+                "shared_copies": args.shared_copies,
+                "pipeline_window": args.pipeline_window,
+                "irredundant_transfers": args.irredundant_transfers,
+                "size": workload.cfg.size,
+                "iterations": workload.cfg.iterations,
+                "seed": args.seed,
+            },
+            "bitwise_equal": True,
+            "stats": dataclasses.asdict(api.stats),
+            "host_counters": counters,
+        }
+        write_json_report(
+            args.json, f"benchmarks/results/run_{args.workload}.json", payload
         )
     return 0
 
@@ -766,6 +805,16 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         )
     )
 
+    top = max(points, key=lambda p: p.load)
+    if top.host_counters:
+        print(
+            f"  staged planner at load {top.load:g}: "
+            f"{top.host_counters['plan_cache_hits']} plan-cache hits, "
+            f"{top.host_counters['plan_cache_misses']} misses, "
+            f"{top.host_counters['enumerator_specialized']} vectorized / "
+            f"{top.host_counters['enumerator_fallback']} interpreted scans"
+        )
+
     failures = saturation_failures(points)
     # The serve path must be indistinguishable from the direct api path for
     # a lone tenant — checked across pipelining and the overlap schedule.
@@ -796,6 +845,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
                     "p50_delay": p.p50_delay,
                     "p99_delay": p.p99_delay,
                     "per_tenant_completed": p.per_tenant_completed,
+                    "host_counters": p.host_counters,
                 }
                 for p in points
             ],
@@ -859,6 +909,14 @@ def _cmd_bench_taskgraph(args: argparse.Namespace) -> int:
         for name, s in study.graph_stats.items()
     ]
     print(format_table(headers, rows, title="Graph structure (identity sweep)"))
+    for name, counters in sorted(study.host_counters.items()):
+        print(
+            f"  {name}: staged planner (graph mode): "
+            f"{counters['plan_cache_hits']} plan-cache hits, "
+            f"{counters['plan_cache_misses']} misses, "
+            f"{counters['enumerator_specialized']} vectorized / "
+            f"{counters['enumerator_fallback']} interpreted scans"
+        )
     for name, codes in sorted(study.diagnostics.items()):
         shown = ", ".join(codes) if codes else "none"
         print(f"  {name}: footprint diagnostics: {shown}")
@@ -882,9 +940,101 @@ def _cmd_bench_taskgraph(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_bench_overhead(args: argparse.Namespace) -> int:
+    """Host launch-overhead study: staged-planner cost, cold vs warm."""
+    from repro.harness import experiments as ex
+    from repro.harness.overhead import (
+        MIN_NOCACHE_REDUCTION,
+        MIN_WARM_REDUCTION,
+        identity_sweep,
+        launch_overhead_study,
+        overhead_failures,
+    )
+    from repro.runtime.profiler import STAGES
+
+    # The paper's §9.2 table first: simulated single-GPU slowdown of the
+    # partitioned binary against the reference.
+    rows = ex.single_gpu_overhead(sizes=tuple(args.sizes))
+    print(
+        format_table(
+            ["Configuration", "Slowdown"],
+            [(str(cfg), f"{frac:.4%}") for cfg, frac in rows],
+            title="Single-GPU slowdown",
+        )
+    )
+
+    from repro.harness.overhead import OVERHEAD_WORKLOADS
+
+    names = args.workloads or None
+    if names:
+        unknown = [n for n in names if n not in OVERHEAD_WORKLOADS]
+        if unknown:
+            print(
+                f"error: overhead study has no workload(s): {', '.join(unknown)} "
+                f"(choose from {', '.join(OVERHEAD_WORKLOADS)})",
+                file=sys.stderr,
+            )
+            return 2
+    points = launch_overhead_study(workloads=names)
+    headers = ["Workload", "Path", "Launches", *STAGES, "Total [us]"]
+    table_rows = []
+    for p in points:
+        for label, launches, us in (
+            ("cold", p.cold_launches, p.cold_us),
+            ("warm", p.warm_launches, p.warm_us),
+            ("no-cache", p.cold_launches + p.warm_launches, p.nocache_us),
+        ):
+            table_rows.append(
+                (
+                    p.workload,
+                    label,
+                    launches,
+                    *(f"{us.get(stage, 0.0):.1f}" for stage in STAGES),
+                    f"{us['total']:.1f}",
+                )
+            )
+    print(
+        format_table(
+            headers,
+            table_rows,
+            title="Host overhead per launch [us] (staged planner, machine-less)",
+        )
+    )
+    for p in points:
+        print(
+            f"  {p.workload}: warm path {p.warm_reduction:.1f}x below cold, "
+            f"{p.nocache_reduction:.2f}x below the plan_cache=False steady "
+            f"state; counters {p.counters}"
+        )
+
+    failures = overhead_failures(points)
+    failures += identity_sweep()
+
+    if args.json:
+        payload = {
+            "min_warm_reduction": MIN_WARM_REDUCTION,
+            "min_nocache_reduction": MIN_NOCACHE_REDUCTION,
+            "slowdown": [
+                {"config": str(cfg), "slowdown": frac} for cfg, frac in rows
+            ],
+            "points": [p.as_dict() for p in points],
+            "failures": failures,
+        }
+        write_json_report(args.json, "benchmarks/results/launch_overhead.json", payload)
+
+    return finish_self_checks(
+        failures,
+        f">={MIN_WARM_REDUCTION:g}x warm-path reduction, cache arithmetic, "
+        "vectorized backend engaged, plan cache bitwise/trace/tracker/stats "
+        "invisible across schedule x shared-copies x window x topology",
+    )
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness import experiments as ex
 
+    if args.experiment == "overhead":
+        return _cmd_bench_overhead(args)
     if args.experiment == "cluster":
         return _cmd_bench_cluster(args)
     if args.experiment == "redundancy":
@@ -976,15 +1126,6 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     for s in stats
                 ],
                 title="Figure 8",
-            )
-        )
-    elif args.experiment == "overhead":
-        rows = ex.single_gpu_overhead(sizes=tuple(args.sizes))
-        print(
-            format_table(
-                ["Configuration", "Slowdown"],
-                [(str(cfg), f"{frac:.4%}") for cfg, frac in rows],
-                title="Single-GPU slowdown",
             )
         )
     else:  # pragma: no cover - argparse restricts choices
@@ -1108,6 +1249,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="trim bounding-range slack off synchronization copies using "
         "the exact per-partition read sets (RP602 remedy)",
+    )
+    p.add_argument(
+        "--json",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="write the run's stats (including the staged-planner counters) "
+        "as JSON; bare flag uses a default path under benchmarks/results/",
     )
     p.set_defaults(fn=_cmd_run)
 

@@ -30,7 +30,13 @@ from repro.cuda.dim3 import Dim3
 from repro.errors import AnalysisError
 from repro.poly.affine import Aff
 from repro.poly.basic_set import BasicSet, _rebind_constraint
-from repro.poly.codegen import ScanFn, compile_scanner, interpreted_scanner
+from repro.poly.codegen import (
+    ScanFn,
+    compile_scanner,
+    interpreted_scanner,
+    prepare_scanner,
+)
+from repro.poly.vectorize import VectorizeError, vector_program
 from repro.poly.constraint import Constraint
 from repro.poly.set_ import Set
 from repro.poly.space import Space
@@ -105,13 +111,24 @@ class Enumerator:
     scan: ScanFn
     param_order: Tuple[str, ...]
     exact: bool
-    #: Memoized scan results: iterative applications re-enumerate identical
-    #: partitions every launch; the real runtime's generated C code does so
-    #: cheaply, here we cache the Python scan (host *cost* is still charged
-    #: per call by the runtime, from the recorded emit count).
-    _cache: Dict[Tuple, Tuple[List[FlatRange], int]] = field(
+    #: Memoized scan results ``(ranges, emitted, vectorized)``: iterative
+    #: applications re-enumerate identical partitions every launch; the real
+    #: runtime's generated C code does so cheaply, here we cache the Python
+    #: scan (host *cost* is still charged per call by the runtime, from the
+    #: recorded emit count). The third slot remembers which backend produced
+    #: the entry so repeat requests attribute to the same counter.
+    _cache: Dict[Tuple, Tuple[List[FlatRange], int, bool]] = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: Whether cache misses may scan through the vectorized numpy backend
+    #: (repro.poly.vectorize). False pins the scalar scanner — the ablation
+    #: path — and is also set when an interpreted table is requested.
+    specialize: bool = True
+    #: Vectorized-backend state: "unbuilt" until the first miss, then
+    #: "ready" or "disabled" (program construction or a scan raised
+    #: VectorizeError; scalar fallback from then on).
+    _vec_state: str = field(default="unbuilt", repr=False, compare=False)
+    _vec: Optional[object] = field(default=None, repr=False, compare=False)
 
     def pack_params(
         self,
@@ -170,11 +187,18 @@ class Enumerator:
         grid: Dim3,
         scalars: Mapping[str, int],
         shape: Sequence[int],
+        stats=None,
     ) -> Tuple[List[FlatRange], int]:
         """Merged flat (row-major) element ranges accessed by ``partition``.
 
         Returns ``(ranges, n_emitted)`` where ``n_emitted`` counts raw
-        callback invocations (the runtime's per-range host cost driver).
+        callback invocations (the runtime's per-range host cost driver) —
+        the vectorized backend reproduces the same count without invoking a
+        callback. ``stats`` (a ``RunStats``, optional) receives one
+        ``enumerator_specialized``/``enumerator_fallback`` tick per request,
+        attributed to the backend that produced the result — deterministic
+        per call sequence even when another runtime already warmed the scan
+        cache.
         """
         if partition.is_empty:
             return [], 0
@@ -182,24 +206,59 @@ class Enumerator:
         key = (params, tuple(shape))
         cached = self._cache.get(key)
         if cached is not None:
-            return cached
+            ranges, count, vectorized = cached
+            self._count(stats, vectorized)
+            return ranges, count
         strides = [1] * len(shape)
         for d in range(len(shape) - 2, -1, -1):
             strides[d] = strides[d + 1] * shape[d + 1]
-        raw: List[FlatRange] = []
-        count = 0
+        result = self._scan_vectorized(params, strides)
+        vectorized = result is not None
+        if result is None:
+            raw: List[FlatRange] = []
+            count = 0
 
-        def emit(row: Tuple[int, ...], lo: int, hi: int) -> None:
-            nonlocal count
-            count += 1
-            base = sum(r * s for r, s in zip(row, strides[:-1]))
-            raw.append((base + lo, base + hi + 1))
+            def emit(row: Tuple[int, ...], lo: int, hi: int) -> None:
+                nonlocal count
+                count += 1
+                base = sum(r * s for r, s in zip(row, strides[:-1]))
+                raw.append((base + lo, base + hi + 1))
 
-        self.scan(params, emit)
-        result = (merge_ranges(raw), count)
+            self.scan(params, emit)
+            result = (merge_ranges(raw), count)
+        self._count(stats, vectorized)
         if len(self._cache) < 4096:
-            self._cache[key] = result
+            self._cache[key] = (result[0], result[1], vectorized)
         return result
+
+    @staticmethod
+    def _count(stats, vectorized: bool) -> None:
+        if stats is None:
+            return
+        if vectorized:
+            stats.enumerator_specialized += 1
+        else:
+            stats.enumerator_fallback += 1
+
+    def _scan_vectorized(
+        self, params: Tuple[int, ...], strides: Sequence[int]
+    ) -> Optional[Tuple[List[FlatRange], int]]:
+        """One scan through the memoized numpy program; None means fall back."""
+        if not self.specialize or self._vec_state == "disabled":
+            return None
+        if self._vec_state == "unbuilt":
+            try:
+                node, names = prepare_scanner(self.image, self.param_order)
+                self._vec = vector_program(node, names)
+            except VectorizeError:
+                self._vec_state = "disabled"
+                return None
+            self._vec_state = "ready"
+        try:
+            return self._vec.run(params, strides)
+        except VectorizeError:
+            self._vec_state = "disabled"
+            return None
 
 
 def merge_ranges(ranges: List[FlatRange]) -> List[FlatRange]:
@@ -248,6 +307,9 @@ def build_enumerator(
         scan=scan,
         param_order=param_order,
         exact=access.exact and image.exact,
+        # The interpreted ablation quantifies scalar tree-walking; letting
+        # it silently vectorize would measure nothing.
+        specialize=use_codegen,
     )
 
 

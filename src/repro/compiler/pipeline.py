@@ -107,8 +107,11 @@ def compile_app(
         host_source: optional CUDA-like host source to rewrite (§5); Python
             host programs skip this and bind the runtime API directly.
         model_path: where pass 1 saves the application model JSON.
-        use_codegen: compile enumerators to Python (True) or interpret the
-            scanner ASTs (False; ablation).
+        use_codegen: compile enumerators to Python and let cache-missing
+            scans run the vectorized numpy backend (True), or interpret
+            the scanner ASTs scalar-only (False; ablation — also disables
+            enumerator specialization so the ablation measures the
+            tree-walking cost it claims to).
         block_dim: concrete block size for the injectivity fallback check.
         write_annotations: programmer-supplied write maps in isl notation,
             ``{kernel_name: {array_name: map_text}}`` (paper §11; see

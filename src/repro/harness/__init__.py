@@ -11,6 +11,12 @@ from repro.harness.experiments import (
     compile_time_ratio,
     table1_rows,
 )
+from repro.harness.overhead import (
+    OverheadPoint,
+    identity_sweep,
+    launch_overhead_study,
+    overhead_failures,
+)
 
 __all__ = [
     "K80_NODE_SPEC",
@@ -23,4 +29,8 @@ __all__ = [
     "single_gpu_overhead",
     "compile_time_ratio",
     "table1_rows",
+    "OverheadPoint",
+    "identity_sweep",
+    "launch_overhead_study",
+    "overhead_failures",
 ]

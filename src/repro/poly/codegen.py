@@ -37,7 +37,13 @@ from repro.poly.astbuild import build_scan_ast, build_scan_ast_union
 from repro.poly.basic_set import BasicSet
 from repro.poly.set_ import Set
 
-__all__ = ["ScanFn", "compile_scanner", "interpreted_scanner", "render_scanner_source"]
+__all__ = [
+    "ScanFn",
+    "compile_scanner",
+    "interpreted_scanner",
+    "prepare_scanner",
+    "render_scanner_source",
+]
 
 ScanFn = Callable[..., None]
 _counter = itertools.count()
@@ -183,6 +189,21 @@ def _sanitize(node: Node, param_names: Sequence[str]) -> Tuple[Node, Tuple[str, 
     if len(set(mapping.values())) != len(mapping):
         raise PolyhedralError(f"name sanitization produced a collision: {mapping}")
     return fixed, tuple(mapping[n] for n in param_names)
+
+
+def prepare_scanner(
+    set_or_bset, param_names: Optional[Sequence[str]] = None
+) -> Tuple[Node, Tuple[str, ...]]:
+    """The scan AST and positional parameter names for a set or union.
+
+    The shared front half of every scanner backend: the compiled source
+    path sanitizes the names afterwards, while the interpreted and
+    vectorized (:mod:`repro.poly.vectorize`) backends bind the returned
+    names as-is — all three walk the same AST, which is what makes their
+    emissions bit-identical.
+    """
+    node, names = _prepare(set_or_bset, param_names)
+    return node, tuple(names)
 
 
 def _prepare(set_or_bset, param_names: Optional[Sequence[str]]):

@@ -29,6 +29,7 @@ from repro.errors import RuntimeApiError, UnsupportedMemcpyError
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.launch import launch_fallback, launch_partitioned
 from repro.runtime.memcpy import d2h_gather, h2d_scatter
+from repro.runtime.plancache import PlanCache
 from repro.runtime.vbuffer import VirtualBuffer
 from repro.sched.executor import DataflowLog, PipelineExecutor
 from repro.sched.policy import select_policy
@@ -36,7 +37,25 @@ from repro.sim.engine import SimMachine, SimStream
 from repro.sim.topology import MachineSpec
 from repro.sim.trace import Category
 
-__all__ = ["RunStats", "MultiGpuApi"]
+__all__ = ["RunStats", "MultiGpuApi", "HOST_PLANNER_COUNTERS", "host_planner_counters"]
+
+#: The staged-planner observability counters: plan-skeleton cache traffic
+#: plus the per-backend enumerator split. Benchmarks surface exactly this
+#: slice, and warm-vs-cold identity checks exclude exactly this slice (a
+#: cached plan legitimately skips enumerator requests, so these counters —
+#: and only these — may differ between bitwise-identical runs).
+HOST_PLANNER_COUNTERS = (
+    "plan_cache_hits",
+    "plan_cache_misses",
+    "plan_cache_evictions",
+    "enumerator_specialized",
+    "enumerator_fallback",
+)
+
+
+def host_planner_counters(stats: "RunStats") -> Dict[str, int]:
+    """The :data:`HOST_PLANNER_COUNTERS` slice of one stats record."""
+    return {name: getattr(stats, name) for name in HOST_PLANNER_COUNTERS}
 
 
 @dataclass
@@ -81,6 +100,18 @@ class RunStats:
     #: mean an identical launch shape was re-estimated from the cache.
     estimate_cache_hits: int = 0
     estimate_cache_misses: int = 0
+    #: Plan-skeleton cache (repro.runtime.plancache): a hit means the
+    #: launch reused cached partition/scan results and only ran the
+    #: tracker residual; an eviction means a skeleton fell out of the LRU.
+    #: All three stay zero when ``RuntimeConfig.plan_cache`` is off.
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_cache_evictions: int = 0
+    #: Enumerator scans per backend, counted on enumerator-cache *misses*:
+    #: ``specialized`` ran the vectorized numpy program, ``fallback`` the
+    #: scalar scanner (non-affine shapes or the interpreted ablation).
+    enumerator_specialized: int = 0
+    enumerator_fallback: int = 0
     #: Pipelined-executor drains: total flushes and the largest number of
     #: launches fused into one (1 everywhere at ``pipeline_window=1``).
     pipeline_flushes: int = 0
@@ -183,8 +214,17 @@ class MultiGpuApi:
         #: frontend): rotates the partition->device mapping so partition 0
         #: runs on this device. None keeps the default mapping.
         self._placement_offset: Optional[int] = None
-        #: Launch-plan time-estimate memo (repro.sched.policy fingerprints).
+        #: Launch-plan time-estimate memo, keyed by the shared launch
+        #: fingerprint (repro.runtime.fingerprint).
         self._estimate_cache: Dict[tuple, tuple] = {}
+        #: Fingerprint-keyed plan-skeleton cache. Per-api (not per-app) so
+        #: two runtimes sharing one compiled app — e.g. the serve path and
+        #: its direct-reference twin — count identical hits and misses.
+        self.plan_cache = PlanCache() if config.plan_cache else None
+        #: Host-side stage timing hook (repro.runtime.profiler): when a
+        #: LaunchProfiler is attached, the staged launch path records
+        #: wall-clock per stage. None (the default) costs nothing.
+        self.profiler = None
         #: Rolling-window launch batcher. At ``pipeline_window=1`` every
         #: submit flushes immediately — per-launch orchestration exactly.
         self.pipeline = PipelineExecutor(self, config.pipeline_window)

@@ -23,6 +23,7 @@ execution on device 0 (whole read buffers synchronized there first).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Dict, Mapping, Sequence
 
 from repro.compiler.pipeline import CompiledKernel
@@ -61,54 +62,77 @@ def _bind_functional_args(
 def launch_partitioned(
     api: "MultiGpuApi", ck: CompiledKernel, grid: Dim3, block: Dim3, args: Sequence[object]
 ) -> None:
-    """The Figure 4 replacement for one kernel launch."""
+    """The Figure 4 replacement for one kernel launch, in explicit stages.
+
+    1. *fingerprint* — the launch's hashable identity (kernel, launch
+       configuration, resolved shapes, planning-relevant config slice);
+    2. *skeleton* — partition intervals, enumerated access ranges and DAG
+       shape; looked up in the per-api plan cache and built (including the
+       unit-axis and runtime-coverage validation, whose outcomes are
+       fingerprint-determined) only on a miss;
+    3. *residual* — tracker queries and stale-segment copy planning, run
+       every launch against live coherence state;
+    4. *submit* — hand the concrete plan to the pipelined executor: the
+       functional half applies immediately, the simulated issue drains when
+       the window closes (immediately at ``pipeline_window=1``). Under
+       ``schedule="auto"`` the concrete policy is chosen at flush time over
+       the fused window's transfer/compute split.
+
+    Cold and warm paths are bitwise-identical in outputs, traces and
+    tracker state; only host wall-clock differs, which ``api.profiler``
+    records per stage when attached.
+    """
     assert ck.partitioned is not None
+    from repro.runtime.fingerprint import launch_fingerprint
+    from repro.sched.graph import build_plan_skeleton, instantiate_plan
+
     kernel = ck.kernel
     by_name, scalars = split_launch_args(kernel, args)
+
+    prof = api.profiler
+    times: Dict[str, float] = {}
+    t = perf_counter() if prof else 0.0
     shapes = resolve_array_shapes(kernel, scalars)
+    key = launch_fingerprint(api, ck, grid, block, scalars, shapes)
+    if prof:
+        times["fingerprint"] = perf_counter() - t
 
-    if api.config.validate_unit_axes:
-        for axis in ck.model.unit_axes:
-            if grid.axis(axis) * block.axis(axis) != 1:
-                raise PartitioningError(
-                    f"kernel {kernel.name!r}: injectivity proof requires grid axis "
-                    f"{axis!r} to have unit extent, launch uses "
-                    f"{grid.axis(axis)}x{block.axis(axis)}"
-                )
+    cache = api.plan_cache
+    warm = False
+    skel = cache.get(key) if cache is not None else None
+    if skel is None:
+        t = perf_counter() if prof else 0.0
+        skel = build_plan_skeleton(
+            api, ck, grid, block, scalars, fingerprint=key, validate=True,
+            stats=api.stats,
+        )
+        if prof:
+            times["skeleton"] = perf_counter() - t
+        if cache is not None:
+            api.stats.plan_cache_misses += 1
+            if cache.put(key, skel):
+                api.stats.plan_cache_evictions += 1
+    else:
+        warm = True
+        api.stats.plan_cache_hits += 1
 
-    from repro.sched.graph import launch_partitions
+    if skel.fallback:
+        # Runtime coverage validation rejected this launch shape (cached
+        # along with the skeleton: the outcome is fingerprint-determined).
+        launch_fallback(api, ck, grid, block, args)
+        return
 
-    parts = launch_partitions(api, ck, grid)
-
-    if ck.model.runtime_coverage:
-        # Hybrid static/dynamic exactness: validate that every inexact write
-        # scan is provably gap-free for this concrete launch configuration;
-        # otherwise the launch falls back to single-GPU execution.
-        from repro.compiler.coverage import coverage_validates
-
-        for access in ck.info.writes.values():
-            if access.exact:
-                continue
-            spec = access.coverage
-            ok = spec is not None and all(
-                coverage_validates(spec, part, block, grid)
-                for part in parts
-                if not part.is_empty
-            )
-            if not ok:
-                launch_fallback(api, ck, grid, block, args)
-                return
-
-    # Compile the launch into its task DAG and hand it to the pipelined
-    # executor (repro.sched): the functional half applies immediately, the
-    # simulated issue drains when the pipeline window closes (immediately
-    # at pipeline_window=1). Under schedule="auto" the concrete policy is
-    # chosen at flush time over the fused window's transfer/compute split
-    # (identical to the per-launch decision for a window of one).
-    from repro.sched.graph import build_launch_plan
-
-    plan = build_launch_plan(api, ck, grid, block, args)
+    t = perf_counter() if prof else 0.0
+    plan = instantiate_plan(api, skel, by_name)
+    if prof:
+        times["residual"] = perf_counter() - t
+        t = perf_counter()
     api.pipeline.submit(plan, None if api.auto_schedule else api.policy)
+    if prof:
+        times["submit"] = perf_counter() - t
+        for stage, duration in times.items():
+            prof.add(warm, stage, duration)
+        prof.count_launch(warm)
 
 
 def _audit_write_scan(api, ck, trace, part, block, grid, scalars, shapes) -> None:

@@ -1,0 +1,60 @@
+"""Fingerprint-keyed LRU cache for launch-plan skeletons.
+
+The staged launch path (:mod:`repro.runtime.launch`) splits plan
+construction into a tracker-independent *skeleton* — partition intervals,
+enumerated read/write byte ranges, DAG shape — and a cheap tracker-dependent
+residual applied at issue time. The skeleton depends only on the launch
+fingerprint (:mod:`repro.runtime.fingerprint`), so an iteration loop
+re-launching the same shape thousands of times builds it once.
+
+Deliberately dependency-free: the cache stores opaque values under hashable
+keys and knows nothing about plans, so it can be unit-tested in isolation
+and imported from anywhere without cycles.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+__all__ = ["PlanCache", "DEFAULT_PLAN_CACHE_CAPACITY"]
+
+#: Default number of skeletons kept per runtime. Iteration loops use a
+#: handful of fingerprints (one per buffer parity); the bound only matters
+#: for pathological launch streams where every launch has a fresh shape.
+DEFAULT_PLAN_CACHE_CAPACITY = 512
+
+
+class PlanCache:
+    """A bounded LRU map from launch fingerprints to plan skeletons."""
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"plan cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """The cached value for ``key`` (refreshing its recency), or None."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: Hashable, value: object) -> bool:
+        """Insert ``key -> value``; returns True when an entry was evicted."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries

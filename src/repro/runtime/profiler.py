@@ -1,0 +1,56 @@
+"""Host-side launch-path profiling for the overhead benchmark.
+
+Attach a :class:`LaunchProfiler` to ``api.profiler`` and the staged launch
+path (:mod:`repro.runtime.launch`) records real wall-clock per stage —
+``fingerprint`` (key construction), ``skeleton`` (partitioning + enumerator
+scans, cold only), ``residual`` (tracker queries + stale-copy planning) and
+``submit`` (pipelined issue) — split into *cold* (plan-cache miss) and
+*warm* (hit) launches. This measures the Python orchestration itself, not
+the simulated hardware; ``repro bench overhead`` turns the totals into
+µs-per-launch and pins the warm-path reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["LaunchProfiler", "STAGES"]
+
+#: Stage names in launch-path order.
+STAGES = ("fingerprint", "skeleton", "residual", "submit")
+
+
+@dataclass
+class LaunchProfiler:
+    """Accumulated host seconds and launch counts per (warm, stage)."""
+
+    #: (warm, stage) -> accumulated seconds.
+    seconds: Dict[Tuple[bool, str], float] = field(default_factory=dict)
+    #: warm -> number of launches profiled.
+    launches: Dict[bool, int] = field(default_factory=dict)
+
+    def add(self, warm: bool, stage: str, duration: float) -> None:
+        key = (warm, stage)
+        self.seconds[key] = self.seconds.get(key, 0.0) + duration
+
+    def count_launch(self, warm: bool) -> None:
+        self.launches[warm] = self.launches.get(warm, 0) + 1
+
+    def total_us(self, warm: bool) -> float:
+        """Total profiled host microseconds across all stages."""
+        return 1e6 * sum(v for (w, _), v in self.seconds.items() if w is warm)
+
+    def per_launch_us(self, warm: bool) -> Dict[str, float]:
+        """Mean host microseconds per launch, per stage plus ``total``.
+
+        Empty when no launch of that temperature was profiled.
+        """
+        n = self.launches.get(warm, 0)
+        if not n:
+            return {}
+        out = {
+            stage: 1e6 * self.seconds.get((warm, stage), 0.0) / n for stage in STAGES
+        }
+        out["total"] = sum(out.values())
+        return out

@@ -54,9 +54,16 @@ def byte_ranges(
     scalars: Mapping[str, int],
     shape: Sequence[int],
     elem_size: int,
+    stats=None,
 ) -> Tuple[List[Tuple[int, int]], int]:
-    """Flat element ranges of one enumerator, converted to byte ranges."""
-    ranges, emitted = enum.element_ranges(partition, block, grid, scalars, shape)
+    """Flat element ranges of one enumerator, converted to byte ranges.
+
+    ``stats`` is threaded to the enumerator so cache-missing scans report
+    which backend (vectorized/scalar) performed them.
+    """
+    ranges, emitted = enum.element_ranges(
+        partition, block, grid, scalars, shape, stats=stats
+    )
     return [(lo * elem_size, hi * elem_size) for lo, hi in ranges], emitted
 
 
@@ -177,7 +184,9 @@ def buffer_synchronize(
     gpu: int,
 ) -> None:
     """Make ``gpu``'s instance current for the partition's read set."""
-    ranges, emitted = byte_ranges(enum, partition, block, grid, scalars, shape, elem_size)
+    ranges, emitted = byte_ranges(
+        enum, partition, block, grid, scalars, shape, elem_size, stats=api.stats
+    )
     api.stats.enumerator_calls += 1
     api.stats.ranges_emitted += emitted
     api.stats.tracker_ops += len(ranges)
@@ -252,7 +261,9 @@ def buffer_update(
     gpu: int,
 ) -> None:
     """Mark the partition's write set as owned by ``gpu`` in the tracker."""
-    ranges, emitted = byte_ranges(enum, partition, block, grid, scalars, shape, elem_size)
+    ranges, emitted = byte_ranges(
+        enum, partition, block, grid, scalars, shape, elem_size, stats=api.stats
+    )
     api.stats.enumerator_calls += 1
     api.stats.ranges_emitted += emitted
     api.stats.tracker_ops += len(ranges)

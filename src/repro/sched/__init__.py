@@ -11,10 +11,13 @@ from repro.sched.executor import DataflowLog, execute_plan
 from repro.sched.graph import (
     KernelTask,
     LaunchPlan,
+    PlanSkeleton,
     ReadSync,
     TransferTask,
     WriteUpdate,
     build_launch_plan,
+    build_plan_skeleton,
+    instantiate_plan,
 )
 from repro.sched.policy import SCHEDULES, SchedulePolicy, select_policy
 
@@ -23,10 +26,13 @@ __all__ = [
     "execute_plan",
     "KernelTask",
     "LaunchPlan",
+    "PlanSkeleton",
     "ReadSync",
     "TransferTask",
     "WriteUpdate",
     "build_launch_plan",
+    "build_plan_skeleton",
+    "instantiate_plan",
     "SCHEDULES",
     "SchedulePolicy",
     "select_policy",

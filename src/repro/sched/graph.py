@@ -20,6 +20,15 @@ the sequential loops would, in the same order — the host-side *cost* of
 each step is recorded on the task and charged by the executor at issue
 time, so the ``sequential`` policy reproduces the legacy host-time
 evolution exactly while ``overlap`` merely re-orders device work.
+
+Construction is staged: everything that depends only on the *launch
+fingerprint* (partition intervals, enumerated read/write byte ranges,
+merged event runs, DAG shape) lives in a :class:`PlanSkeleton` built by
+:func:`build_plan_skeleton` and cacheable across launches, while the
+tracker-dependent residual — which stale segments actually need copying —
+is applied per launch by :func:`instantiate_plan`. The unstaged
+:func:`build_launch_plan` composes the two and remains the single-call
+entry point.
 """
 
 from __future__ import annotations
@@ -48,7 +57,13 @@ __all__ = [
     "LaunchPlan",
     "CrossLaunchEdge",
     "PipelinedPlan",
+    "ReadScan",
+    "WriteScan",
+    "SkeletonPartition",
+    "PlanSkeleton",
     "launch_partitions",
+    "build_plan_skeleton",
+    "instantiate_plan",
     "build_launch_plan",
 ]
 
@@ -193,6 +208,9 @@ class LaunchPlan:
     kernels: List[KernelTask] = field(default_factory=list)
     #: Per non-empty partition (in device order): its tracker updates.
     updates: List[List[WriteUpdate]] = field(default_factory=list)
+    #: Launch fingerprint (repro.runtime.fingerprint) of the skeleton this
+    #: plan was instantiated from; keys the time-estimate memo.
+    fingerprint: Optional[tuple] = None
 
     @property
     def transfers(self) -> List[TransferTask]:
@@ -394,96 +412,272 @@ class PipelinedPlan:
                 raise AssertionError(f"empty conflict interval on edge {e}")
 
 
-def build_launch_plan(
-    api: "MultiGpuApi", ck: CompiledKernel, grid: Dim3, block: Dim3, args: Sequence[object]
+#: Placeholder for a ReadScan whose exact-read ranges were never needed;
+#: distinct from None, which is a *computed* "no trimming possible" answer.
+_KEEP_UNKNOWN = object()
+
+
+@dataclass
+class ReadScan:
+    """Tracker-independent scan of one read enumerator for one partition."""
+
+    enum: Enumerator
+    array: str
+    elem_size: int
+    #: Byte ranges of the partition's read set. Shared by every plan
+    #: instantiated from the skeleton; treated as immutable downstream.
+    ranges: List[Tuple[int, int]]
+    emitted: int
+    #: ``merge_event_ranges(ranges)`` — the dataflow-event runs.
+    event_runs: List[Tuple[int, int]]
+    #: Exact read byte ranges for irredundant-transfer trimming, resolved
+    #: lazily by the first residual pass that plans a copy (the answer
+    #: depends only on fingerprint inputs, so it is cached here).
+    keep: object = _KEEP_UNKNOWN
+
+
+@dataclass
+class WriteScan:
+    """Tracker-independent scan of one write enumerator for one partition.
+
+    ``ranges is None`` encodes the γ configuration (tracking disabled): no
+    enumerators ran and the write conservatively covers the whole buffer.
+    """
+
+    enum: Enumerator
+    array: str
+    ranges: Optional[List[Tuple[int, int]]]
+    emitted: int
+    event_runs: Optional[List[Tuple[int, int]]]
+
+
+@dataclass
+class SkeletonPartition:
+    """One non-empty grid partition's scans within a plan skeleton."""
+
+    gpu_idx: int
+    gpu: int
+    part: Partition
+    reads: List[ReadScan]
+    writes: List[WriteScan]
+
+
+@dataclass
+class PlanSkeleton:
+    """The tracker-independent half of a launch plan, cacheable per fingerprint.
+
+    Everything here is a pure function of the launch fingerprint: the
+    partition list, each partition's enumerated read/write byte ranges and
+    merged event runs, and the implicit DAG shape (scan order fixes node
+    numbering). What it deliberately does *not* contain: buffer bindings,
+    tracker query results, stale-segment copies — the per-launch residual
+    :func:`instantiate_plan` derives against live tracker state.
+    """
+
+    fingerprint: Optional[tuple]
+    ck: CompiledKernel
+    grid: Dim3
+    block: Dim3
+    scalars: Mapping[str, int]
+    shapes: Mapping[str, Sequence[int]]
+    parts: List[Partition]
+    #: True when runtime coverage validation rejected this launch shape:
+    #: the launch (and every future launch with this fingerprint) must take
+    #: the single-GPU fallback instead of a plan.
+    fallback: bool = False
+    partitions: List[SkeletonPartition] = field(default_factory=list)
+
+
+def build_plan_skeleton(
+    api: "MultiGpuApi",
+    ck: CompiledKernel,
+    grid: Dim3,
+    block: Dim3,
+    scalars: Mapping[str, int],
+    *,
+    fingerprint: Optional[tuple] = None,
+    validate: bool = False,
+    stats=None,
+) -> PlanSkeleton:
+    """Build the fingerprint-determined half of one launch's plan.
+
+    Runs the enumerator scans (vectorized where possible) but touches no
+    tracker. With ``validate=True`` the staged launch path's checks run
+    here too: unit-axis extents raise :class:`PartitioningError` *before*
+    anything is cached, and a failed runtime-coverage validation returns a
+    skeleton with ``fallback=True`` — both are fingerprint-determined, so
+    caching their outcome is sound. ``stats`` (the launch path passes the
+    api's ``RunStats``) attributes each scan to its enumerator backend;
+    the default None keeps direct plan construction stats-pure.
+    """
+    kernel = ck.kernel
+    shapes = resolve_array_shapes(kernel, scalars)
+    if validate and api.config.validate_unit_axes:
+        for axis in ck.model.unit_axes:
+            if grid.axis(axis) * block.axis(axis) != 1:
+                from repro.errors import PartitioningError
+
+                raise PartitioningError(
+                    f"kernel {kernel.name!r}: injectivity proof requires grid axis "
+                    f"{axis!r} to have unit extent, launch uses "
+                    f"{grid.axis(axis)}x{block.axis(axis)}"
+                )
+    parts = launch_partitions(api, ck, grid)
+    skel = PlanSkeleton(fingerprint, ck, grid, block, scalars, shapes, parts)
+    if validate and ck.model.runtime_coverage:
+        from repro.compiler.coverage import coverage_validates
+
+        for access in ck.info.writes.values():
+            if access.exact:
+                continue
+            spec = access.coverage
+            ok = spec is not None and all(
+                coverage_validates(spec, part, block, grid)
+                for part in parts
+                if not part.is_empty
+            )
+            if not ok:
+                skel.fallback = True
+                return skel
+
+    read_enums = api.app.enumerators.for_kernel(kernel.name, "read")
+    write_enums = api.app.enumerators.for_kernel(kernel.name, "write")
+    tracking = api.config.tracking_enabled
+    for gpu_idx, part in enumerate(parts):
+        if part.is_empty:
+            continue
+        gpu = api.devices[gpu_idx].device_id
+        reads: List[ReadScan] = []
+        writes: List[WriteScan] = []
+        if tracking:
+            for enum in read_enums:
+                elem_size = kernel.param(enum.array).dtype.size
+                ranges, emitted = byte_ranges(
+                    enum, part, block, grid, scalars, shapes[enum.array],
+                    elem_size, stats=stats,
+                )
+                reads.append(
+                    ReadScan(
+                        enum, enum.array, elem_size, ranges, emitted,
+                        merge_event_ranges(ranges),
+                    )
+                )
+            for enum in write_enums:
+                elem_size = kernel.param(enum.array).dtype.size
+                ranges, emitted = byte_ranges(
+                    enum, part, block, grid, scalars, shapes[enum.array],
+                    elem_size, stats=stats,
+                )
+                writes.append(
+                    WriteScan(enum, enum.array, ranges, emitted, merge_event_ranges(ranges))
+                )
+        else:
+            # γ configuration: no enumerators run; order conservatively on
+            # the whole buffer of every written array.
+            for enum in write_enums:
+                writes.append(WriteScan(enum, enum.array, None, 0, None))
+        skel.partitions.append(SkeletonPartition(gpu_idx, gpu, part, reads, writes))
+    return skel
+
+
+def instantiate_plan(
+    api: "MultiGpuApi", skel: PlanSkeleton, by_name: Mapping[str, object]
 ) -> LaunchPlan:
-    """Build the per-launch DAG from the enumerators and tracker queries.
+    """The tracker-dependent residual: a concrete plan from one skeleton.
 
     Pure bookkeeping: no data moves, no simulated time is charged, and the
     trackers are only *queried* (all queries happen before any of this
     launch's updates, exactly like Figure 4's loop structure). Host costs
     are charged later by the executor, per policy, using the emit/segment
-    counts recorded here.
+    counts recorded on the skeleton. Node numbering — transfers of each
+    partition, then its kernel — is identical to the unstaged builder by
+    construction, whichever launch built the skeleton.
     """
-    kernel = ck.kernel
-    by_name, scalars = split_launch_args(kernel, args)
-    shapes = resolve_array_shapes(kernel, scalars)
-    parts = launch_partitions(api, ck, grid)
-    read_enums = api.app.enumerators.for_kernel(kernel.name, "read")
-    write_enums = api.app.enumerators.for_kernel(kernel.name, "write")
-
-    plan = LaunchPlan(ck, grid, block, by_name, scalars, shapes, parts)
+    assert not skel.fallback, "fallback skeletons never instantiate plans"
+    plan = LaunchPlan(
+        skel.ck, skel.grid, skel.block, by_name, skel.scalars, skel.shapes,
+        skel.parts, fingerprint=skel.fingerprint,
+    )
+    cluster = getattr(api, "cluster", None)
+    irredundant = api.config.irredundant_transfers
     next_node = 0
 
-    for gpu_idx, part in enumerate(parts):
-        if part.is_empty:
-            continue
-        gpu = api.devices[gpu_idx].device_id
-
+    for sp in skel.partitions:
         syncs: List[ReadSync] = []
         transfer_nodes: List[int] = []
         reads_vbs: List[Tuple[VirtualBuffer, List[Tuple[int, int]]]] = []
-        if api.config.tracking_enabled:
-            for enum in read_enums:
-                vb = by_name[enum.array]
-                param = kernel.param(enum.array)
-                ranges, emitted = byte_ranges(
-                    enum, part, block, grid, scalars, shapes[enum.array], param.dtype.size
-                )
-                segments = vb.tracker.query_many(ranges)
-                cluster = getattr(api, "cluster", None)
-                copies, avoided, avoided_inter = plan_stale_copies_tiered(
-                    segments, gpu, cluster
-                )
-                overapprox = overapprox_inter = 0
-                if api.config.irredundant_transfers and copies:
+        for scan in sp.reads:
+            vb = by_name[scan.array]
+            segments = vb.tracker.query_many(scan.ranges)
+            copies, avoided, avoided_inter = plan_stale_copies_tiered(
+                segments, sp.gpu, cluster
+            )
+            overapprox = overapprox_inter = 0
+            if irredundant and copies:
+                keep = scan.keep
+                if keep is _KEEP_UNKNOWN:
                     from repro.analysis.dataflow import runtime_exact_read_ranges
 
                     keep = runtime_exact_read_ranges(
-                        api, ck.info, enum, part, grid, block, scalars,
-                        shapes[enum.array], param.dtype.size,
+                        api, skel.ck.info, scan.enum, sp.part, skel.grid,
+                        skel.block, skel.scalars, skel.shapes[scan.array],
+                        scan.elem_size,
                     )
-                    if keep is not None:
-                        copies, overapprox, overapprox_inter = trim_copies(
-                            copies, keep, gpu, cluster
-                        )
-                rs = ReadSync(
-                    gpu, enum.array, vb, enum, ranges, emitted, len(segments),
-                    avoided, avoided_inter, overapprox, overapprox_inter,
+                    scan.keep = keep
+                if keep is not None:
+                    copies, overapprox, overapprox_inter = trim_copies(
+                        copies, keep, sp.gpu, cluster
+                    )
+            rs = ReadSync(
+                sp.gpu, scan.array, vb, scan.enum, scan.ranges, scan.emitted,
+                len(segments), avoided, avoided_inter, overapprox, overapprox_inter,
+            )
+            for seg in copies:
+                task = TransferTask(
+                    next_node, sp.gpu, seg.owner, vb, scan.array, seg.start, seg.end
                 )
-                for seg in copies:
-                    task = TransferTask(
-                        next_node, gpu, seg.owner, vb, enum.array, seg.start, seg.end
-                    )
-                    next_node += 1
-                    rs.transfers.append(task)
-                    transfer_nodes.append(task.node)
-                syncs.append(rs)
-                reads_vbs.append((vb, merge_event_ranges(ranges)))
+                next_node += 1
+                rs.transfers.append(task)
+                transfer_nodes.append(task.node)
+            syncs.append(rs)
+            reads_vbs.append((vb, scan.event_runs))
         plan.reads.append(syncs)
 
-        ktask = KernelTask(next_node, gpu_idx, gpu, part)
+        ktask = KernelTask(next_node, sp.gpu_idx, sp.gpu, sp.part)
         next_node += 1
         ktask.transfer_deps = transfer_nodes
         ktask.reads = reads_vbs
         plan.kernels.append(ktask)
 
         ups: List[WriteUpdate] = []
-        if api.config.tracking_enabled:
-            for enum in write_enums:
-                vb = by_name[enum.array]
-                param = kernel.param(enum.array)
-                ranges, emitted = byte_ranges(
-                    enum, part, block, grid, scalars, shapes[enum.array], param.dtype.size
-                )
-                ups.append(WriteUpdate(gpu, enum.array, vb, enum, ranges, emitted))
-                ktask.writes.append((vb, merge_event_ranges(ranges)))
-        else:
-            # γ configuration: no enumerators run; order conservatively on
-            # the whole buffer of every written array.
-            for enum in write_enums:
-                vb = by_name[enum.array]
+        for scan in sp.writes:
+            vb = by_name[scan.array]
+            if scan.ranges is None:
                 ktask.writes.append((vb, [(0, vb.nbytes)]))
+            else:
+                ups.append(
+                    WriteUpdate(
+                        sp.gpu, scan.array, vb, scan.enum, scan.ranges, scan.emitted
+                    )
+                )
+                ktask.writes.append((vb, scan.event_runs))
         plan.updates.append(ups)
 
     return plan
+
+
+def build_launch_plan(
+    api: "MultiGpuApi", ck: CompiledKernel, grid: Dim3, block: Dim3, args: Sequence[object]
+) -> LaunchPlan:
+    """Build the per-launch DAG from the enumerators and tracker queries.
+
+    Composes :func:`build_plan_skeleton` and :func:`instantiate_plan`
+    without consulting any cache — the uncached path the staged launcher
+    (and every property test) measures the cached path against.
+    """
+    from repro.runtime.fingerprint import launch_fingerprint
+
+    by_name, scalars = split_launch_args(ck.kernel, args)
+    skel = build_plan_skeleton(api, ck, grid, block, scalars)
+    skel.fingerprint = launch_fingerprint(api, ck, grid, block, scalars, skel.shapes)
+    return instantiate_plan(api, skel, by_name)

@@ -34,7 +34,6 @@ __all__ = [
     "AUTO_SEQUENTIAL_MAX_RATIO",
     "AUTO_P2P_MIN_RATIO",
     "auto_schedule_name",
-    "plan_fingerprint",
     "estimate_plan_times",
     "auto_select_policy",
     "estimate_window_times",
@@ -108,27 +107,6 @@ def auto_schedule_name(transfer_time: float, compute_time: float) -> str:
     return "overlap"
 
 
-def plan_fingerprint(plan: "LaunchPlan") -> tuple:
-    """Hashable key under which a plan's time estimate may be memoized.
-
-    Two plans with equal fingerprints have identical transfer endpoint/size
-    sets and identical kernel partition shapes, so
-    :func:`estimate_plan_times` returns the same value for both (the spec,
-    cost model and cluster are per-``api`` and the cache lives on the api).
-    An iterative stencil ping-ponging between two buffers converges to one
-    steady-state fingerprint per parity from the second iteration on —
-    only the ``vb_id``s differ, and those do not enter the estimate.
-    """
-    return (
-        plan.ck.kernel.name,
-        (plan.grid.x, plan.grid.y, plan.grid.z),
-        (plan.block.x, plan.block.y, plan.block.z),
-        tuple(sorted(plan.scalars.items())),
-        tuple((t.owner, t.gpu, t.nbytes) for t in plan.transfers),
-        tuple((k.gpu, k.part.n_blocks) for k in plan.kernels),
-    )
-
-
 def estimate_plan_times(api: "MultiGpuApi", plan: "LaunchPlan") -> Tuple[float, float]:
     """(transfer seconds, compute seconds) one launch plan would take alone.
 
@@ -137,14 +115,19 @@ def estimate_plan_times(api: "MultiGpuApi", plan: "LaunchPlan") -> Tuple[float, 
     rate. Machine-less (functional-only) runs fall back to byte counts —
     only the zero/non-zero distinction matters then.
 
-    Results are memoized per api under :func:`plan_fingerprint` (an
-    iteration loop re-estimates an identical launch shape every pass);
-    hit/miss counts surface in ``RunStats.estimate_cache_hits/misses``.
+    Results are memoized per api under the shared launch fingerprint
+    (:func:`repro.runtime.fingerprint.plan_estimate_key` — an iteration
+    loop re-estimates an identical launch shape every pass; a stencil
+    ping-ponging between two buffers converges to one steady-state key per
+    parity because buffer identities never enter the fingerprint); hit and
+    miss counts surface in ``RunStats.estimate_cache_hits/misses``.
     """
+    from repro.runtime.fingerprint import plan_estimate_key
+
     cache = getattr(api, "_estimate_cache", None)
     key = None
     if cache is not None:
-        key = plan_fingerprint(plan)
+        key = plan_estimate_key(plan)
         hit = cache.get(key)
         if hit is not None:
             api.stats.estimate_cache_hits += 1

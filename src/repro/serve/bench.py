@@ -28,7 +28,7 @@ same trace (modulo the tenant tag), same simulated clock, same stats.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -37,7 +37,7 @@ from repro.compiler.pipeline import CompiledApp, compile_app
 from repro.cuda.api import MemcpyKind
 from repro.cuda.dim3 import Dim3
 from repro.errors import ServeError
-from repro.runtime.api import MultiGpuApi
+from repro.runtime.api import MultiGpuApi, RunStats, host_planner_counters
 from repro.runtime.config import RuntimeConfig
 from repro.serve.runtime import ServeRuntime, untenanted
 from repro.serve.tenant import TenantRuntime
@@ -105,6 +105,9 @@ class ServePoint:
     per_tenant_completed: Dict[int, int]
     #: Serviced WDRR cost per tenant.
     serviced_cost: Dict[int, float]
+    #: Staged-planner counters (:data:`~repro.runtime.api.
+    #: HOST_PLANNER_COUNTERS`) merged across all tenants' runtimes.
+    host_counters: Dict[str, int] = field(default_factory=dict)
 
 
 def _quantile(sorted_values: Sequence[float], q: float) -> float:
@@ -275,6 +278,11 @@ def saturation_study(
                 p99_delay=_quantile(delays, 0.99),
                 per_tenant_completed=per_tenant,
                 serviced_cost=dict(runtime.serviced_cost),
+                host_counters=host_planner_counters(
+                    RunStats.merged(
+                        [runtime.api(t).stats for t in sorted(runtime.runtimes)]
+                    )
+                ),
             )
         )
     return points

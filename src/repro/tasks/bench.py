@@ -119,6 +119,11 @@ class TaskGraphStudy:
     identity: List[IdentityCell] = field(default_factory=list)
     graph_stats: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     diagnostics: Dict[str, List[str]] = field(default_factory=dict)
+    #: Staged-planner counters (:data:`~repro.runtime.api.
+    #: HOST_PLANNER_COUNTERS`) of the overlap study's graph-mode run,
+    #: per workload — the dependence-driven path reuses plan skeletons
+    #: across bands/tiles, so hits dominate misses here.
+    host_counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
     cholesky_max_err: Optional[float] = None
     failures: List[str] = field(default_factory=list)
 
@@ -130,6 +135,7 @@ class TaskGraphStudy:
             "identity": [c.as_dict() for c in self.identity],
             "graph_stats": self.graph_stats,
             "diagnostics": self.diagnostics,
+            "host_counters": self.host_counters,
             "cholesky_max_err": self.cholesky_max_err,
             "failures": self.failures,
         }
@@ -281,6 +287,10 @@ def _overlap_study(study: TaskGraphStudy, name: str) -> None:
         )
         per_mode[mode] = point
         study.points.append(point)
+        if mode == "graph":
+            from repro.runtime.api import host_planner_counters
+
+            study.host_counters[name] = host_planner_counters(api.stats)
         if abs(exposure["hidden"] + exposure["exposed"] - busy) > 1e-9 * max(busy, 1.0):
             study.failures.append(
                 f"accounting: {name}/{mode} hidden+exposed != transfer busy time "

@@ -1,0 +1,148 @@
+"""The launch-overhead study: profiler coverage, self-checks, invisibility.
+
+``repro bench overhead`` ships with exit-1 self-checks
+(:func:`repro.harness.overhead.overhead_failures`) and an identity sweep
+(:func:`repro.harness.overhead.identity_sweep`). These tests run a reduced
+study for real — asserting the profiler's launch accounting and the cache
+arithmetic line up — and then doctor one field at a time to prove every
+self-check branch actually fires.
+"""
+
+import dataclasses
+
+from repro.harness.overhead import (
+    MIN_NOCACHE_REDUCTION,
+    MIN_WARM_REDUCTION,
+    OverheadPoint,
+    identity_sweep,
+    launch_overhead_study,
+    overhead_failures,
+)
+
+
+def _small_study():
+    return launch_overhead_study(
+        workloads=["hotspot"], n_gpus=4, sizes={"hotspot": (256, 8)}
+    )
+
+
+class TestStudy:
+    def test_profiler_accounting(self):
+        (point,) = _small_study()
+        assert point.workload == "hotspot"
+        # One fingerprint for the whole ping-pong loop: the first launch
+        # misses (cold), the remaining seven hit (warm).
+        assert point.cold_launches == 1
+        assert point.warm_launches == 7
+        assert point.counters["plan_cache_misses"] == point.cold_launches
+        assert point.counters["plan_cache_hits"] == point.warm_launches
+        assert point.counters["plan_cache_evictions"] == 0
+        assert point.counters["enumerator_specialized"] > 0
+        assert point.counters["enumerator_fallback"] == 0
+        # A cache hit never rebuilds the skeleton.
+        assert point.warm_us["skeleton"] == 0.0
+        for stage in ("fingerprint", "skeleton", "residual", "submit", "total"):
+            assert stage in point.cold_us and stage in point.warm_us
+
+    def test_real_study_passes_own_checks(self):
+        points = _small_study()
+        assert overhead_failures(points) == []
+
+    def test_as_dict_round_trip(self):
+        (point,) = _small_study()
+        row = point.as_dict()
+        assert row["warm_reduction"] == point.warm_reduction
+        assert row["nocache_reduction"] == point.nocache_reduction
+        assert row["counters"] == point.counters
+
+
+class TestSelfChecks:
+    """Each failure branch must fire on a point doctored to violate it."""
+
+    def _good_point(self):
+        stages = {"fingerprint": 1.0, "skeleton": 0.0, "residual": 2.0, "submit": 3.0}
+        return OverheadPoint(
+            workload="hotspot",
+            size=256,
+            iterations=8,
+            cold_launches=1,
+            warm_launches=7,
+            cold_us={**stages, "skeleton": 90.0, "total": 100.0},
+            warm_us={**stages, "total": 6.0},
+            nocache_us={**stages, "total": 10.0},
+            counters={
+                "plan_cache_hits": 7,
+                "plan_cache_misses": 1,
+                "plan_cache_evictions": 0,
+                "enumerator_specialized": 8,
+                "enumerator_fallback": 0,
+            },
+        )
+
+    def test_good_point_passes(self):
+        assert overhead_failures([self._good_point()]) == []
+
+    def test_empty_study_fails(self):
+        assert overhead_failures([]) == ["overhead study produced no points"]
+
+    def test_missing_path_coverage(self):
+        p = dataclasses.replace(self._good_point(), warm_launches=0)
+        (failure,) = overhead_failures([p])
+        assert failure.startswith("coverage:")
+
+    def test_headline_reduction(self):
+        p = self._good_point()
+        slow = dict(p.warm_us)
+        slow["total"] = p.cold_us["total"] / (MIN_WARM_REDUCTION - 1.0)
+        (failure, *rest) = overhead_failures([dataclasses.replace(p, warm_us=slow)])
+        assert failure.startswith("headline:")
+
+    def test_nocache_baseline_reduction(self):
+        p = self._good_point()
+        fast = dict(p.nocache_us)
+        fast["total"] = p.warm_us["total"] * (MIN_NOCACHE_REDUCTION - 0.1)
+        (failure,) = overhead_failures([dataclasses.replace(p, nocache_us=fast)])
+        assert failure.startswith("baseline:")
+
+    def test_cache_arithmetic(self):
+        p = self._good_point()
+        bad = {**p.counters, "plan_cache_hits": 6}
+        (failure,) = overhead_failures([dataclasses.replace(p, counters=bad)])
+        assert failure.startswith("arithmetic:")
+
+    def test_evictions(self):
+        p = self._good_point()
+        bad = {**p.counters, "plan_cache_evictions": 2}
+        (failure,) = overhead_failures([dataclasses.replace(p, counters=bad)])
+        assert failure.startswith("capacity:")
+
+    def test_vectorized_backend_engaged(self):
+        p = self._good_point()
+        bad = {**p.counters, "enumerator_specialized": 0}
+        (failure,) = overhead_failures([dataclasses.replace(p, counters=bad)])
+        assert failure.startswith("backend:")
+
+    def test_warm_skeleton_stage_zero(self):
+        p = self._good_point()
+        slow = {**p.warm_us, "skeleton": 0.5}
+        (failure,) = overhead_failures([dataclasses.replace(p, warm_us=slow)])
+        assert failure.startswith("staging:")
+
+
+class TestIdentitySweep:
+    def test_flat_subset_is_clean(self):
+        assert (
+            identity_sweep(
+                workload="hotspot",
+                windows=(1,),
+                schedules=("sequential",),
+                cluster_shape=None,
+            )
+            == []
+        )
+
+    def test_rejects_mismatched_cluster_shape(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="must total n_gpus"):
+            identity_sweep(n_gpus=4, cluster_shape=(3, 2))

@@ -166,8 +166,9 @@ class TestEstimateCache:
             assert api.stats.estimate_cache_misses == 0
 
     def test_cached_estimate_is_bit_identical(self):
+        from repro.runtime.fingerprint import plan_estimate_key
         from repro.sched.graph import build_launch_plan
-        from repro.sched.policy import estimate_plan_times, plan_fingerprint
+        from repro.sched.policy import estimate_plan_times
 
         kernel = _stencil()
         app = compile_app([kernel])
@@ -185,7 +186,7 @@ class TestEstimateCache:
         plan_ba = build_launch_plan(api, ck, GRID, BLOCK, [b, a])
         # Buffer identity does not enter the key: a symmetric stencil's two
         # ping-pong directions share one cache slot.
-        assert plan_fingerprint(plan_ab) == plan_fingerprint(plan_ba)
+        assert plan_estimate_key(plan_ab) == plan_estimate_key(plan_ba)
 
         first = estimate_plan_times(api, plan_ab)
         assert api.stats.estimate_cache_misses == 1

@@ -157,6 +157,36 @@ def test_taskgraph_demo_runs():
     assert "numpy.linalg.cholesky" in proc.stdout
 
 
+def test_performance_doc_covers_the_staged_planner():
+    """docs/performance.md exists and documents what the code actually ships."""
+    import pathlib
+
+    root = pathlib.Path(repro.__file__).resolve().parents[2]
+    text = (root / "docs" / "performance.md").read_text()
+    assert len(text) > 1000, "docs/performance.md is suspiciously short"
+    for needle in (
+        "repro.runtime.plancache",  # the fingerprint-keyed LRU
+        "repro.runtime.fingerprint",  # the shared launch identity
+        "PLANNING_CONFIG_FIELDS",  # the staleness contract
+        "skeleton",  # the staged split ...
+        "residual",  # ... tracker-independent vs -dependent
+        "plan_cache_hits",  # the observable counter slice
+        "enumerator_fallback",  # scalar-scanner attribution
+        "bench overhead",  # the measurement entry point
+        "plan_cache=False",  # the ablation knob
+    ):
+        assert needle in text, f"docs/performance.md does not mention {needle!r}"
+    # Cross-references both ways.
+    assert "docs/performance.md" in (root / "README.md").read_text()
+    assert "docs/performance.md" in (
+        root / "docs" / "runtime-and-simulator.md"
+    ).read_text()
+    assert "docs/runtime-and-simulator.md" in text
+    assert "docs/scheduler.md" in text
+    # The overhead table made it into the experiments log.
+    assert "bench overhead" in (root / "EXPERIMENTS.md").read_text()
+
+
 def test_diagnostic_codes_match_docs_table():
     """Every registered RPxxx code appears in docs/static-analysis.md's
 
