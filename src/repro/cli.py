@@ -153,16 +153,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     reference = workload.run(CudaApi(), inputs)
     app = compile_app(workload.build_kernels())
     print(f"running on {args.gpus} simulated GPUs ({args.schedule} schedule) ...")
-    api = MultiGpuApi(
-        app,
-        RuntimeConfig(
-            n_gpus=args.gpus,
-            schedule=args.schedule,
-            shared_copies=args.shared_copies,
-            pipeline_window=args.pipeline_window,
-            irredundant_transfers=args.irredundant_transfers,
-        ),
+    cache_knobs = {}
+    if args.plan_cache_capacity is not None:
+        cache_knobs["plan_cache_capacity"] = args.plan_cache_capacity
+    if args.residual_cache_capacity is not None:
+        cache_knobs["residual_cache_capacity"] = args.residual_cache_capacity
+    config = RuntimeConfig(
+        n_gpus=args.gpus,
+        schedule=args.schedule,
+        shared_copies=args.shared_copies,
+        pipeline_window=args.pipeline_window,
+        irredundant_transfers=args.irredundant_transfers,
+        **cache_knobs,
     )
+    api = MultiGpuApi(app, config)
     result = workload.run(api, inputs)
     for key in reference:
         if not np.array_equal(reference[key], result[key]):
@@ -179,7 +183,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(
         f"staged planner: {counters['plan_cache_hits']} plan-cache hits, "
         f"{counters['plan_cache_misses']} misses, "
-        f"{counters['plan_cache_evictions']} evictions; enumerator scans "
+        f"{counters['plan_cache_evictions']} evictions; "
+        f"{counters['residual_cache_hits']} residual replays, "
+        f"{counters['residual_cache_misses']} residual misses, "
+        f"{counters['residual_cache_evictions']} evictions; enumerator scans "
         f"{counters['enumerator_specialized']} vectorized / "
         f"{counters['enumerator_fallback']} interpreted"
     )
@@ -205,6 +212,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "shared_copies": args.shared_copies,
                 "pipeline_window": args.pipeline_window,
                 "irredundant_transfers": args.irredundant_transfers,
+                "plan_cache_capacity": config.plan_cache_capacity,
+                "residual_cache_capacity": config.residual_cache_capacity,
                 "size": workload.cfg.size,
                 "iterations": workload.cfg.iterations,
                 "seed": args.seed,
@@ -296,6 +305,17 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
     ]
     table = format_table(headers, rows, title=f"Cluster scaling ({size} problems)")
     print(table)
+    for p in points:
+        c = p.host_counters
+        print(
+            f"  planner {p.workload} {p.n_nodes}x{p.gpus_per_node} {p.schedule}: "
+            f"plan cache {c.get('plan_cache_hits', 0)}h/"
+            f"{c.get('plan_cache_misses', 0)}m, residual cache "
+            f"{c.get('residual_cache_hits', 0)}h/"
+            f"{c.get('residual_cache_misses', 0)}m, enumerator "
+            f"{c.get('enumerator_specialized', 0)} vectorized / "
+            f"{c.get('enumerator_fallback', 0)} interpreted"
+        )
 
     failures = _check_cluster_one_node_equivalence(workloads, total, schedules)
     for p in points:
@@ -346,6 +366,7 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
                     "inter_node_transfers": p.inter_node_transfers,
                     "inter_node_bytes": p.inter_node_bytes,
                     "transfers_busy": p.transfers_busy,
+                    "host_counters": p.host_counters,
                 }
                 for p in points
             ],
@@ -757,6 +778,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     from repro.serve.bench import (
         saturation_failures,
         saturation_study,
+        shared_skeleton_identity_failures,
         single_tenant_identity_failures,
     )
 
@@ -825,6 +847,9 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     failures += single_tenant_identity_failures(
         n_nodes=nodes, gpus_per_node=gpn, schedule="overlap", shared_copies=True
     )
+    # Sharing one skeleton cache across tenants must be bitwise invisible
+    # (only the planner counters may — and must — move).
+    failures += shared_skeleton_identity_failures(n_gpus=gpn)
 
     if args.json:
         payload = {
@@ -859,7 +884,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         failures,
         "graceful saturation (throughput plateau, bounded p99, backpressure "
         "only under overload, fair shares), single-tenant serve identity "
-        "(bitwise, trace, clock, stats)",
+        "(bitwise, trace, clock, stats), shared-skeleton-cache identity",
     )
 
 
@@ -945,9 +970,11 @@ def _cmd_bench_overhead(args: argparse.Namespace) -> int:
     from repro.harness import experiments as ex
     from repro.harness.overhead import (
         MIN_NOCACHE_REDUCTION,
+        MIN_REPLAY_REDUCTION,
         MIN_WARM_REDUCTION,
         identity_sweep,
         launch_overhead_study,
+        mutation_identity_failures,
         overhead_failures,
     )
     from repro.runtime.profiler import STAGES
@@ -979,11 +1006,15 @@ def _cmd_bench_overhead(args: argparse.Namespace) -> int:
     headers = ["Workload", "Path", "Launches", *STAGES, "Total [us]"]
     table_rows = []
     for p in points:
+        steady = p.warm_launches + p.replay_launches
         for label, launches, us in (
             ("cold", p.cold_launches, p.cold_us),
             ("warm", p.warm_launches, p.warm_us),
-            ("no-cache", p.cold_launches + p.warm_launches, p.nocache_us),
+            ("replay", p.replay_launches, p.replay_us),
+            ("no-cache", p.cold_launches + steady, p.nocache_us),
         ):
+            if not us:
+                continue  # a workload may never reach the replay path
             table_rows.append(
                 (
                     p.workload,
@@ -1001,19 +1032,26 @@ def _cmd_bench_overhead(args: argparse.Namespace) -> int:
         )
     )
     for p in points:
+        replay = (
+            f"{p.replay_residual_reduction:.2f}x residual replay win"
+            if p.replay_residual_reduction is not None
+            else "no replay hits"
+        )
         print(
             f"  {p.workload}: warm path {p.warm_reduction:.1f}x below cold, "
-            f"{p.nocache_reduction:.2f}x below the plan_cache=False steady "
-            f"state; counters {p.counters}"
+            f"{p.nocache_reduction:.2f}x below the uncached steady "
+            f"state, {replay}; counters {p.counters}"
         )
 
     failures = overhead_failures(points)
     failures += identity_sweep()
+    failures += mutation_identity_failures()
 
     if args.json:
         payload = {
             "min_warm_reduction": MIN_WARM_REDUCTION,
             "min_nocache_reduction": MIN_NOCACHE_REDUCTION,
+            "min_replay_reduction": MIN_REPLAY_REDUCTION,
             "slowdown": [
                 {"config": str(cfg), "slowdown": frac} for cfg, frac in rows
             ],
@@ -1024,9 +1062,12 @@ def _cmd_bench_overhead(args: argparse.Namespace) -> int:
 
     return finish_self_checks(
         failures,
-        f">={MIN_WARM_REDUCTION:g}x warm-path reduction, cache arithmetic, "
-        "vectorized backend engaged, plan cache bitwise/trace/tracker/stats "
-        "invisible across schedule x shared-copies x window x topology",
+        f">={MIN_WARM_REDUCTION:g}x warm-path reduction, "
+        f">={MIN_REPLAY_REDUCTION:g}x replay residual reduction, cache "
+        "arithmetic for both caches, vectorized backend engaged, plan and "
+        "residual caches bitwise/trace/tracker/stats invisible across "
+        "schedule x shared-copies x window x topology, digest misses under "
+        "adversarial memcpy/memset/free interleavings",
     )
 
 
@@ -1249,6 +1290,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="trim bounding-range slack off synchronization copies using "
         "the exact per-partition read sets (RP602 remedy)",
+    )
+    p.add_argument(
+        "--plan-cache-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU capacity of the plan-skeleton cache (default 512; the "
+        "cache itself cannot be disabled from the CLI)",
+    )
+    p.add_argument(
+        "--residual-cache-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU capacity of the residual replay cache (default 512)",
     )
     p.add_argument(
         "--json",

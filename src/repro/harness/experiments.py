@@ -19,7 +19,7 @@ from repro.compiler.pipeline import CompiledApp, baseline_compile, compile_app
 from repro.cuda.api import CudaApi
 from repro.cuda.device import Device
 from repro.harness.calibration import GPU_COUNTS, K80_CLUSTER_SPEC, K80_NODE_SPEC
-from repro.runtime.api import MultiGpuApi
+from repro.runtime.api import MultiGpuApi, host_planner_counters
 from repro.runtime.config import RuntimeConfig
 from repro.sim.engine import SimMachine
 from repro.sim.topology import MachineSpec
@@ -370,6 +370,10 @@ class ClusterPoint:
     #: Total TRANSFERS busy time of the sampled run — the four exposure
     #: buckets must sum to exactly this (α/β/γ accounting identity).
     transfers_busy: float
+    #: Staged-planner counters of the sampled run (:data:`~repro.runtime.
+    #: api.HOST_PLANNER_COUNTERS`): plan/residual cache hit rates witness
+    #: that the launch hot path stayed warm across the scaling sweep.
+    host_counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_gpus(self) -> int:
@@ -436,6 +440,7 @@ def cluster_scaling(
                         api.stats.inter_node_transfers,
                         api.stats.inter_node_bytes,
                         trace.busy_time(Category.TRANSFERS),
+                        host_planner_counters(api.stats),
                     )
                 )
     return points

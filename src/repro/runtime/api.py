@@ -48,6 +48,9 @@ HOST_PLANNER_COUNTERS = (
     "plan_cache_hits",
     "plan_cache_misses",
     "plan_cache_evictions",
+    "residual_cache_hits",
+    "residual_cache_misses",
+    "residual_cache_evictions",
     "enumerator_specialized",
     "enumerator_fallback",
 )
@@ -107,6 +110,14 @@ class RunStats:
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     plan_cache_evictions: int = 0
+    #: Residual replay cache (the tracker-dependent complement): a hit
+    #: means the launch's (fingerprint, footprint digest) recurred and the
+    #: memoized residual was replayed without any tracker queries or
+    #: stale-copy planning. All three stay zero when
+    #: ``RuntimeConfig.residual_cache`` is off.
+    residual_cache_hits: int = 0
+    residual_cache_misses: int = 0
+    residual_cache_evictions: int = 0
     #: Enumerator scans per backend, counted on enumerator-cache *misses*:
     #: ``specialized`` ran the vectorized numpy program, ``fallback`` the
     #: scalar scanner (non-affine shapes or the interpreted ablation).
@@ -220,7 +231,15 @@ class MultiGpuApi:
         #: Fingerprint-keyed plan-skeleton cache. Per-api (not per-app) so
         #: two runtimes sharing one compiled app — e.g. the serve path and
         #: its direct-reference twin — count identical hits and misses.
-        self.plan_cache = PlanCache() if config.plan_cache else None
+        #: ServeRuntime may swap in one shared instance across tenants.
+        self.plan_cache = (
+            PlanCache(config.plan_cache_capacity) if config.plan_cache else None
+        )
+        #: Residual replay cache, keyed by (fingerprint, footprint digest).
+        #: Always per-api: residuals encode this runtime's coherence state.
+        self.residual_cache = (
+            PlanCache(config.residual_cache_capacity) if config.residual_cache else None
+        )
         #: Host-side stage timing hook (repro.runtime.profiler): when a
         #: LaunchProfiler is attached, the staged launch path records
         #: wall-clock per stage. None (the default) costs nothing.

@@ -88,6 +88,26 @@ class RuntimeConfig:
     #: outputs, traces and tracker state — so False exists purely for the
     #: overhead ablation and as a debugging escape hatch.
     plan_cache: bool = True
+    #: Maximum number of plan skeletons the fingerprint-keyed LRU keeps per
+    #: runtime. Iteration loops use a handful of fingerprints (one per
+    #: buffer parity); the bound only matters for pathological launch
+    #: streams where every launch has a fresh shape.
+    plan_cache_capacity: int = 512
+    #: Residual replay cache (the tracker-*dependent* complement of
+    #: ``plan_cache``): memoize the fully materialized residual — planned
+    #: sync copies, ReadSync counters, segment counts — per
+    #: ``(launch fingerprint, tracker footprint digest)``. A launch whose
+    #: read-footprint coherence state recurs (any converged iteration loop)
+    #: skips every tracker query and ``plan_stale_copies_tiered`` call and
+    #: replays the memoized plan; direct mutations (memcpy, memset, free)
+    #: change the digest and miss automatically. Bitwise-invisible — only
+    #: the ``residual_cache_*`` counters may differ — so False exists for
+    #: the overhead ablation and as a debugging escape hatch.
+    residual_cache: bool = True
+    #: Maximum number of memoized residuals kept per runtime. Each entry is
+    #: a few tuples per read scan; converged loops use one entry per
+    #: recurring (fingerprint, tracker state) pair.
+    residual_cache_capacity: int = 512
     #: Debug audit (functional mode only): execute each partition with the
     #: instrumented interpreter and verify the scanned write set equals the
     #: cells the kernel actually wrote. Catches compiler bugs at the launch
@@ -113,6 +133,12 @@ class RuntimeConfig:
             raise RuntimeApiError(
                 f"pipeline_window must be a positive integer, got {self.pipeline_window!r}"
             )
+        for name in ("plan_cache_capacity", "residual_cache_capacity"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise RuntimeApiError(
+                    f"{name} must be a positive integer, got {value!r}"
+                )
 
     @property
     def sync_transfers_active(self) -> bool:

@@ -36,6 +36,7 @@ __all__ = [
     "config_plan_key",
     "launch_fingerprint",
     "plan_estimate_key",
+    "residual_key",
 ]
 
 #: RuntimeConfig fields that influence plan construction (partitioning,
@@ -83,6 +84,23 @@ def launch_fingerprint(
         getattr(api, "_placement_offset", None) or 0,
         None if cluster is None else (cluster.n_nodes, cluster.gpus_per_node),
     )
+
+
+def residual_key(fingerprint: tuple, digests: tuple) -> tuple:
+    """Key under which one launch's materialized residual may be memoized.
+
+    The fingerprint pins everything the tracker-independent skeleton
+    depends on; the digest vector — one
+    :meth:`~repro.runtime.tracker.SegmentTracker.footprint_digest` per read
+    array, computed over the skeleton's per-array read-footprint envelope
+    against the *live* trackers — pins the coherence state the residual can
+    observe. Equal keys therefore imply identical tracker query results,
+    identical stale-copy plans and identical counters, which is the whole
+    soundness argument of the replay cache: a stale digest can never be
+    served because the digest is recomputed from the current trackers on
+    every launch.
+    """
+    return (fingerprint, digests)
 
 
 def plan_estimate_key(plan: "LaunchPlan") -> tuple:

@@ -71,20 +71,32 @@ def launch_partitioned(
        unit-axis and runtime-coverage validation, whose outcomes are
        fingerprint-determined) only on a miss;
     3. *residual* — tracker queries and stale-segment copy planning, run
-       every launch against live coherence state;
+       against live coherence state. With ``RuntimeConfig.residual_cache``
+       on, a cheap per-array footprint digest of the live trackers keys a
+       replay cache of fully materialized residuals: a digest recurrence
+       (any converged iteration loop) replays the memoized copies and
+       counters without a single tracker query, and any tracker change —
+       including direct mutations via memcpy/memset/free — changes the
+       digest and misses;
     4. *submit* — hand the concrete plan to the pipelined executor: the
        functional half applies immediately, the simulated issue drains when
        the window closes (immediately at ``pipeline_window=1``). Under
        ``schedule="auto"`` the concrete policy is chosen at flush time over
        the fused window's transfer/compute split.
 
-    Cold and warm paths are bitwise-identical in outputs, traces and
-    tracker state; only host wall-clock differs, which ``api.profiler``
-    records per stage when attached.
+    Cold, warm and replay paths are bitwise-identical in outputs, traces
+    and tracker state; only host wall-clock differs, which ``api.profiler``
+    records per (temperature, stage) when attached.
     """
     assert ck.partitioned is not None
-    from repro.runtime.fingerprint import launch_fingerprint
-    from repro.sched.graph import build_plan_skeleton, instantiate_plan
+    from repro.runtime.fingerprint import launch_fingerprint, residual_key
+    from repro.sched.graph import (
+        REPLAY_PLAN_BINDINGS,
+        build_plan_skeleton,
+        instantiate_plan,
+        instantiate_plan_replay,
+        replay_query_counts,
+    )
 
     kernel = ck.kernel
     by_name, scalars = split_launch_args(kernel, args)
@@ -123,16 +135,49 @@ def launch_partitioned(
         return
 
     t = perf_counter() if prof else 0.0
-    plan = instantiate_plan(api, skel, by_name)
+    rcache = api.residual_cache
+    replay = False
+    if rcache is not None:
+        # Digest the live trackers over the skeleton's per-array read
+        # envelope. Equal digests imply equal query results (segmentation
+        # is canonical), so replaying the memoized residual is exact.
+        digests = tuple(
+            by_name[array].tracker.footprint_digest(runs)
+            for array, runs in skel.read_footprints
+        )
+        rkey = residual_key(key, digests)
+        record = rcache.get(rkey)
+        if record is not None:
+            replay = True
+            api.stats.residual_cache_hits += 1
+            binding = tuple(by_name[p.name].vb_id for p in kernel.array_params)
+            plan = record.plans.get(binding)
+            if plan is None:
+                plan = instantiate_plan_replay(api, skel, by_name, record)
+                if len(record.plans) >= REPLAY_PLAN_BINDINGS:
+                    record.plans.clear()
+                record.plans[binding] = plan
+            else:
+                # Plans are read-only downstream; only the accounting
+                # mirror of the skipped tracker queries remains.
+                replay_query_counts(skel, by_name)
+        else:
+            api.stats.residual_cache_misses += 1
+            plan, record = instantiate_plan(api, skel, by_name, capture=True)
+            if rcache.put(rkey, record):
+                api.stats.residual_cache_evictions += 1
+    else:
+        plan = instantiate_plan(api, skel, by_name)
     if prof:
         times["residual"] = perf_counter() - t
         t = perf_counter()
     api.pipeline.submit(plan, None if api.auto_schedule else api.policy)
     if prof:
         times["submit"] = perf_counter() - t
+        temp = "replay" if replay else ("warm" if warm else "cold")
         for stage, duration in times.items():
-            prof.add(warm, stage, duration)
-        prof.count_launch(warm)
+            prof.add(temp, stage, duration)
+        prof.count_launch(temp)
 
 
 def _audit_write_scan(api, ck, trace, part, block, grid, scalars, shapes) -> None:

@@ -1,11 +1,17 @@
-"""Fingerprint-keyed LRU cache for launch-plan skeletons.
+"""Fingerprint-keyed LRU caches for the staged launch path.
 
 The staged launch path (:mod:`repro.runtime.launch`) splits plan
 construction into a tracker-independent *skeleton* — partition intervals,
 enumerated read/write byte ranges, DAG shape — and a cheap tracker-dependent
 residual applied at issue time. The skeleton depends only on the launch
 fingerprint (:mod:`repro.runtime.fingerprint`), so an iteration loop
-re-launching the same shape thousands of times builds it once.
+re-launching the same shape thousands of times builds it once. The same LRU
+class also backs the *residual replay cache*, keyed by
+``(fingerprint, tracker footprint digest)``, and — optionally shared across
+tenants by :class:`~repro.serve.runtime.ServeRuntime` — the cross-runtime
+skeleton cache. Capacities come from
+:class:`~repro.runtime.config.RuntimeConfig` (``plan_cache_capacity`` /
+``residual_cache_capacity``).
 
 Deliberately dependency-free: the cache stores opaque values under hashable
 keys and knows nothing about plans, so it can be unit-tested in isolation
@@ -17,18 +23,13 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Hashable, Optional
 
-__all__ = ["PlanCache", "DEFAULT_PLAN_CACHE_CAPACITY"]
-
-#: Default number of skeletons kept per runtime. Iteration loops use a
-#: handful of fingerprints (one per buffer parity); the bound only matters
-#: for pathological launch streams where every launch has a fresh shape.
-DEFAULT_PLAN_CACHE_CAPACITY = 512
+__all__ = ["PlanCache"]
 
 
 class PlanCache:
     """A bounded LRU map from launch fingerprints to plan skeletons."""
 
-    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_CAPACITY) -> None:
+    def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"plan cache capacity must be positive, got {capacity}")
         self.capacity = capacity

@@ -3,11 +3,13 @@
 Attach a :class:`LaunchProfiler` to ``api.profiler`` and the staged launch
 path (:mod:`repro.runtime.launch`) records real wall-clock per stage —
 ``fingerprint`` (key construction), ``skeleton`` (partitioning + enumerator
-scans, cold only), ``residual`` (tracker queries + stale-copy planning) and
-``submit`` (pipelined issue) — split into *cold* (plan-cache miss) and
-*warm* (hit) launches. This measures the Python orchestration itself, not
-the simulated hardware; ``repro bench overhead`` turns the totals into
-µs-per-launch and pins the warm-path reduction.
+scans, cold only), ``residual`` (tracker queries + stale-copy planning, or
+digest + replay on a residual-cache hit) and ``submit`` (pipelined issue) —
+split into three launch temperatures: *cold* (plan-cache miss), *warm*
+(skeleton hit, residual re-derived) and *replay* (skeleton hit **and**
+residual-cache hit). This measures the Python orchestration itself, not the
+simulated hardware; ``repro bench overhead`` turns the totals into
+µs-per-launch and pins the warm and replay reductions.
 """
 
 from __future__ import annotations
@@ -15,42 +17,46 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
-__all__ = ["LaunchProfiler", "STAGES"]
+__all__ = ["LaunchProfiler", "STAGES", "TEMPERATURES"]
 
 #: Stage names in launch-path order.
 STAGES = ("fingerprint", "skeleton", "residual", "submit")
 
+#: Launch temperatures, coldest first: plan-cache miss, skeleton hit with a
+#: re-derived residual, and skeleton + residual-replay hit.
+TEMPERATURES = ("cold", "warm", "replay")
+
 
 @dataclass
 class LaunchProfiler:
-    """Accumulated host seconds and launch counts per (warm, stage)."""
+    """Accumulated host seconds and launch counts per (temperature, stage)."""
 
-    #: (warm, stage) -> accumulated seconds.
-    seconds: Dict[Tuple[bool, str], float] = field(default_factory=dict)
-    #: warm -> number of launches profiled.
-    launches: Dict[bool, int] = field(default_factory=dict)
+    #: (temperature, stage) -> accumulated seconds.
+    seconds: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    #: temperature -> number of launches profiled.
+    launches: Dict[str, int] = field(default_factory=dict)
 
-    def add(self, warm: bool, stage: str, duration: float) -> None:
-        key = (warm, stage)
+    def add(self, temp: str, stage: str, duration: float) -> None:
+        key = (temp, stage)
         self.seconds[key] = self.seconds.get(key, 0.0) + duration
 
-    def count_launch(self, warm: bool) -> None:
-        self.launches[warm] = self.launches.get(warm, 0) + 1
+    def count_launch(self, temp: str) -> None:
+        self.launches[temp] = self.launches.get(temp, 0) + 1
 
-    def total_us(self, warm: bool) -> float:
+    def total_us(self, temp: str) -> float:
         """Total profiled host microseconds across all stages."""
-        return 1e6 * sum(v for (w, _), v in self.seconds.items() if w is warm)
+        return 1e6 * sum(v for (t, _), v in self.seconds.items() if t == temp)
 
-    def per_launch_us(self, warm: bool) -> Dict[str, float]:
+    def per_launch_us(self, temp: str) -> Dict[str, float]:
         """Mean host microseconds per launch, per stage plus ``total``.
 
         Empty when no launch of that temperature was profiled.
         """
-        n = self.launches.get(warm, 0)
+        n = self.launches.get(temp, 0)
         if not n:
             return {}
         out = {
-            stage: 1e6 * self.seconds.get((warm, stage), 0.0) / n for stage in STAGES
+            stage: 1e6 * self.seconds.get((temp, stage), 0.0) / n for stage in STAGES
         }
         out["total"] = sum(out.values())
         return out

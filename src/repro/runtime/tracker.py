@@ -109,6 +109,45 @@ class SegmentTracker:
             out.append(Segment(max(key, lo), min(end, hi), owner, sharers))
         return out
 
+    def footprint_digest(
+        self, runs: List[Tuple[int, int]]
+    ) -> Tuple[Tuple[int, int, int, FrozenSet[int]], ...]:
+        """Stable summary of the tracker state intersecting ``runs``.
+
+        Returns the clipped ``(start, end, owner, sharers)`` tuples of every
+        segment overlapping the given sorted, non-overlapping byte runs —
+        the exact coherence state a launch whose reads fall inside ``runs``
+        can observe. Two trackers with equal digests over a footprint answer
+        every query inside that footprint identically (the segmentation is
+        canonical: equal-valued neighbors merge eagerly), which is what lets
+        the residual replay cache key memoized plans on
+        ``(fingerprint, digest vector)`` soundly.
+
+        Costs O(segments-in-footprint) tree walking and charges *no* tracker
+        operation: computing the digest is cache bookkeeping, not a
+        dependency-resolution query, so ``op_counts`` stay untouched and the
+        replay path remains invisible to host-cost accounting.
+        """
+        if not runs:
+            return ()
+        out: List[Tuple[int, int, int, FrozenSet[int]]] = []
+        # Inlined tuple-only variant of _query_nocount: the digest runs on
+        # every launch's hot path, so no Segment objects are built.
+        floor = self._map.floor
+        items_from = self._map.items_from
+        for lo, hi in runs:
+            self._check_range(lo, hi)
+            entry = floor(lo)
+            if entry is None:
+                raise TrackerError("tracker lost coverage of offset 0")
+            for key, (end, owner, sharers) in items_from(entry[0]):
+                if key >= hi:
+                    break
+                if end <= lo:
+                    continue
+                out.append((max(key, lo), min(end, hi), owner, sharers))
+        return tuple(out)
+
     def owner_at(self, offset: int) -> int:
         """The device owning the byte at ``offset``."""
         seg = self.query(offset, offset + 1)

@@ -23,10 +23,16 @@ service time.
 self-check: one tenant through the serve path must reproduce the direct
 :class:`~repro.runtime.api.MultiGpuApi` run bitwise — same output bytes,
 same trace (modulo the tenant tag), same simulated clock, same stats.
+:func:`shared_skeleton_identity_failures` extends it to the shared
+skeleton cache: N tenants with one shared plan cache must be bitwise
+identical to the same tenants with per-tenant caches, with only the
+planner counters allowed to differ (and differ they must — the check
+also proves the sharing engaged).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -37,7 +43,12 @@ from repro.compiler.pipeline import CompiledApp, compile_app
 from repro.cuda.api import MemcpyKind
 from repro.cuda.dim3 import Dim3
 from repro.errors import ServeError
-from repro.runtime.api import MultiGpuApi, RunStats, host_planner_counters
+from repro.runtime.api import (
+    HOST_PLANNER_COUNTERS,
+    MultiGpuApi,
+    RunStats,
+    host_planner_counters,
+)
 from repro.runtime.config import RuntimeConfig
 from repro.serve.runtime import ServeRuntime, untenanted
 from repro.serve.tenant import TenantRuntime
@@ -49,6 +60,7 @@ __all__ = [
     "saturation_study",
     "saturation_failures",
     "single_tenant_identity_failures",
+    "shared_skeleton_identity_failures",
 ]
 
 #: Problem size of one serve job (elements per launch).
@@ -402,4 +414,96 @@ def single_tenant_identity_failures(
         failures.append(f"identity: serve stats differ from direct stats ({label})")
     if any(iv.tenant != 0 for iv in serve_machine.trace.intervals):
         failures.append(f"attribution: serve trace interval missing tenant tag ({label})")
+    return failures
+
+
+def shared_skeleton_identity_failures(
+    n_gpus: int = 4,
+    schedule: str = "sequential",
+    tenants: int = 2,
+    iterations: int = 6,
+) -> List[str]:
+    """The shared skeleton cache must be bitwise invisible per tenant.
+
+    Runs the same N-tenant job sequence twice — once with per-tenant plan
+    caches, once with one :class:`~repro.runtime.plancache.PlanCache`
+    shared across all tenants — and compares per-tenant output bytes, the
+    full machine trace (tenant tags included), the simulated clock, and
+    each tenant's stats with the planner-counter slice masked out. The
+    counters themselves prove the sharing engaged: follower tenants must
+    rebuild nothing (zero skeleton misses) while their per-tenant hit
+    counters keep counting.
+    """
+    config = RuntimeConfig(n_gpus=n_gpus, schedule=schedule)
+    kernel = build_serve_kernel()
+    app = compile_app([kernel])
+    grid, block = Dim3(JOB_ELEMS // _BLOCK), Dim3(_BLOCK)
+    host_x = np.linspace(0.0, 1.0, JOB_ELEMS, dtype=np.float32)
+    host_y = np.zeros(JOB_ELEMS, dtype=np.float32)
+
+    def run(shared: bool):
+        machine = _machine(1, n_gpus)
+        runtime = ServeRuntime(
+            app, config, tenants, machine=machine, shared_plan_cache=shared
+        )
+        outs: Dict[int, np.ndarray] = {}
+
+        def job_for(tenant: int) -> Callable[[TenantRuntime], None]:
+            def work(api: TenantRuntime) -> None:
+                dx, dy = _setup_tenant(api, host_x, host_y)
+                for _ in range(iterations):
+                    api.launch(kernel, grid, block, [JOB_ELEMS, dx, dy])
+                out = np.zeros_like(host_y)
+                api.cudaMemcpy(out, dy, out.nbytes, MemcpyKind.DeviceToHost)
+                outs[tenant] = out
+
+            return work
+
+        for t in sorted(runtime.runtimes):
+            runtime.submit(t, job_for(t))
+        runtime.drain()
+        stats = {t: runtime.api(t).stats for t in sorted(runtime.runtimes)}
+        return outs, list(machine.trace.intervals), machine.elapsed(), stats
+
+    shared_outs, shared_trace, shared_clock, shared_stats = run(True)
+    solo_outs, solo_trace, solo_clock, solo_stats = run(False)
+
+    failures: List[str] = []
+    for t in sorted(solo_outs):
+        if not np.array_equal(shared_outs[t], solo_outs[t]):
+            failures.append(
+                f"identity: tenant {t} output differs bitwise under the "
+                f"shared skeleton cache"
+            )
+    if shared_trace != solo_trace:
+        failures.append("identity: trace differs under the shared skeleton cache")
+    if shared_clock != solo_clock:
+        failures.append(
+            f"identity: shared-cache clock {shared_clock!r} != per-tenant "
+            f"clock {solo_clock!r}"
+        )
+    mask = {name: 0 for name in HOST_PLANNER_COUNTERS}
+    for t in sorted(solo_stats):
+        if dataclasses.replace(shared_stats[t], **mask) != dataclasses.replace(
+            solo_stats[t], **mask
+        ):
+            failures.append(
+                f"identity: tenant {t} stats differ beyond the planner "
+                f"counters under the shared skeleton cache"
+            )
+    leader = min(shared_stats)
+    for t in sorted(shared_stats):
+        if t != leader and shared_stats[t].plan_cache_misses:
+            failures.append(
+                f"sharing: tenant {t} rebuilt "
+                f"{shared_stats[t].plan_cache_misses} skeleton(s) despite "
+                f"the shared cache"
+            )
+        if shared_stats[t].plan_cache_hits != solo_stats[t].plan_cache_hits + (
+            0 if t == leader else solo_stats[t].plan_cache_misses
+        ):
+            failures.append(
+                f"sharing: tenant {t} per-tenant hit counter lost "
+                f"attribution under the shared cache"
+            )
     return failures

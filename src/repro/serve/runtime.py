@@ -29,6 +29,7 @@ from repro.cuda.api import KernelCostFn
 from repro.errors import ServeError
 from repro.runtime.api import RunStats
 from repro.runtime.config import RuntimeConfig
+from repro.runtime.plancache import PlanCache
 from repro.sched.executor import DataflowLog
 from repro.serve.admission import AdmissionController
 from repro.serve.scheduler import FairShareScheduler, Job
@@ -65,6 +66,7 @@ class ServeRuntime:
         kernel_cost: Optional[KernelCostFn] = None,
         quantum: float = 1.0,
         queue_capacity: int = 64,
+        shared_plan_cache: bool = False,
     ) -> None:
         if isinstance(tenants, int):
             if tenants < 1:
@@ -82,6 +84,16 @@ class ServeRuntime:
         #: keep tenants' (vb_id, dev) key ranges disjoint, so cross-launch
         #: dependency queries never couple two tenants' streams.
         self.dataflow = DataflowLog()
+        #: With ``shared_plan_cache``, one skeleton cache serves every
+        #: tenant: skeletons are fingerprint-determined and buffer-free,
+        #: so N tenants running the same kernels compile, enumerate and
+        #: partition once between them (per-tenant hit/miss counters are
+        #: unaffected — they live in each tenant's stats). Tenants whose
+        #: own config disables the plan cache stay uncached; residual
+        #: replay caches remain strictly per-tenant.
+        self.plan_cache: Optional[PlanCache] = (
+            PlanCache(config.plan_cache_capacity) if shared_plan_cache else None
+        )
         self.runtimes: Dict[int, TenantRuntime] = {}
         for spec in specs:
             self.runtimes[spec.tenant_id] = TenantRuntime(
@@ -92,6 +104,7 @@ class ServeRuntime:
                 functional=functional,
                 kernel_cost=kernel_cost,
                 dataflow=self.dataflow,
+                plan_cache=self.plan_cache,
             )
         self.scheduler = FairShareScheduler(
             {s.tenant_id: s.weight for s in specs}, quantum=quantum

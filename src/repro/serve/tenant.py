@@ -26,6 +26,7 @@ from repro.cuda.api import KernelCostFn
 from repro.errors import ServeError
 from repro.runtime.api import MultiGpuApi
 from repro.runtime.config import RuntimeConfig
+from repro.runtime.plancache import PlanCache
 from repro.sched.executor import DataflowLog
 from repro.sim.engine import SimMachine
 
@@ -77,7 +78,13 @@ class TenantRuntime(MultiGpuApi):
     * the cross-launch :class:`~repro.sched.executor.DataflowLog` may be a
       *shared* instance handed in by the serve runtime: because its keys
       embed the namespaced buffer ids, tenants' dependency records live in
-      disjoint key ranges of one log.
+      disjoint key ranges of one log,
+    * the plan-skeleton cache may likewise be a shared
+      :class:`~repro.runtime.plancache.PlanCache`: skeletons are
+      fingerprint-determined and buffer-free, so N tenants running the
+      same kernels enumerate and partition once between them. The residual
+      replay cache is *never* shared — residuals encode one runtime's
+      coherence state.
 
     For ``tenant_id=0`` both counters degenerate to the defaults, so a
     lone tenant reproduces the single-job runtime exactly.
@@ -93,6 +100,7 @@ class TenantRuntime(MultiGpuApi):
         functional: bool = True,
         kernel_cost: Optional[KernelCostFn] = None,
         dataflow: Optional[DataflowLog] = None,
+        plan_cache: Optional["PlanCache"] = None,
     ) -> None:
         if tenant_id < 0:
             raise ServeError(f"tenant_id must be non-negative, got {tenant_id}")
@@ -105,3 +113,7 @@ class TenantRuntime(MultiGpuApi):
             self._launch_counter = itertools.count(tenant_id * LAUNCH_NAMESPACE)
         if dataflow is not None:
             self.dataflow = dataflow
+        # A shared skeleton cache only replaces a live per-tenant cache:
+        # a tenant whose own config disabled plan caching keeps it off.
+        if plan_cache is not None and self.plan_cache is not None:
+            self.plan_cache = plan_cache

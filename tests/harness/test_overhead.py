@@ -1,21 +1,24 @@
 """The launch-overhead study: profiler coverage, self-checks, invisibility.
 
 ``repro bench overhead`` ships with exit-1 self-checks
-(:func:`repro.harness.overhead.overhead_failures`) and an identity sweep
-(:func:`repro.harness.overhead.identity_sweep`). These tests run a reduced
-study for real — asserting the profiler's launch accounting and the cache
-arithmetic line up — and then doctor one field at a time to prove every
-self-check branch actually fires.
+(:func:`repro.harness.overhead.overhead_failures`), an identity sweep
+(:func:`repro.harness.overhead.identity_sweep`) and an adversarial mutation
+sweep (:func:`repro.harness.overhead.mutation_identity_failures`). These
+tests run a reduced study for real — asserting the profiler's launch
+accounting and both caches' arithmetic line up — and then doctor one field
+at a time to prove every self-check branch actually fires.
 """
 
 import dataclasses
 
 from repro.harness.overhead import (
     MIN_NOCACHE_REDUCTION,
+    MIN_REPLAY_REDUCTION,
     MIN_WARM_REDUCTION,
     OverheadPoint,
     identity_sweep,
     launch_overhead_study,
+    mutation_identity_failures,
     overhead_failures,
 )
 
@@ -31,18 +34,25 @@ class TestStudy:
         (point,) = _small_study()
         assert point.workload == "hotspot"
         # One fingerprint for the whole ping-pong loop: the first launch
-        # misses (cold), the remaining seven hit (warm).
+        # misses (cold), and the converged coherence state makes the
+        # remaining seven replay the memoized residual.
         assert point.cold_launches == 1
-        assert point.warm_launches == 7
+        assert point.warm_launches == 0
+        assert point.replay_launches == 7
         assert point.counters["plan_cache_misses"] == point.cold_launches
-        assert point.counters["plan_cache_hits"] == point.warm_launches
+        assert point.counters["plan_cache_hits"] == 7
         assert point.counters["plan_cache_evictions"] == 0
+        assert point.counters["residual_cache_misses"] == 1
+        assert point.counters["residual_cache_hits"] == 7
+        assert point.counters["residual_cache_evictions"] == 0
         assert point.counters["enumerator_specialized"] > 0
         assert point.counters["enumerator_fallback"] == 0
-        # A cache hit never rebuilds the skeleton.
+        # A cache hit never rebuilds the skeleton, on either hit path.
         assert point.warm_us["skeleton"] == 0.0
+        assert point.replay_us["skeleton"] == 0.0
         for stage in ("fingerprint", "skeleton", "residual", "submit", "total"):
             assert stage in point.cold_us and stage in point.warm_us
+            assert stage in point.replay_us and stage in point.nocache_us
 
     def test_real_study_passes_own_checks(self):
         points = _small_study()
@@ -53,6 +63,7 @@ class TestStudy:
         row = point.as_dict()
         assert row["warm_reduction"] == point.warm_reduction
         assert row["nocache_reduction"] == point.nocache_reduction
+        assert row["replay_residual_reduction"] == point.replay_residual_reduction
         assert row["counters"] == point.counters
 
 
@@ -66,14 +77,19 @@ class TestSelfChecks:
             size=256,
             iterations=8,
             cold_launches=1,
-            warm_launches=7,
+            warm_launches=2,
+            replay_launches=5,
             cold_us={**stages, "skeleton": 90.0, "total": 100.0},
             warm_us={**stages, "total": 6.0},
-            nocache_us={**stages, "total": 10.0},
+            replay_us={**stages, "residual": 0.5, "total": 4.5},
+            nocache_us={**stages, "skeleton": 20.0, "total": 26.0},
             counters={
                 "plan_cache_hits": 7,
                 "plan_cache_misses": 1,
                 "plan_cache_evictions": 0,
+                "residual_cache_hits": 5,
+                "residual_cache_misses": 3,
+                "residual_cache_evictions": 0,
                 "enumerator_specialized": 8,
                 "enumerator_fallback": 0,
             },
@@ -86,7 +102,9 @@ class TestSelfChecks:
         assert overhead_failures([]) == ["overhead study produced no points"]
 
     def test_missing_path_coverage(self):
-        p = dataclasses.replace(self._good_point(), warm_launches=0)
+        p = dataclasses.replace(
+            self._good_point(), warm_launches=0, replay_launches=0
+        )
         (failure,) = overhead_failures([p])
         assert failure.startswith("coverage:")
 
@@ -104,17 +122,47 @@ class TestSelfChecks:
         (failure,) = overhead_failures([dataclasses.replace(p, nocache_us=fast)])
         assert failure.startswith("baseline:")
 
-    def test_cache_arithmetic(self):
+    def test_replay_must_engage_on_hotspot(self):
+        p = self._good_point()
+        bad_counters = {
+            **p.counters, "residual_cache_hits": 0, "residual_cache_misses": 8
+        }
+        p = dataclasses.replace(
+            p, replay_launches=0, replay_us={}, warm_launches=7,
+            counters=bad_counters,
+        )
+        (failure,) = overhead_failures([p])
+        assert failure.startswith("replay:")
+        assert "never hit" in failure
+
+    def test_replay_residual_reduction(self):
+        p = self._good_point()
+        slow = dict(p.replay_us)
+        slow["residual"] = p.warm_us["residual"] / (MIN_REPLAY_REDUCTION - 1.0)
+        (failure,) = overhead_failures([dataclasses.replace(p, replay_us=slow)])
+        assert failure.startswith("replay:")
+        assert "residual stage" in failure
+
+    def test_plan_cache_arithmetic(self):
         p = self._good_point()
         bad = {**p.counters, "plan_cache_hits": 6}
         (failure,) = overhead_failures([dataclasses.replace(p, counters=bad)])
         assert failure.startswith("arithmetic:")
+        assert "plan cache" in failure
+
+    def test_residual_cache_arithmetic(self):
+        p = self._good_point()
+        bad = {**p.counters, "residual_cache_hits": 4}
+        (failure,) = overhead_failures([dataclasses.replace(p, counters=bad)])
+        assert failure.startswith("arithmetic:")
+        assert "residual cache" in failure
 
     def test_evictions(self):
         p = self._good_point()
-        bad = {**p.counters, "plan_cache_evictions": 2}
-        (failure,) = overhead_failures([dataclasses.replace(p, counters=bad)])
-        assert failure.startswith("capacity:")
+        for counter in ("plan_cache_evictions", "residual_cache_evictions"):
+            bad = {**p.counters, counter: 2}
+            (failure,) = overhead_failures([dataclasses.replace(p, counters=bad)])
+            assert failure.startswith("capacity:")
 
     def test_vectorized_backend_engaged(self):
         p = self._good_point()
@@ -124,9 +172,10 @@ class TestSelfChecks:
 
     def test_warm_skeleton_stage_zero(self):
         p = self._good_point()
-        slow = {**p.warm_us, "skeleton": 0.5}
-        (failure,) = overhead_failures([dataclasses.replace(p, warm_us=slow)])
-        assert failure.startswith("staging:")
+        for column in ("warm_us", "replay_us"):
+            slow = {**getattr(p, column), "skeleton": 0.5}
+            (failure,) = overhead_failures([dataclasses.replace(p, **{column: slow})])
+            assert failure.startswith("staging:")
 
 
 class TestIdentitySweep:
@@ -146,3 +195,8 @@ class TestIdentitySweep:
 
         with pytest.raises(ValueError, match="must total n_gpus"):
             identity_sweep(n_gpus=4, cluster_shape=(3, 2))
+
+
+class TestMutationSweep:
+    def test_adversarial_interleavings_are_clean(self):
+        assert mutation_identity_failures(size=96, iterations=10) == []

@@ -61,6 +61,8 @@ def test_serving_doc_covers_the_subsystem():
         "SERVE_QUEUE_FULL",  # the stable admission rejection code
         "bench serve",  # the saturation benchmark entry point
         "tenant",
+        "shared_plan_cache",  # cross-tenant skeleton sharing
+        "skeleton",
     ):
         assert needle in text, f"docs/serving.md does not mention {needle!r}"
     # Cross-references both ways.
@@ -171,9 +173,14 @@ def test_performance_doc_covers_the_staged_planner():
         "skeleton",  # the staged split ...
         "residual",  # ... tracker-independent vs -dependent
         "plan_cache_hits",  # the observable counter slice
+        "residual_cache_hits",  # ... including the replay counters
         "enumerator_fallback",  # scalar-scanner attribution
         "bench overhead",  # the measurement entry point
-        "plan_cache=False",  # the ablation knob
+        "plan_cache=False",  # the ablation knobs ...
+        "residual_cache=False",
+        "footprint_digest",  # the replay key's tracker summary
+        "replay",  # the steady-state hit path
+        "mutation_identity_failures",  # the adversarial sweep
     ):
         assert needle in text, f"docs/performance.md does not mention {needle!r}"
     # Cross-references both ways.
